@@ -1,0 +1,66 @@
+// Command experiments regenerates every evaluation artifact of the
+// reproduction (the per-experiment index lives in DESIGN.md; measured
+// results in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments [-run E5] [-seed 12345] [-quick] [-list]
+//
+// With no flags it runs the full suite and prints one table per
+// experiment, each headed by the paper claim it checks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "run a single experiment by ID (e.g. E5)")
+	seed := flag.Uint64("seed", 12345, "random seed (fixed seed ⇒ identical tables)")
+	quick := flag.Bool("quick", false, "reduced trial counts")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	var todo []experiments.Experiment
+	if *run != "" {
+		e, ok := experiments.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", *run)
+			os.Exit(2)
+		}
+		todo = []experiments.Experiment{e}
+	} else {
+		todo = experiments.All()
+	}
+
+	failed := false
+	for _, e := range todo {
+		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
+		fmt.Printf("    claim: %s\n\n", e.Claim)
+		start := time.Now()
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n\n", e.ID, err)
+			failed = true
+			continue
+		}
+		fmt.Print(tbl.String())
+		fmt.Printf("\n(%s, seed %d, quick=%v)\n\n", time.Since(start).Round(time.Millisecond), *seed, *quick)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

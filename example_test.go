@@ -1,0 +1,48 @@
+package robustsync_test
+
+import (
+	"fmt"
+
+	robustsync "repro"
+	"repro/internal/workload"
+)
+
+// ExampleReconcileGap synchronizes two noisy fingerprint stores so the
+// receiver ends up covering every point the sender holds.
+func ExampleReconcileGap() {
+	space := robustsync.HammingSpace(512)
+	// Planted scenario: 30 shared (noisy) points, 2 points only Alice
+	// has, radii r1 = 8 (noise) and r2 = 128 (genuinely different).
+	inst, err := workload.NewGapInstance(space, 30, 2, 0, 8, 128, 1234)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	p := robustsync.GapParams{Space: space, N: 32, R1: 8, R2: 128, Seed: 42}
+	res, err := robustsync.ReconcileGap(p, inst.SA, inst.SB)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	uncovered := 0
+	for _, a := range inst.SA {
+		if d, _ := res.SPrime.MinDistanceTo(space, a); d > 128 {
+			uncovered++
+		}
+	}
+	fmt.Printf("transferred %d points, uncovered %d\n", len(res.TA), uncovered)
+	// Output: transferred 2 points, uncovered 0
+}
+
+// ExampleSyncIDs reconciles two almost-identical ID sets exactly.
+func ExampleSyncIDs() {
+	bob := []uint64{1, 2, 3, 4, 5, 1000}
+	alice := []uint64{1, 2, 3, 4, 5, 2000}
+	onlyBob, onlyAlice, err := robustsync.SyncIDs(bob, alice, 4, 7)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("bob-only: %v, alice-only: %v\n", onlyBob, onlyAlice)
+	// Output: bob-only: [1000], alice-only: [2000]
+}

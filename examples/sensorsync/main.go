@@ -1,0 +1,74 @@
+// Sensorsync: the paper's motivating scenario (§1). Two sensors observe
+// the same field of objects and record 3-D positions on a 4096³ grid.
+// Readings of the same object differ by measurement noise; each sensor
+// has also seen a few objects the other missed. The sensors synchronize
+// with the Gap Guarantee protocol so that afterwards sensor B knows
+// (within r2) about every object either sensor has seen — while
+// communicating far less than a full dump when positions are
+// high-precision.
+//
+// Run: go run ./examples/sensorsync
+package main
+
+import (
+	"fmt"
+	"log"
+
+	robustsync "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 3-D positions with 20-bit coordinates under ℓ1.
+	space := robustsync.GridSpace(1<<20-1, 3, robustsync.L1)
+	const (
+		nObjects = 80
+		kNew     = 5 // objects only sensor A has seen
+		r1       = 300.0
+		r2       = 60000.0
+	)
+
+	inst, err := workload.NewGapInstance(space, nObjects, kNew, 2, r1, r2, 2024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sensorA, sensorB := inst.SA, inst.SB
+
+	params := robustsync.GapParams{
+		Space: space,
+		N:     nObjects + kNew,
+		R1:    r1,
+		R2:    r2,
+		Seed:  99,
+	}
+	res, err := robustsync.ReconcileGap(params, sensorA, sensorB)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify the guarantee: every object A knows about is now within r2
+	// of something B knows about.
+	uncovered := 0
+	for _, obj := range sensorA {
+		if d, _ := res.SPrime.MinDistanceTo(space, obj); d > r2 {
+			uncovered++
+		}
+	}
+
+	fmt.Printf("sensor A objects: %d (of which %d unknown to B)\n", len(sensorA), len(inst.Far))
+	fmt.Printf("sensor B objects: %d -> %d after sync\n", len(sensorB), len(res.SPrime))
+	fmt.Printf("positions transferred: %d\n", len(res.TA))
+	fmt.Printf("objects of A left uncovered (must be 0): %d\n", uncovered)
+	fmt.Printf("communication: %s\n", res.Stats)
+	// At 3 dimensions a full dump is actually cheaper — the protocol's
+	// advantage appears when points are high-dimensional (log|U| large);
+	// see examples/imagedupes. What a dump cannot give is the paper's
+	// guarantee under *noise*: here positions differ between sensors, so
+	// a dump would duplicate every object; the gap protocol transfers
+	// only the genuinely new ones.
+	fmt.Printf("(full dump: %d bits, but it would duplicate all %d shared objects)\n",
+		space.BitsPerPoint()*len(sensorA), len(sensorA)-len(inst.Far))
+	if uncovered > 0 {
+		log.Fatal("gap guarantee violated")
+	}
+}

@@ -1,0 +1,142 @@
+// Package branching implements the idealized Poisson branching process
+// of Appendix B/D, used to analyze BFS peeling. Each tree node has
+// Poisson(c·q) child hyperedges; each child edge connects to q−1 child
+// vertices. The quantities of interest:
+//
+//	ρ_t = Pr[a vertex at height t survives t rounds of the deletion
+//	      procedure]   with ρ_0 = 1, ρ_t = Pr[Poisson(ρ_{t−1}^{q−1}·cq) ≥ 1]
+//	λ_t = Pr[the root survives t rounds] = Pr[Poisson(ρ_{t−1}^{q−1}·cq) ≥ 2]
+//
+// For c below the peeling threshold λ_t → 0 doubly exponentially
+// (λ_{I+t} ≤ τ^(2(q−1)^t), [15]), which experiment E4 verifies against
+// both the recursion and direct simulation.
+package branching
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Series returns (ρ_0…ρ_tmax, λ_1…λ_tmax) for the given edge density c
+// and edge size q.
+func Series(c float64, q, tmax int) (rho, lambda []float64) {
+	if q < 2 || c <= 0 || tmax < 1 {
+		panic(fmt.Sprintf("branching: bad parameters c=%v q=%d tmax=%d", c, q, tmax))
+	}
+	rho = make([]float64, tmax+1)
+	lambda = make([]float64, tmax+1)
+	rho[0] = 1
+	lambda[0] = 1
+	cq := c * float64(q)
+	for t := 1; t <= tmax; t++ {
+		mean := math.Pow(rho[t-1], float64(q-1)) * cq
+		rho[t] = -math.Expm1(-mean) // Pr[Poisson ≥ 1], computed stably
+		// Pr[Poisson ≥ 2] = 1 − e^(−m) − m·e^(−m); clamp the tiny
+		// negative residue floating-point cancellation can leave.
+		lambda[t] = -math.Expm1(-mean) - mean*math.Exp(-mean)
+		if lambda[t] < 0 {
+			lambda[t] = 0
+		}
+	}
+	return rho, lambda
+}
+
+// Threshold returns c*_q, the density below which random q-uniform
+// hypergraphs have empty 2-cores whp (Molloy [26]):
+//
+//	c*_q = min_{x>0} x / (q(1−e^{−x})^{q−1}).
+func Threshold(q int) float64 {
+	if q < 3 {
+		// q = 2 peeling threshold (graph 2-core) is 1/2.
+		return 0.5
+	}
+	best := math.Inf(1)
+	for x := 0.01; x <= 10; x += 0.001 {
+		v := x / (float64(q) * math.Pow(1-math.Exp(-x), float64(q-1)))
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// SurvivalSim estimates λ_t by direct simulation: it grows the branching
+// process lazily and applies the t-round deletion procedure of Appendix
+// B (delete leaves with no surviving child edges round by round; the
+// root survives if ≥ 2 child edges survive all rounds).
+func SurvivalSim(c float64, q, t, trials int, seed uint64) float64 {
+	src := rng.New(seed)
+	cq := c * float64(q)
+	survived := 0
+	for i := 0; i < trials; i++ {
+		if rootSurvives(src, cq, q, t) {
+			survived++
+		}
+	}
+	return float64(survived) / float64(trials)
+}
+
+// vertexSurvives reports whether a vertex at depth (t − rounds used)
+// survives `rounds` rounds: it needs ≥ 1 child edge all of whose q−1
+// vertices survive rounds−1.
+func vertexSurvives(src *rng.Source, cq float64, q, rounds int) bool {
+	if rounds == 0 {
+		return true
+	}
+	edges := src.Poisson(cq)
+	for e := 0; e < edges; e++ {
+		all := true
+		for v := 0; v < q-1; v++ {
+			if !vertexSurvives(src, cq, q, rounds-1) {
+				all = false
+				// Keep drawing siblings? Distribution-wise the
+				// remaining children are irrelevant once one fails,
+				// and skipping them preserves independence.
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// rootSurvives needs ≥ 2 surviving child edges (degree ≥ 2 ⇒ not
+// peelable).
+func rootSurvives(src *rng.Source, cq float64, q, t int) bool {
+	edges := src.Poisson(cq)
+	surviving := 0
+	for e := 0; e < edges; e++ {
+		all := true
+		for v := 0; v < q-1; v++ {
+			if !vertexSurvives(src, cq, q, t-1) {
+				all = false
+				break
+			}
+		}
+		if all {
+			surviving++
+			if surviving >= 2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ExpectedSubtreeSizes returns E[Σ_{i=0..t} Z_i], the expected number of
+// descendants within t levels (Wald): Σ (cq(q−1))^i.
+func ExpectedSubtreeSizes(c float64, q, tmax int) []float64 {
+	out := make([]float64, tmax+1)
+	growth := c * float64(q) * float64(q-1)
+	acc, pow := 0.0, 1.0
+	for t := 0; t <= tmax; t++ {
+		acc += pow
+		out[t] = acc
+		pow *= growth
+	}
+	return out
+}

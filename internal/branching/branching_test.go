@@ -1,0 +1,118 @@
+package branching
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	rho, lambda := Series(1.0/12, 3, 20)
+	if rho[0] != 1 || lambda[0] != 1 {
+		t.Fatalf("initial conditions: rho0=%v lambda0=%v", rho[0], lambda[0])
+	}
+	// Both sequences are non-increasing and in [0,1].
+	for i := 1; i < len(rho); i++ {
+		if rho[i] < 0 || rho[i] > 1 || rho[i] > rho[i-1]+1e-12 {
+			t.Fatalf("rho not monotone in [0,1]: %v", rho)
+		}
+		if lambda[i] < 0 || lambda[i] > 1 || lambda[i] > lambda[i-1]+1e-12 {
+			t.Fatalf("lambda not monotone in [0,1]: %v", lambda)
+		}
+		if lambda[i] > rho[i] {
+			t.Fatalf("lambda > rho at %d", i)
+		}
+	}
+}
+
+// TestSubcriticalDecay verifies the doubly-exponential collapse below the
+// threshold: after a constant number of rounds, log(1/lambda) at least
+// doubles per round (the tau^(2(q-1)^t) behaviour from [15]).
+func TestSubcriticalDecay(t *testing.T) {
+	_, lambda := Series(1.0/12, 3, 12)
+	// Find the first index with lambda < 0.1, then check the collapse.
+	start := -1
+	for i, l := range lambda {
+		if l < 0.1 {
+			start = i
+			break
+		}
+	}
+	if start == -1 {
+		t.Fatal("lambda never dropped below 0.1 at subcritical density")
+	}
+	// The asymptotic exponent growth factor is (q−1) = 2 per round
+	// (λ_{I+t} ≤ τ^(2(q−1)^t)); demand at least 1.6 to allow the
+	// pre-asymptotic rounds.
+	for i := start + 1; i < len(lambda) && lambda[i] > 1e-280; i++ {
+		prev := math.Log(1 / lambda[i-1])
+		cur := math.Log(1 / lambda[i])
+		if cur < prev*1.6 {
+			t.Fatalf("decay not doubly exponential at t=%d: log grew %v -> %v", i, prev, cur)
+		}
+	}
+}
+
+// TestSupercriticalSurvival: above the peeling threshold lambda_t
+// converges to a positive constant (the 2-core survives).
+func TestSupercriticalSurvival(t *testing.T) {
+	_, lambda := Series(0.9, 3, 60)
+	if lambda[60] < 0.1 {
+		t.Errorf("lambda converged to %v at supercritical density", lambda[60])
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	// Known values: c*_3 ≈ 0.8185, c*_4 ≈ 0.7723 (Molloy).
+	if got := Threshold(3); math.Abs(got-0.8185) > 0.005 {
+		t.Errorf("Threshold(3) = %v", got)
+	}
+	if got := Threshold(4); math.Abs(got-0.7723) > 0.005 {
+		t.Errorf("Threshold(4) = %v", got)
+	}
+	if got := Threshold(2); got != 0.5 {
+		t.Errorf("Threshold(2) = %v", got)
+	}
+	// The paper's sparsity requirement sits below the threshold.
+	if 1.0/6 >= Threshold(3) {
+		t.Error("1/(q(q-1)) is not below c*_q for q=3")
+	}
+}
+
+// TestSimulationMatchesRecursion cross-checks the direct simulation
+// against the analytic recursion at a few depths.
+func TestSimulationMatchesRecursion(t *testing.T) {
+	const c, q = 1.0 / 8, 3
+	_, lambda := Series(c, q, 5)
+	for _, depth := range []int{1, 2, 3} {
+		sim := SurvivalSim(c, q, depth, 60000, uint64(depth)*17)
+		if math.Abs(sim-lambda[depth]) > 0.01 {
+			t.Errorf("depth %d: simulated %v, recursion %v", depth, sim, lambda[depth])
+		}
+	}
+}
+
+func TestExpectedSubtreeSizes(t *testing.T) {
+	sizes := ExpectedSubtreeSizes(1.0/12, 3, 10)
+	if sizes[0] != 1 {
+		t.Fatalf("E[Z_0] = %v", sizes[0])
+	}
+	// Growth factor cq(q−1) = 1/2 < 1: sizes converge to 1/(1−1/2) = 2.
+	if math.Abs(sizes[10]-2) > 0.01 {
+		t.Errorf("subcritical total size %v, want ~2", sizes[10])
+	}
+	// Monotone increasing.
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] < sizes[i-1] {
+			t.Fatal("sizes not monotone")
+		}
+	}
+}
+
+func TestSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad params accepted")
+		}
+	}()
+	Series(0, 3, 5)
+}

@@ -1,0 +1,245 @@
+// Package dsbf implements distance-sensitive Bloom filters, the Kirsch &
+// Mitzenmacher construction the paper cites (§1.1, reference [18]) as
+// the origin of using locality-sensitive hashing inside hash-based data
+// structures: a membership filter that answers "is the query within r1
+// of some set element?" positively with high probability, and "is it
+// beyond r2 of every element?" negatively with high probability.
+//
+// The construction: L independent arrays, each indexed by a
+// concatenation of m LSH functions (amplification: a far query collides
+// with a given element in an array with probability p2^m, so even a
+// union bound over n stored elements stays small, while a close pair
+// still collides with probability p1^m). An element sets one bit per
+// array; a query counts how many arrays have its bit set and compares
+// the count against a threshold between L·(n·p2^m + fill) and L·p1^m;
+// a Chernoff bound over the L independent arrays separates the two.
+//
+// In the reconciliation library the filter serves as a cheap pre-check:
+// before running a full robust-reconciliation round, a party can test
+// whether specific points are already (approximately) present on the
+// other side.
+package dsbf
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hashx"
+	"repro/internal/lsh"
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/transport"
+)
+
+// Params configures a filter. Both the builder and the querier must use
+// identical Params (public coins).
+type Params struct {
+	Space metric.Space
+	// LSH supplies the (r1, r2, p1, p2) family the filter distinguishes
+	// with. Derive from lsh.HammingParams / lsh.GridL1Params or supply
+	// a custom family via Family.
+	LSH lsh.Params
+	// Family draws the hash functions; must match LSH's guarantee.
+	Family lsh.Family
+	// L is the number of LSH arrays (default 48).
+	L int
+	// M is the per-array concatenation length (default: chosen at Build
+	// so that n·p2^M ≤ 1/4, the union bound over stored elements).
+	M int
+	// BitsPerArray sizes each Bloom array (default 16× expected
+	// elements, set at Build time if zero — see Build).
+	BitsPerArray int
+	// Seed is the shared randomness.
+	Seed uint64
+}
+
+// Filter is a built distance-sensitive Bloom filter.
+type Filter struct {
+	p         Params
+	funcs     []lsh.Func
+	mixers    []hashx.Mixer
+	bits      []uint64 // L arrays of BitsPerArray bits, packed
+	perArray  int
+	threshold int
+}
+
+// Validate reports an error for unusable parameters.
+func (p *Params) Validate() error {
+	if err := p.Space.Validate(); err != nil {
+		return err
+	}
+	if p.Family == nil {
+		return fmt.Errorf("dsbf: nil LSH family")
+	}
+	return p.LSH.Validate()
+}
+
+func (p *Params) applyDefaults(nElements int) {
+	if p.L == 0 {
+		p.L = 48
+	}
+	if p.M == 0 {
+		n := float64(nElements)
+		if n < 1 {
+			n = 1
+		}
+		p.M = int(math.Ceil(math.Log(4*n) / math.Log(1/p.LSH.P2)))
+		if p.M < 1 {
+			p.M = 1
+		}
+	}
+	if p.BitsPerArray == 0 {
+		p.BitsPerArray = 16 * nElements
+		if p.BitsPerArray < 64 {
+			p.BitsPerArray = 64
+		}
+	}
+}
+
+// Build constructs the filter over the given set.
+func Build(p Params, set metric.PointSet) (*Filter, error) {
+	p.applyDefaults(len(set))
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	src := rng.New(p.Seed)
+	funcs := make([]lsh.Func, p.L*p.M)
+	mixers := make([]hashx.Mixer, p.L)
+	for i := range funcs {
+		funcs[i] = p.Family.Draw(src)
+	}
+	for i := range mixers {
+		mixers[i] = hashx.NewMixer(src)
+	}
+	words := (p.BitsPerArray + 63) / 64
+	f := &Filter{
+		p:        p,
+		funcs:    funcs,
+		mixers:   mixers,
+		bits:     make([]uint64, p.L*words),
+		perArray: words * 64,
+	}
+	// Per-array hit probabilities after amplification: close ≥ p1^m;
+	// far ≤ n·p2^m plus the array's fill ratio (false-positive bits).
+	pClose := math.Pow(p.LSH.P1, float64(p.M))
+	pFar := float64(len(set))*math.Pow(p.LSH.P2, float64(p.M)) +
+		float64(len(set))/float64(p.BitsPerArray)
+	if pFar > 1 {
+		pFar = 1
+	}
+	if set != nil && pClose <= pFar {
+		return nil, fmt.Errorf("dsbf: no separation (close %.3f <= far %.3f); widen the r2/r1 gap or raise M", pClose, pFar)
+	}
+	// Threshold biased toward the far side so the "must answer positive
+	// within r1" guarantee is the stronger one ([18]'s one-sided
+	// emphasis).
+	f.threshold = int(math.Ceil(float64(p.L) * (pFar + (pClose-pFar)/3)))
+	if f.threshold < 1 {
+		f.threshold = 1
+	}
+	for _, pt := range set {
+		f.add(pt)
+	}
+	return f, nil
+}
+
+func (f *Filter) bitPos(i int, pt metric.Point) int {
+	// Combine the array's m LSH values into one bucket index.
+	v := f.mixers[i].Hash(uint64(i))
+	for j := 0; j < f.p.M; j++ {
+		v = f.mixers[i].Hash(v ^ f.funcs[i*f.p.M+j].Hash(pt))
+	}
+	return i*f.perArray + int(v%uint64(f.p.BitsPerArray))
+}
+
+func (f *Filter) add(pt metric.Point) {
+	for i := 0; i < f.p.L; i++ {
+		pos := f.bitPos(i, pt)
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+// Score returns how many of the L arrays contain the query's bit.
+func (f *Filter) Score(pt metric.Point) int {
+	n := 0
+	for i := 0; i < f.p.L; i++ {
+		pos := f.bitPos(i, pt)
+		if f.bits[pos/64]&(1<<(pos%64)) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Contains reports whether the query is likely within r2 of some stored
+// element: true whenever some element is within r1 (whp), false whenever
+// every element is beyond r2 (whp). Between the radii either answer may
+// occur — that is the distance-sensitive gap.
+func (f *Filter) Contains(pt metric.Point) bool {
+	return f.Score(pt) >= f.threshold
+}
+
+// Threshold returns the decision threshold (for diagnostics and tests).
+func (f *Filter) Threshold() int { return f.threshold }
+
+// L returns the number of arrays.
+func (f *Filter) L() int { return f.p.L }
+
+// SizeBits returns the filter's size on the wire.
+func (f *Filter) SizeBits() int64 { return int64(f.p.L) * int64(f.p.BitsPerArray) }
+
+// Encode serializes the filter (the bit arrays; parameters travel out of
+// band like all protocol Params).
+func (f *Filter) Encode(e *transport.Encoder) {
+	e.WriteUvarint(uint64(f.p.L))
+	e.WriteUvarint(uint64(f.p.M))
+	e.WriteUvarint(uint64(f.p.BitsPerArray))
+	e.WriteUvarint(uint64(f.threshold))
+	for _, w := range f.bits {
+		e.WriteUint64(w)
+	}
+}
+
+// Decode reconstructs a filter built with identical Params.
+func Decode(d *transport.Decoder, p Params) (*Filter, error) {
+	l, err := d.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	m, err := d.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	bpa, err := d.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	p.L = int(l)
+	p.M = int(m)
+	p.BitsPerArray = int(bpa)
+	thr, err := d.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if p.L < 1 || p.L > 1<<20 || p.M < 1 || p.M > 1<<16 || p.BitsPerArray < 1 || p.BitsPerArray > 1<<30 {
+		return nil, fmt.Errorf("dsbf: implausible geometry L=%d M=%d bits=%d", p.L, p.M, p.BitsPerArray)
+	}
+	f, err := Build(p, nil)
+	if err != nil {
+		return nil, err
+	}
+	// The builder's threshold reflects its element count; adopt it
+	// rather than recomputing from an empty set.
+	if int(thr) > p.L {
+		return nil, fmt.Errorf("dsbf: threshold %d exceeds L=%d", thr, p.L)
+	}
+	f.threshold = int(thr)
+	for i := range f.bits {
+		w, err := d.ReadUint64()
+		if err != nil {
+			return nil, err
+		}
+		f.bits[i] = w
+	}
+	return f, nil
+}

@@ -1,0 +1,208 @@
+package dsbf
+
+import (
+	"testing"
+
+	"repro/internal/lsh"
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+func hammingParams(d int, r1, r2 float64, seed uint64) Params {
+	space := metric.HammingCube(d)
+	return Params{
+		Space:  space,
+		LSH:    lsh.HammingParams(space, r1, r2),
+		Family: lsh.NewCoordSampling(space, float64(d)),
+		Seed:   seed,
+	}
+}
+
+func TestCloseQueriesAccepted(t *testing.T) {
+	const d = 256
+	p := hammingParams(d, 8, 100, 1)
+	src := rng.New(2)
+	set := workload.RandomSet(p.Space, 30, src)
+	f, err := Build(p, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturbed copies within r1 must be accepted (whp each; demand a
+	// high rate over many queries).
+	accepted := 0
+	const queries = 200
+	for i := 0; i < queries; i++ {
+		base := set[src.Intn(len(set))]
+		q := workload.PerturbHamming(p.Space, base, src.Intn(9), src)
+		if f.Contains(q) {
+			accepted++
+		}
+	}
+	if accepted < queries*95/100 {
+		t.Errorf("close acceptance %d/%d", accepted, queries)
+	}
+	// Exact members must essentially always be accepted.
+	for _, pt := range set {
+		if !f.Contains(pt) {
+			t.Errorf("stored element rejected")
+		}
+	}
+}
+
+func TestFarQueriesRejected(t *testing.T) {
+	const d = 256
+	p := hammingParams(d, 8, 100, 3)
+	src := rng.New(4)
+	set := workload.RandomSet(p.Space, 30, src)
+	f, err := Build(p, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected := 0
+	const queries = 200
+	for i := 0; i < queries; i++ {
+		q, err := workload.FarPoint(p.Space, set, 100, src, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f.Contains(q) {
+			rejected++
+		}
+	}
+	if rejected < queries*95/100 {
+		t.Errorf("far rejection %d/%d", rejected, queries)
+	}
+}
+
+func TestScoreMonotoneInDistance(t *testing.T) {
+	const d = 512
+	p := hammingParams(d, 4, 128, 5)
+	src := rng.New(6)
+	base := workload.RandomPoint(p.Space, src)
+	f, err := Build(p, metric.PointSet{base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average score must fall as query distance grows.
+	meanScore := func(dist int) float64 {
+		var sum float64
+		const reps = 60
+		for i := 0; i < reps; i++ {
+			q := workload.PerturbHamming(p.Space, base, dist, src)
+			sum += float64(f.Score(q))
+		}
+		return sum / reps
+	}
+	s0 := meanScore(0)
+	s32 := meanScore(32)
+	s256 := meanScore(256)
+	if !(s0 > s32 && s32 > s256) {
+		t.Errorf("scores not monotone: %v, %v, %v", s0, s32, s256)
+	}
+	if s0 != float64(f.L()) {
+		t.Errorf("exact member score %v, want %d", s0, f.L())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := hammingParams(128, 4, 48, 7)
+	src := rng.New(8)
+	set := workload.RandomSet(p.Space, 20, src)
+	f, err := Build(p, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := transport.NewEncoder()
+	f.Encode(e)
+	data, bits := e.Pack()
+	if bits < f.SizeBits() {
+		t.Errorf("encoded %d bits < filter size %d", bits, f.SizeBits())
+	}
+	got, err := Decode(transport.NewDecoder(data), hammingParams(128, 4, 48, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Threshold() != f.Threshold() {
+		t.Fatalf("decoded threshold %d, builder %d", got.Threshold(), f.Threshold())
+	}
+	for _, pt := range set {
+		if got.Score(pt) != f.Score(pt) {
+			t.Fatalf("decoded filter disagrees on stored element")
+		}
+		if !got.Contains(pt) {
+			t.Fatalf("decoded filter rejects stored element")
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	e := transport.NewEncoder()
+	e.WriteUvarint(0) // L = 0
+	e.WriteUvarint(64)
+	data, _ := e.Pack()
+	if _, err := Decode(transport.NewDecoder(data), hammingParams(64, 2, 16, 1)); err == nil {
+		t.Error("L=0 accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := hammingParams(64, 4, 16, 1)
+	p.applyDefaults(10)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := p
+	bad.Family = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("nil family accepted")
+	}
+	bad2 := p
+	bad2.LSH.P1, bad2.LSH.P2 = 0.1, 0.9
+	if err := bad2.Validate(); err == nil {
+		t.Error("inverted probabilities accepted")
+	}
+}
+
+func TestGridL1Filter(t *testing.T) {
+	space := metric.Grid(1<<16, 4, metric.L1)
+	w := 2000.0
+	p := Params{
+		Space:  space,
+		LSH:    lsh.GridL1Params(space, 100, 8000, w),
+		Family: lsh.NewGridL1(space, w),
+		Seed:   11,
+	}
+	src := rng.New(12)
+	set := workload.RandomSet(space, 25, src)
+	f, err := Build(p, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := 0; i < 100; i++ {
+		q := workload.PerturbWithin(space, set[src.Intn(len(set))], 100, src)
+		if f.Contains(q) {
+			hits++
+		}
+	}
+	if hits < 90 {
+		t.Errorf("ℓ1 close acceptance %d/100", hits)
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	p := hammingParams(256, 8, 100, 1)
+	src := rng.New(2)
+	set := workload.RandomSet(p.Space, 1000, src)
+	f, err := Build(p, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := set[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Contains(q)
+	}
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dsbf"
+	"repro/internal/emd"
+	"repro/internal/gap"
+	"repro/internal/lsh"
+	"repro/internal/matching"
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "A2",
+		Title: "Ablation: RIBLT hash count q",
+		Claim: "Algorithm 1 requires q ≥ 3; larger q raises per-key cost (q cells touched) while the sparsity constraint c < 1/(q(q−1)) tightens",
+		Run:   runA2,
+	})
+	register(Experiment{
+		ID:    "E13",
+		Title: "Gap communication vs gap ratio r2/r1 (the ρ dependence)",
+		Claim: "Theorem 4.2's (k+ρn) term: communication falls as the gap widens (ρ → 0) and rises toward the naive regime as r2/r1 → 1",
+		Run:   runE13,
+	})
+	register(Experiment{
+		ID:    "E14",
+		Title: "Distance-sensitive Bloom filter operating curve ([18], §1.1 related work)",
+		Claim: "Kirsch–Mitzenmacher: acceptance ≈ 1 within r1, ≈ 0 beyond r2, transition inside the gap",
+		Run:   runE14,
+	})
+}
+
+func runA2(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable("q", "cells/level", "fail rate", "ratio med", "comm bits")
+	trials := cfg.trials(10, 3)
+	space := metric.HammingCube(128)
+	const n, k = 48, 4
+	for _, q := range []int{3, 4, 5} {
+		fails := 0
+		var ratios, bits []float64
+		for trial := 0; trial < trials; trial++ {
+			seed := cfg.Seed + uint64(q*1000+trial)
+			inst := workload.NewEMDInstance(space, n, k, 2, seed)
+			emdK := matching.EMDk(space, inst.SA, inst.SB, k)
+			p := emd.DefaultParams(space, n, k, seed+3)
+			p.D1 = math.Max(1, emdK/4)
+			p.D2 = math.Max(emdK*4, p.D1*2)
+			p.Q = q // cells default to 4q²k, preserving c = 1/q² < 1/(q(q−1))
+			res, err := emd.Reconcile(p, inst.SA, inst.SB)
+			if err != nil || res.Failed {
+				fails++
+				continue
+			}
+			ratios = append(ratios,
+				matching.EMD(space, inst.SA, res.SPrime)/math.Max(emdK, 1))
+			bits = append(bits, float64(res.Stats.TotalBits()))
+		}
+		t.AddRow(q, 4*q*q*k, float64(fails)/float64(trials),
+			stats.Summarize(ratios).Median, stats.Summarize(bits).Mean)
+	}
+	return t, nil
+}
+
+func runE13(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable("r2/r1", "ρ", "recall", "sent", "comm bits", "naive bits")
+	trials := cfg.trials(5, 2)
+	const d, n, k = 2048, 64, 4
+	space := metric.HammingCube(d)
+	r1 := 8.0
+	// r2 caps at d/4: beyond that, random far points (which concentrate
+	// at distance ~d/2 from everything) cannot clear r2 with margin.
+	ratios := []float64{4, 16, 32, 64}
+	if cfg.Quick {
+		ratios = ratios[:2]
+	}
+	for _, ratio := range ratios {
+		r2 := r1 * ratio
+		var recallSum, sent, bits, rho float64
+		done := 0
+		for trial := 0; trial < trials; trial++ {
+			seed := cfg.Seed + uint64(ratio*100) + uint64(trial)
+			inst, err := workload.NewGapInstance(space, n, k, 1, r1, r2, seed)
+			if err != nil {
+				return nil, fmt.Errorf("E13 instance ratio=%v: %w", ratio, err)
+			}
+			p := gap.Params{Space: space, N: n + k, R1: r1, R2: r2, Seed: seed + 7}
+			res, err := gap.Reconcile(p, inst.SA, inst.SB)
+			if err != nil {
+				return nil, fmt.Errorf("E13 run ratio=%v: %w", ratio, err)
+			}
+			_, delivered := gapRecall(space, inst, res.SPrime)
+			recallSum += float64(delivered) / float64(len(inst.Far))
+			sent += float64(len(res.TA))
+			bits += float64(res.Stats.TotalBits())
+			rho = res.Rho
+			done++
+		}
+		nn := float64(done)
+		t.AddRow(ratio, fmt.Sprintf("%.4f", rho), recallSum/nn, sent/nn,
+			bits/nn, gap.NaiveBits(space, n))
+	}
+	return t, nil
+}
+
+func runE14(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable("query distance", "accept rate", "zone")
+	trials := cfg.trials(300, 60)
+	const d = 512
+	space := metric.HammingCube(d)
+	r1, r2 := 8.0, 128.0
+	p := dsbf.Params{
+		Space:  space,
+		LSH:    lsh.HammingParams(space, r1, r2),
+		Family: lsh.NewCoordSampling(space, float64(d)),
+		Seed:   cfg.Seed + 14,
+	}
+	src := rng.New(cfg.Seed + 15)
+	set := workload.RandomSet(space, 40, src)
+	f, err := dsbf.Build(p, set)
+	if err != nil {
+		return nil, err
+	}
+	for _, dist := range []int{0, 4, 8, 32, 64, 128, 192, 256} {
+		hits := 0
+		for i := 0; i < trials; i++ {
+			base := set[src.Intn(len(set))]
+			q := workload.PerturbHamming(space, base, dist, src)
+			// Perturbation can land the query near a different stored
+			// element; measure against the realized distance zone.
+			if f.Contains(q) {
+				hits++
+			}
+		}
+		zone := "gap"
+		if float64(dist) <= r1 {
+			zone = "close(≤r1)"
+		} else if float64(dist) >= r2 {
+			zone = "far(≥r2)*"
+		}
+		t.AddRow(dist, float64(hits)/float64(trials), zone)
+	}
+	return t, nil
+}

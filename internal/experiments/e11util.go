@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"repro/internal/hashx"
+	"repro/internal/iblt"
+	"repro/internal/metric"
+	"repro/internal/transport"
+)
+
+// Helpers for the E11 lower-bound experiment's one-round straw man
+// protocols. The shared key mixer plays the role of public coins.
+
+// packPoint serializes a binary point to bytes (1 bit per coordinate).
+func packPoint(p metric.Point) []byte {
+	e := transport.NewEncoder()
+	for _, c := range p {
+		e.WriteBits(uint64(c), 1)
+	}
+	data, _ := e.Pack()
+	return data
+}
+
+// unpackPoint reverses packPoint; returns nil on short payloads.
+func unpackPoint(payload []byte, d int) metric.Point {
+	dec := transport.NewDecoder(payload)
+	p := make(metric.Point, d)
+	for i := range p {
+		v, err := dec.ReadBits(1)
+		if err != nil {
+			return nil
+		}
+		p[i] = int32(v)
+	}
+	return p
+}
+
+// ibltOfPoints is the "exact one-round reconciliation" straw man: Alice
+// packs her points into a KV IBLT with the given (tiny) cell budget and
+// sends it through ch; the returned table is Bob's received copy.
+func ibltOfPoints(sa metric.PointSet, cells int, mix hashx.Mixer, seed uint64, ch *transport.Channel) (*iblt.KVTable, error) {
+	valBytes := (len(sa[0]) + 7) / 8
+	tb := iblt.NewKV(cells, 3, valBytes, seed)
+	for _, p := range sa {
+		tb.Insert(mix.HashInts(p), packPoint(p))
+	}
+	e := transport.NewEncoder()
+	tb.Encode(e)
+	ch.Send(transport.AliceToBob, e)
+	recv, err := ch.Recv(transport.AliceToBob)
+	if err != nil {
+		return nil, err
+	}
+	return iblt.DecodeKVFrom(recv, seed)
+}
+
+// tryRecoverIndexBit plays Bob: delete his points, attempt to decode, and
+// if a recovered Alice point matches the target codeword prefix, compare
+// its trailing bit. On the Appendix F instance the exact-set difference
+// is ~2n points, so an O(n)-bit table essentially never decodes.
+func tryRecoverIndexBit(tb *iblt.KVTable, sb metric.PointSet, mix hashx.Mixer, codeword metric.Point, want int32) bool {
+	for _, p := range sb {
+		tb.Delete(mix.HashInts(p), packPoint(p))
+	}
+	added, _, err := tb.Decode()
+	if err != nil {
+		return false // peeling stalled: the designed failure mode
+	}
+	d := len(codeword) + 1
+	for _, kv := range added {
+		pt := unpackPoint(kv.Value, d)
+		if pt == nil {
+			continue
+		}
+		match := true
+		for j := 0; j < d-1; j++ {
+			if pt[j] != codeword[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return pt[d-1] == want
+		}
+	}
+	return false
+}

@@ -1,0 +1,88 @@
+// Package experiments regenerates every evaluation artifact of the
+// reproduction. The paper is a theory paper with no measurement tables of
+// its own, so each experiment here operationalizes one theorem, lemma, or
+// figure: it runs the implemented protocols/structures on planted
+// workloads and prints rows whose *shape* (who wins, growth rates,
+// thresholds, success probabilities) must match the claimed bound.
+// EXPERIMENTS.md records paper-claim vs measured for each.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Config tunes how heavy an experiment run is.
+type Config struct {
+	// Seed drives all randomness; a fixed seed reproduces tables
+	// exactly.
+	Seed uint64
+	// Quick cuts trial counts and sweep sizes (used by `go test` and
+	// the benchmark harness; the full tables use Quick=false).
+	Quick bool
+}
+
+// trials picks a trial count by mode.
+func (c Config) trials(full, quick int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// Experiment is one reproducible evaluation artifact.
+type Experiment struct {
+	// ID matches the EXPERIMENTS.md index (E1…E12, A1…).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Claim cites the paper artifact being checked.
+	Claim string
+	// Run produces the table. It must be deterministic given cfg.Seed.
+	Run func(cfg Config) (*stats.Table, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment, ordered by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool {
+		// Numeric-aware ordering: E2 < E10.
+		return lessID(out[i].ID, out[j].ID)
+	})
+	return out
+}
+
+func lessID(a, b string) bool {
+	pa, na := splitID(a)
+	pb, nb := splitID(b)
+	if pa != pb {
+		return pa < pb
+	}
+	return na < nb
+}
+
+func splitID(id string) (string, int) {
+	i := 0
+	for i < len(id) && (id[i] < '0' || id[i] > '9') {
+		i++
+	}
+	n := 0
+	fmt.Sscanf(id[i:], "%d", &n)
+	return id[:i], n
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

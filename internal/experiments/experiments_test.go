@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
+		"E10", "E11", "E12", "E13", "E14", "A1", "A2"}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(All()) < len(want) {
+		t.Errorf("registry has %d experiments, want >= %d", len(All()), len(want))
+	}
+}
+
+func TestAllOrderedByID(t *testing.T) {
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if !lessID(all[i-1].ID, all[i].ID) {
+			t.Errorf("ordering: %s before %s", all[i-1].ID, all[i].ID)
+		}
+	}
+}
+
+func TestLessID(t *testing.T) {
+	if !lessID("E2", "E10") {
+		t.Error("E2 should sort before E10")
+	}
+	if lessID("E10", "E2") {
+		t.Error("E10 should not sort before E2")
+	}
+	if !lessID("A1", "E1") {
+		t.Error("A1 should sort before E1")
+	}
+}
+
+// TestAllExperimentsRunQuick executes every experiment in Quick mode and
+// requires a nonempty table. This is the integration test of the entire
+// stack: every protocol, substrate, and workload generator runs here.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep still takes seconds")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(Config{Seed: 12345, Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if tbl.Rows() == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			if e.Title == "" || e.Claim == "" {
+				t.Errorf("%s missing metadata", e.ID)
+			}
+		})
+	}
+}
+
+// TestE1ThresholdShape asserts the Theorem 2.6 shape on the produced
+// table: success ~1 at low load, ~0 well above the threshold.
+func TestE1ThresholdShape(t *testing.T) {
+	e, _ := ByID("E1")
+	tbl, err := e.Run(Config{Seed: 7, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Parse: columns q, load, m, success, trials.
+	var low, high float64
+	lowSet, highSet := false, false
+	for _, ln := range lines[2:] {
+		f := strings.Fields(ln)
+		if len(f) < 5 {
+			continue
+		}
+		load, err1 := strconv.ParseFloat(f[1], 64)
+		succ, err2 := strconv.ParseFloat(f[3], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if load == 0.4 && !lowSet {
+			low, lowSet = succ, true
+		}
+		if load == 1.0 && !highSet {
+			high, highSet = succ, true
+		}
+	}
+	if !lowSet || !highSet {
+		t.Fatalf("could not locate threshold rows in:\n%s", out)
+	}
+	if low < 0.95 {
+		t.Errorf("success at load 0.4 = %v, want ~1", low)
+	}
+	if high > 0.2 {
+		t.Errorf("success at load 1.0 = %v, want ~0", high)
+	}
+}
+
+// TestE11LowerBoundShape asserts the Theorem 4.6 contrast: the 4-round
+// protocol succeeds, the one-round straw men fail.
+func TestE11LowerBoundShape(t *testing.T) {
+	e, _ := ByID("E11")
+	tbl, err := e.Run(Config{Seed: 11, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	rates := map[string]float64{}
+	for _, ln := range lines[2:] {
+		f := strings.Fields(ln)
+		if len(f) < 5 {
+			continue
+		}
+		r, err := strconv.ParseFloat(f[3], 64)
+		if err != nil {
+			continue
+		}
+		rates[f[0]] = r
+	}
+	if rates["gap(4-round)"] < 0.8 {
+		t.Errorf("gap protocol success = %v, want ~1\n%s", rates["gap(4-round)"], out)
+	}
+	if rates["truncated-naive(1-round)"] > 0.5 {
+		t.Errorf("truncated straw man success = %v, want < 1/2", rates["truncated-naive(1-round)"])
+	}
+	if rates["exact-IBLT(1-round)"] > 0.34 {
+		t.Errorf("IBLT straw man success = %v, want ~0", rates["exact-IBLT(1-round)"])
+	}
+}

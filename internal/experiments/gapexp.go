@@ -1,0 +1,373 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/gap"
+	"repro/internal/hashx"
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/setsets"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E8",
+		Title: "Gap Guarantee on Hamming space (Theorem 4.2 / Corollary 4.3)",
+		Claim: "All far points recovered in 4 rounds; communication (k+ρn)·polylog(n) + k·log|U| beats naive n·log|U| for large d",
+		Run:   runE8,
+	})
+	register(Experiment{
+		ID:    "E9",
+		Title: "Gap Guarantee on ([∆]^d, ℓ1), r2/r1 constant (Corollary 4.4)",
+		Claim: "With r2/r1 = O(1) the grid LSH still yields full far-point recall and comm ≪ n·d·log ∆ for large d",
+		Run:   runE9,
+	})
+	register(Experiment{
+		ID:    "E10",
+		Title: "One-sided grid variant vs general protocol in low dimension (Theorem 4.5)",
+		Claim: "For small d with r2 > r1·d, the p2=0 family shortens keys by ~log(r2/r1) and cuts communication",
+		Run:   runE10,
+	})
+	register(Experiment{
+		ID:    "E11",
+		Title: "One-round lower bound instance (Theorem 4.6, Appendix F)",
+		Claim: "On index-style instances, one-round O(n)-bit protocols fail with probability ≥ 1/3 while the 4-round gap protocol recovers the planted bit",
+		Run:   runE11,
+	})
+	register(Experiment{
+		ID:    "E12",
+		Title: "Sets-of-sets substrate communication scaling (Theorem E.1)",
+		Claim: "Communication grows with the child-level difference z, not with the multiset size",
+		Run:   runE12,
+	})
+}
+
+// gapRecall checks Definition 4.1: every point of SA within r2 of S'B,
+// and counts planted far points literally delivered.
+func gapRecall(space metric.Space, inst workload.GapInstance, sPrime metric.PointSet) (covered bool, delivered int) {
+	covered = true
+	for _, a := range inst.SA {
+		if d, _ := sPrime.MinDistanceTo(space, a); d > inst.R2 {
+			covered = false
+		}
+	}
+	for _, f := range inst.Far {
+		for _, sp := range sPrime {
+			if sp.Equal(f) {
+				delivered++
+				break
+			}
+		}
+	}
+	return covered, delivered
+}
+
+func runE8(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable("d", "n", "k", "recall", "covered", "sent", "rounds",
+		"comm bits", "naive bits", "ρ")
+	trials := cfg.trials(5, 2)
+	type row struct{ d, n, k int }
+	rows := []row{{512, 64, 4}, {1024, 64, 4}, {2048, 64, 4}, {4096, 64, 4}, {8192, 64, 4}, {1024, 128, 4}, {1024, 64, 8}}
+	if cfg.Quick {
+		rows = rows[:2]
+	}
+	for _, r := range rows {
+		space := metric.HammingCube(r.d)
+		r1, r2 := 8.0, float64(r.d)/4
+		var recallSum, sent, bits, rounds, rho float64
+		coveredAll := true
+		done := 0
+		for trial := 0; trial < trials; trial++ {
+			seed := cfg.Seed + uint64(r.d*10+r.n+trial)
+			inst, err := workload.NewGapInstance(space, r.n, r.k, 1, r1, r2, seed)
+			if err != nil {
+				return nil, fmt.Errorf("E8 instance d=%d: %w", r.d, err)
+			}
+			p := gap.Params{Space: space, N: r.n + r.k, R1: r1, R2: r2, Seed: seed + 5}
+			res, err := gap.Reconcile(p, inst.SA, inst.SB)
+			if err != nil {
+				return nil, fmt.Errorf("E8 run d=%d: %w", r.d, err)
+			}
+			covered, delivered := gapRecall(space, inst, res.SPrime)
+			coveredAll = coveredAll && covered
+			recallSum += float64(delivered) / float64(len(inst.Far))
+			sent += float64(len(res.TA))
+			bits += float64(res.Stats.TotalBits())
+			rounds += float64(res.Stats.Rounds)
+			rho = res.Rho
+			done++
+		}
+		n := float64(done)
+		t.AddRow(r.d, r.n, r.k, recallSum/n, coveredAll, sent/n, rounds/n,
+			bits/n, gap.NaiveBits(space, r.n), fmt.Sprintf("%.4f", rho))
+	}
+	return t, nil
+}
+
+func runE9(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable("d", "n", "k", "r2/r1", "recall", "covered", "sent",
+		"comm bits", "naive bits")
+	trials := cfg.trials(5, 2)
+	type row struct {
+		d, n, k int
+		ratio   float64
+	}
+	rows := []row{{4, 64, 4, 200}, {8, 64, 4, 200}, {16, 64, 4, 200}, {8, 64, 4, 2}}
+	if cfg.Quick {
+		rows = rows[:2]
+	}
+	for _, r := range rows {
+		space := metric.Grid(1<<20, r.d, metric.L1)
+		r1 := 100.0
+		r2 := r1 * r.ratio
+		var recallSum, sent, bits float64
+		coveredAll := true
+		done := 0
+		for trial := 0; trial < trials; trial++ {
+			seed := cfg.Seed + uint64(r.d*100+trial) + uint64(r.ratio)
+			inst, err := workload.NewGapInstance(space, r.n, r.k, 1, r1, r2, seed)
+			if err != nil {
+				return nil, fmt.Errorf("E9 instance d=%d: %w", r.d, err)
+			}
+			p := gap.Params{Space: space, N: r.n + r.k, R1: r1, R2: r2, Seed: seed + 9}
+			res, err := gap.Reconcile(p, inst.SA, inst.SB)
+			if err != nil {
+				return nil, fmt.Errorf("E9 run d=%d: %w", r.d, err)
+			}
+			covered, delivered := gapRecall(space, inst, res.SPrime)
+			coveredAll = coveredAll && covered
+			recallSum += float64(delivered) / float64(len(inst.Far))
+			sent += float64(len(res.TA))
+			bits += float64(res.Stats.TotalBits())
+			done++
+		}
+		n := float64(done)
+		t.AddRow(r.d, r.n, r.k, r.ratio, recallSum/n, coveredAll, sent/n,
+			bits/n, gap.NaiveBits(space, r.n))
+	}
+	return t, nil
+}
+
+func runE10(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable("d", "protocol", "h", "recall", "covered", "sent", "comm bits")
+	trials := cfg.trials(5, 2)
+	dims := []int{2, 3, 4}
+	if cfg.Quick {
+		dims = dims[:2]
+	}
+	const n, k = 48, 3
+	for _, d := range dims {
+		space := metric.Grid(1<<20, d, metric.L1)
+		r1 := 50.0
+		r2 := 50000.0 // r2 > r1·d comfortably, as Theorem 4.5 needs
+		for _, useOneSided := range []bool{false, true} {
+			var recallSum, sent, bits, hSum float64
+			coveredAll := true
+			done := 0
+			for trial := 0; trial < trials; trial++ {
+				seed := cfg.Seed + uint64(d*1000+trial)
+				inst, err := workload.NewGapInstance(space, n, k, 1, r1, r2, seed)
+				if err != nil {
+					return nil, fmt.Errorf("E10 instance d=%d: %w", d, err)
+				}
+				p := gap.Params{Space: space, N: n + k, R1: r1, R2: r2, Seed: seed + 3}
+				var res gap.Result
+				if useOneSided {
+					res, err = gap.ReconcileOneSided(p, 1, inst.SA, inst.SB)
+				} else {
+					res, err = gap.Reconcile(p, inst.SA, inst.SB)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("E10 run d=%d: %w", d, err)
+				}
+				covered, delivered := gapRecall(space, inst, res.SPrime)
+				coveredAll = coveredAll && covered
+				recallSum += float64(delivered) / float64(len(inst.Far))
+				sent += float64(len(res.TA))
+				bits += float64(res.Stats.TotalBits())
+				hSum += float64(res.H)
+				done++
+			}
+			name := "general(Thm4.2)"
+			if useOneSided {
+				name = "one-sided(Thm4.5)"
+			}
+			nn := float64(done)
+			t.AddRow(d, name, hSum/nn, recallSum/nn, coveredAll, sent/nn, bits/nn)
+		}
+	}
+	return t, nil
+}
+
+// runE11 builds the Appendix F index instance and compares the 4-round
+// gap protocol against two natural one-round protocols constrained to
+// O(n) bits.
+func runE11(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable("protocol", "rounds", "budget bits", "success rate", "trials")
+	trials := cfg.trials(24, 6)
+	// d = Θ(log n + r2): n+1 codewords of dimension d with pairwise
+	// distance ≥ r2.
+	const nIdx = 48 // index length (number of Alice points)
+	const d = 256
+	const r2 = 64
+	src := rng.New(cfg.Seed + 4242)
+	words, err := workload.SpreadCodewords(d-1, nIdx+1, r2, cfg.Seed+99)
+	if err != nil {
+		return nil, err
+	}
+	space := metric.HammingCube(d)
+
+	mkInstance := func(trial int) (sa, sb metric.PointSet, i int, xi int32) {
+		x := make([]int32, nIdx)
+		for j := range x {
+			x[j] = int32(src.Intn(2))
+		}
+		i = src.Intn(nIdx)
+		sa = make(metric.PointSet, nIdx)
+		for j := 0; j < nIdx; j++ {
+			sa[j] = append(words[j].Clone(), x[j])
+		}
+		sb = make(metric.PointSet, 0, nIdx)
+		for j := 0; j < nIdx+1; j++ {
+			if j == i {
+				continue
+			}
+			sb = append(sb, append(words[j].Clone(), 0))
+		}
+		return sa, sb, i, x[i]
+	}
+
+	// Protocol 1: the paper's 4-round gap protocol (r1 = 1, k = 1).
+	gapOK := 0
+	var gapBits float64
+	var gapRounds float64
+	for trial := 0; trial < trials; trial++ {
+		sa, sb, i, xi := mkInstance(trial)
+		p := gap.Params{Space: space, N: nIdx + 1, R1: 1, R2: r2 - 1,
+			Seed: cfg.Seed + uint64(trial)*7}
+		res, err := gap.Reconcile(p, sa, sb)
+		if err != nil {
+			return nil, err
+		}
+		// Bob recovers x_i: find the transferred point matching
+		// codeword i and read its final bit.
+		for _, pt := range res.TA {
+			prefixMatch := true
+			for j := 0; j < d-1; j++ {
+				if pt[j] != words[i][j] {
+					prefixMatch = false
+					break
+				}
+			}
+			if prefixMatch {
+				if pt[d-1] == xi {
+					gapOK++
+				}
+				break
+			}
+		}
+		gapBits += float64(res.Stats.TotalBits())
+		gapRounds += float64(res.Stats.Rounds)
+	}
+	t.AddRow("gap(4-round)", gapRounds/float64(trials),
+		gapBits/float64(trials), float64(gapOK)/float64(trials), trials)
+
+	// Protocol 2: one-round truncated transmission with budget 4n bits:
+	// Alice sends as many of her points as fit; Bob succeeds only if
+	// point i was among them.
+	budget := int64(4 * nIdx)
+	ptsFit := int(budget / int64(space.BitsPerPoint()))
+	truncOK := 0
+	for trial := 0; trial < trials; trial++ {
+		_, _, i, _ := mkInstance(trial)
+		perm := src.Perm(nIdx)
+		for _, j := range perm[:min(ptsFit, nIdx)] {
+			if j == i {
+				truncOK++
+				break
+			}
+		}
+	}
+	t.AddRow("truncated-naive(1-round)", 1, budget,
+		float64(truncOK)/float64(trials), trials)
+
+	// Protocol 3: one-round exact-set IBLT with the same budget: the
+	// instance's symmetric difference is ~2n points, far beyond what an
+	// O(n)-bit table can peel, so decoding (and thus recovery) fails.
+	ibltOK := 0
+	for trial := 0; trial < trials; trial++ {
+		sa, sb, i, xi := mkInstance(trial)
+		// Budget 4n bits → about 4n/(2·64+8) cells; at least 2.
+		cells := int(budget / 140)
+		if cells < 2 {
+			cells = 2
+		}
+		var ch transport.Channel
+		seed := cfg.Seed + uint64(trial)
+		mix := hashx.MixerFromSeed(seed ^ 0xfeed)
+		tb, err := ibltOfPoints(sa, cells, mix, seed, &ch)
+		if err != nil {
+			return nil, err
+		}
+		if tryRecoverIndexBit(tb, sb, mix, words[i], xi) {
+			ibltOK++
+		}
+	}
+	t.AddRow("exact-IBLT(1-round)", 1, budget,
+		float64(ibltOK)/float64(trials), trials)
+	return t, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func runE12(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable("shared children", "differing z", "comm bits", "bits/diff")
+	trials := cfg.trials(5, 2)
+	const size = 32
+	for _, shared := range []int{200, 2000} {
+		for _, z := range []int{4, 16, 64, 256} {
+			if cfg.Quick && z > 64 {
+				continue
+			}
+			var bits float64
+			for trial := 0; trial < trials; trial++ {
+				src := rng.New(cfg.Seed + uint64(shared*10+z+trial))
+				var alice, bob []setsets.Child
+				for i := 0; i < shared; i++ {
+					p := make([]byte, size)
+					for b := range p {
+						p[b] = byte(src.Uint64())
+					}
+					alice = append(alice, setsets.Child{Payload: p})
+					bob = append(bob, setsets.Child{Payload: append([]byte(nil), p...)})
+				}
+				for i := 0; i < z; i++ {
+					p := make([]byte, size)
+					for b := range p {
+						p[b] = byte(src.Uint64())
+					}
+					bob = append(bob, setsets.Child{Payload: p})
+				}
+				_, st, err := setsets.Reconcile(setsets.Params{
+					PayloadBytes: size, Seed: cfg.Seed + uint64(z),
+				}, alice, bob)
+				if err != nil {
+					return nil, err
+				}
+				bits += float64(st.TotalBits())
+			}
+			mean := bits / float64(trials)
+			t.AddRow(shared, z, mean, mean/float64(z))
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/branching"
+	"repro/internal/hypergraph"
+	"repro/internal/iblt"
+	"repro/internal/lsh"
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E1",
+		Title: "IBLT decode success vs load (peeling threshold)",
+		Claim: "Theorem 2.6: an IBLT with m cells decodes cm keys whp for c below a constant threshold (c*_3 ≈ 0.818, c*_4 ≈ 0.772)",
+		Run:   runE1,
+	})
+	register(Experiment{
+		ID:    "E2",
+		Title: "MLSH collision probability sandwich",
+		Claim: "Definition 2.2 via Lemmas 2.3/2.4/2.5: p^f ≤ Pr[h(x)=h(y)] ≤ p^(αf) for f ≤ r",
+		Run:   runE2,
+	})
+	register(Experiment{
+		ID:    "E3",
+		Title: "RIBLT error propagation Σ C_v vs density and size (Figure 1 / Lemma 3.10)",
+		Claim: "Lemma 3.10: for c < 1/(q(q−1)) the mean error sum is O(1) independent of m; it grows sharply above the threshold",
+		Run:   runE3,
+	})
+	register(Experiment{
+		ID:    "E4",
+		Title: "Branching-process survival λ_t (Appendix D)",
+		Claim: "[15]/App B: below the peeling threshold λ_t decays doubly exponentially; simulation matches the recursion",
+		Run:   runE4,
+	})
+}
+
+func runE1(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable("q", "load c", "m", "decode success", "trials")
+	trials := cfg.trials(200, 30)
+	src := rng.New(cfg.Seed + 1)
+	for _, q := range []int{3, 4} {
+		for _, load := range []float64{0.4, 0.6, 0.7, 0.8, 0.85, 0.9, 1.0} {
+			const m = 1200
+			ok := 0
+			for trial := 0; trial < trials; trial++ {
+				tb := iblt.New(m, q, src.Uint64())
+				n := int(load * float64(m))
+				for i := 0; i < n; i++ {
+					tb.Insert(src.Uint64())
+				}
+				if _, _, err := tb.Decode(); err == nil {
+					ok++
+				}
+			}
+			t.AddRow(q, load, m, float64(ok)/float64(trials), trials)
+		}
+	}
+	return t, nil
+}
+
+func runE2(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable("family", "distance f", "lower p^f", "measured", "upper p^(αf)", "within")
+	trials := cfg.trials(60000, 8000)
+
+	type probe struct {
+		name   string
+		family lsh.Family
+		m      lsh.MLSH
+		pair   func(dist float64) (metric.Point, metric.Point)
+		dists  []float64
+	}
+	hamming := metric.HammingCube(64)
+	hm := lsh.HammingMLSH(hamming, 128)
+	l1 := metric.Grid(10000, 4, metric.L1)
+	l1m := lsh.L1MLSH(l1, 200)
+	l2 := metric.Grid(10000, 3, metric.L2)
+	l2m := lsh.L2MLSH(l2, 300)
+	probes := []probe{
+		{
+			name: "hamming(Lem2.3)", m: hm,
+			pair: func(dist float64) (metric.Point, metric.Point) {
+				a := make(metric.Point, 64)
+				b := make(metric.Point, 64)
+				for i := 0; i < int(dist); i++ {
+					b[i] = 1
+				}
+				return a, b
+			},
+			dists: []float64{1, 4, 16, 48},
+		},
+		{
+			name: "l1-grid(Lem2.4)", m: l1m,
+			pair: func(dist float64) (metric.Point, metric.Point) {
+				a := metric.Point{100, 100, 100, 100}
+				b := a.Clone()
+				b[0] += int32(dist)
+				return a, b
+			},
+			dists: []float64{1, 10, 50, 120},
+		},
+		{
+			name: "l2-pstable(Lem2.5)", m: l2m,
+			pair: func(dist float64) (metric.Point, metric.Point) {
+				a := metric.Point{500, 500, 500}
+				b := a.Clone()
+				b[0] += int32(dist)
+				return a, b
+			},
+			dists: []float64{10, 60, 150, 290},
+		},
+	}
+	for pi, p := range probes {
+		for _, dist := range p.dists {
+			if dist > p.m.R {
+				continue
+			}
+			a, b := p.pair(dist)
+			got := lsh.EstimateCollision(p.m.Family, a, b, trials, cfg.Seed+uint64(pi)*31+uint64(dist))
+			lower := math.Pow(p.m.P, dist)
+			upper := math.Pow(p.m.P, p.m.Alpha*dist)
+			slack := 3 / math.Sqrt(float64(trials))
+			within := got >= lower-slack && got <= upper+slack
+			t.AddRow(p.name, dist, lower, got, upper, within)
+		}
+	}
+	return t, nil
+}
+
+func runE3(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable("q", "c", "m", "mean ΣC_v (BFS)", "mean ΣC_v (LIFO)", "decode rate", "mean rounds")
+	trials := cfg.trials(400, 40)
+	const q = 3
+	for _, c := range []float64{1.0 / 24, 1.0 / 12, 1.0 / 6, 1.0 / 3, 0.6, 0.75} {
+		for _, m := range []int{300, 1000, 3000} {
+			if cfg.Quick && m > 1000 {
+				continue
+			}
+			var sumBFS, sumLIFO, rounds float64
+			ok := 0
+			src := rng.New(cfg.Seed + uint64(m) + uint64(c*1e6))
+			for trial := 0; trial < trials; trial++ {
+				g := hypergraph.Random(m, int(c*float64(m)), q, src)
+				stB := g.PeelWithError(src, hypergraph.BFS)
+				stL := g.PeelWithError(src, hypergraph.LIFO)
+				sumBFS += stB.ErrorSum
+				sumLIFO += stL.ErrorSum
+				rounds += float64(stB.Rounds)
+				if stB.Complete {
+					ok++
+				}
+			}
+			n := float64(trials)
+			t.AddRow(q, fmt.Sprintf("%.4f", c), m, sumBFS/n, sumLIFO/n,
+				float64(ok)/n, rounds/n)
+		}
+	}
+	return t, nil
+}
+
+func runE4(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable("c", "t", "λ_t (recursion)", "λ_t (simulated)", "log10(1/λ)")
+	const q = 3
+	simTrials := cfg.trials(40000, 5000)
+	for _, c := range []float64{1.0 / 12, 1.0 / 6, 0.9} {
+		_, lambda := branching.Series(c, q, 8)
+		for tt := 1; tt <= 8; tt++ {
+			sim := math.NaN()
+			if tt <= 4 { // deeper simulation is exponential in depth
+				sim = branching.SurvivalSim(c, q, tt, simTrials, cfg.Seed+uint64(tt))
+			}
+			lg := math.Inf(1)
+			if lambda[tt] > 0 {
+				lg = math.Log10(1 / lambda[tt])
+			}
+			simStr := "-"
+			if !math.IsNaN(sim) {
+				simStr = fmt.Sprintf("%.4f", sim)
+			}
+			t.AddRow(fmt.Sprintf("%.4f", c), tt, lambda[tt], simStr, lg)
+		}
+	}
+	return t, nil
+}

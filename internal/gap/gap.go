@@ -1,0 +1,521 @@
+// Package gap implements the paper's Gap Guarantee protocol (§4): after
+// reconciliation Bob holds S′B = SB ∪ TA where TA ⊆ SA contains every
+// point of Alice's that is at least r2 from all of Bob's points, so every
+// point in SA ∪ SB has a neighbor within r2 in S′B (Definition 4.1).
+//
+// The protocol (§4.1): each party derives for each of its elements a key —
+// a vector of h = Θ(log n) entries, each entry a pairwise-independent hash
+// of a batch of m = log_{p2}(1/2) LSH values. Close elements (≤ r1)
+// produce keys agreeing in almost all entries; far elements (≥ r2) agree
+// in about half whp. The parties reconcile the multisets of keys through
+// the sets-of-sets substrate ([22], package setsets); Alice then sends
+// every element whose key matches no key of Bob's in at least
+// h·(1/2 + ε/6) entries, where ε = 1 − ρ.
+//
+// Theorem 4.5's low-dimension variant uses the one-sided grid family
+// (p2 = 0): keys shrink to h = Θ(log n / log(1/ρ̂)) entries and a single
+// matching entry certifies closeness.
+package gap
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hashx"
+	"repro/internal/lsh"
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/setsets"
+	"repro/internal/transport"
+)
+
+// Params configures a Gap Guarantee run.
+type Params struct {
+	Space metric.Space
+	// N is an upper bound on |SA| and |SB|.
+	N int
+	// R1 and R2 are the gap radii: points within R1 of the other party
+	// are "close", points beyond R2 "far" (R1 < R2).
+	R1, R2 float64
+	// HFactor scales the key length h = HFactor·ceil(log2(N+2));
+	// default 6. The constant inside Θ(log n) — larger sharpens the
+	// Chernoff separation at linear cost in communication.
+	HFactor int
+	// EntryBits is the width of one key entry (Θ(log n) in the paper;
+	// default 2·ceil(log2(N+2))+6, capped at 40).
+	EntryBits uint
+	// Seed is the shared public-coin seed.
+	Seed uint64
+	// SetSets forwards tuning to the substrate (zero values = defaults).
+	SetSets setsets.Params
+}
+
+func (p *Params) applyDefaults() {
+	if p.HFactor == 0 {
+		p.HFactor = 6
+	}
+	if p.EntryBits == 0 {
+		b := 2*uint(math.Ceil(math.Log2(float64(p.N)+2))) + 6
+		if b > 40 {
+			b = 40
+		}
+		p.EntryBits = b
+	}
+}
+
+// Validate reports an error for unusable parameters.
+func (p *Params) Validate() error {
+	if err := p.Space.Validate(); err != nil {
+		return err
+	}
+	if p.N < 1 {
+		return fmt.Errorf("gap: N = %d", p.N)
+	}
+	if !(0 < p.R1 && p.R1 < p.R2) {
+		return fmt.Errorf("gap: need 0 < r1 < r2, got r1=%v r2=%v", p.R1, p.R2)
+	}
+	return nil
+}
+
+// derive picks the LSH family and its (r1, r2, p1, p2) guarantee for the
+// space, following Corollary 4.3 (Hamming, bit/coordinate sampling) and
+// Corollary 4.4 (ℓ1, randomly shifted grid with p2 pinned near 1/2).
+func (p *Params) derive() (lsh.Family, lsh.Params, error) {
+	switch p.Space.Norm {
+	case metric.Hamming:
+		if p.R2 > float64(p.Space.Dim)/2 {
+			return nil, lsh.Params{}, fmt.Errorf(
+				"gap: coordinate sampling needs r2 <= d/2 for p2 >= 1/2 (r2=%v, d=%d)",
+				p.R2, p.Space.Dim)
+		}
+		prm := lsh.HammingParams(p.Space, p.R1, p.R2)
+		return lsh.NewCoordSampling(p.Space, float64(p.Space.Dim)), prm, nil
+	case metric.L1:
+		// Grid width w = r2/ln 2 puts p2 = e^(−r2/w) at exactly 1/2.
+		w := p.R2 / math.Ln2
+		prm := lsh.GridL1Params(p.Space, p.R1, p.R2, w)
+		return lsh.NewGridL1(p.Space, w), prm, nil
+	default:
+		return nil, lsh.Params{}, fmt.Errorf(
+			"gap: general protocol supports Hamming and ℓ1 (got %v); use ReconcileOneSided for ℓ2",
+			p.Space.Norm)
+	}
+}
+
+// Result reports a protocol run.
+type Result struct {
+	// SPrime is Bob's final set SB ∪ TA.
+	SPrime metric.PointSet
+	// TA holds the elements Alice transmitted.
+	TA metric.PointSet
+	// Stats is the exact communication tally; Rounds counts messages.
+	Stats transport.Stats
+	// FarKeys is the number of Alice's distinct keys classified far.
+	FarKeys int
+	// Threshold and H record the derived match threshold and key length.
+	Threshold, H int
+	// Rho is the LSH quality parameter actually achieved.
+	Rho float64
+}
+
+// keyOf builds one element's key: h entries, each a pairwise hash of m
+// LSH values.
+type keyer struct {
+	h, m    int
+	funcs   []lsh.Func // h·m functions, batch-major
+	entryKH []hashx.KeyHasher
+	bits    uint
+}
+
+func newKeyer(family lsh.Family, h, m int, bits uint, src *rng.Source) *keyer {
+	funcs := make([]lsh.Func, h*m)
+	for i := range funcs {
+		funcs[i] = family.Draw(src)
+	}
+	khs := make([]hashx.KeyHasher, h)
+	for j := range khs {
+		khs[j] = hashx.NewKeyHasher(src, bits)
+	}
+	return &keyer{h: h, m: m, funcs: funcs, entryKH: khs, bits: bits}
+}
+
+func (k *keyer) key(p metric.Point) []uint64 {
+	out := make([]uint64, k.h)
+	batch := make([]uint64, k.m)
+	for j := 0; j < k.h; j++ {
+		for i := 0; i < k.m; i++ {
+			batch[i] = k.funcs[j*k.m+i].Hash(p)
+		}
+		out[j] = k.entryKH[j].Hash(batch)
+	}
+	return out
+}
+
+// encodeKey serializes a key as h fixed-width entries.
+func encodeKey(key []uint64, bits uint) []byte {
+	e := transport.NewEncoder()
+	for _, v := range key {
+		e.WriteBits(v, bits)
+	}
+	// Use the encoder purely as a bit packer.
+	data, _ := e.Pack()
+	return data
+}
+
+func decodeKey(payload []byte, h int, bits uint) []uint64 {
+	d := transport.NewDecoder(payload)
+	out := make([]uint64, h)
+	for j := range out {
+		v, err := d.ReadBits(bits)
+		if err != nil {
+			// Payload sizes are fixed by construction; a short read is
+			// a protocol bug, not an input condition.
+			panic(fmt.Sprintf("gap: short key payload: %v", err))
+		}
+		out[j] = v
+	}
+	return out
+}
+
+// matches counts equal entries between two keys.
+func matches(a, b []uint64) int {
+	n := 0
+	for i := range a {
+		if a[i] == b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// plan bundles the seed-derived state both parties compute identically
+// for one protocol variant (public coins made concrete).
+type plan struct {
+	params    Params
+	ky        *keyer
+	threshold int
+	h         int
+	rho       float64
+	ssSeed    uint64
+}
+
+// newPlan derives the general (Theorem 4.2) plan.
+func newPlan(p Params) (*plan, error) {
+	p.applyDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	family, prm, err := p.derive()
+	if err != nil {
+		return nil, err
+	}
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	rho := prm.Rho()
+	if rho >= 1 {
+		return nil, fmt.Errorf("gap: rho = %v >= 1; widen the gap r2/r1", rho)
+	}
+	eps := 1 - rho
+	// m = log_{p2}(1/2), at least 1.
+	m := int(math.Ceil(math.Log(0.5) / math.Log(prm.P2)))
+	if m < 1 {
+		m = 1
+	}
+	h := p.HFactor * int(math.Ceil(math.Log2(float64(p.N)+2)))
+	threshold := int(math.Ceil(float64(h) * (0.5 + eps/6)))
+	src := rng.New(p.Seed)
+	return &plan{
+		params:    p,
+		ky:        newKeyer(family, h, m, p.EntryBits, src.Split()),
+		threshold: threshold,
+		h:         h,
+		rho:       rho,
+		ssSeed:    src.Uint64(),
+	}, nil
+}
+
+// newOneSidedPlan derives the Theorem 4.5 plan.
+func newOneSidedPlan(p Params, pExp float64) (*plan, error) {
+	p.applyDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := lsh.NewOneSidedGrid(p.Space, p.R1, p.R2, pExp)
+	if g.RhoHat >= 1 {
+		return nil, fmt.Errorf("gap: rho-hat = %v >= 1; Theorem 4.5 needs r2 > r1·d", g.RhoHat)
+	}
+	// h = Θ(log n / log(1/ρ̂)); the leading constant mirrors HFactor.
+	denom := math.Log(1 / g.RhoHat)
+	h := int(math.Ceil(float64(p.HFactor) * math.Log(float64(p.N)+2) / denom))
+	if h < 1 {
+		h = 1
+	}
+	src := rng.New(p.Seed)
+	return &plan{
+		params:    p,
+		ky:        newKeyer(g, h, 1, p.EntryBits, src.Split()),
+		threshold: 1, // one matching entry certifies closeness (p2 = 0)
+		h:         h,
+		rho:       g.RhoHat,
+		ssSeed:    src.Uint64(),
+	}, nil
+}
+
+// isClose reports whether an Alice key matches some Bob key in at least
+// threshold entries.
+func (pl *plan) isClose(aKey []uint64, bobKeys [][]uint64) bool {
+	for _, bk := range bobKeys {
+		if matches(aKey, bk) >= pl.threshold {
+			return true
+		}
+	}
+	return false
+}
+
+func (pl *plan) setsetsParams() setsets.Params {
+	ss := pl.params.SetSets
+	ss.PayloadBytes = (pl.h*int(pl.params.EntryBits) + 7) / 8
+	ss.Seed = pl.ssSeed
+	return ss
+}
+
+// AliceReport is what Alice's side of the protocol learns.
+type AliceReport struct {
+	// TA holds the elements she transmitted (far keys' elements).
+	TA metric.PointSet
+	// FarKeys is the number of distinct keys classified far.
+	FarKeys int
+}
+
+// runAlice executes Alice's side: key construction, sets-of-sets (she is
+// the setsets Alice), far-key classification, and the element round.
+func runAlice(pl *plan, conn transport.Conn, sa metric.PointSet) (AliceReport, error) {
+	p := pl.params
+	if len(sa) > p.N {
+		return AliceReport{}, fmt.Errorf("gap: |SA|=%d exceeds N=%d", len(sa), p.N)
+	}
+	aliceKeys := make([][]uint64, len(sa))
+	aliceChildren := make([]setsets.Child, len(sa))
+	for i, a := range sa {
+		aliceKeys[i] = pl.ky.key(a)
+		aliceChildren[i] = setsets.Child{Payload: encodeKey(aliceKeys[i], p.EntryBits)}
+	}
+
+	rec, err := setsets.RunAlice(pl.setsetsParams(), conn, aliceChildren)
+	if err != nil {
+		return AliceReport{}, fmt.Errorf("gap: key reconciliation: %w", err)
+	}
+
+	// Reconstruct Bob's multiset: her keys, minus her unmatched ones,
+	// plus Bob's unmatched ones. For classification only distinct keys
+	// matter.
+	aliceOnlyCount := map[string]int{}
+	for _, c := range rec.AliceOnly {
+		aliceOnlyCount[string(c.Payload)]++
+	}
+	sharedKeys := map[string]bool{}
+	for _, c := range aliceChildren {
+		s := string(c.Payload)
+		if aliceOnlyCount[s] > 0 {
+			aliceOnlyCount[s]--
+			continue
+		}
+		sharedKeys[s] = true
+	}
+	bobKeySet := map[string]bool{}
+	for s := range sharedKeys {
+		bobKeySet[s] = true
+	}
+	for _, c := range rec.BobOnly {
+		bobKeySet[string(c.Payload)] = true
+	}
+	bobKeys := make([][]uint64, 0, len(bobKeySet))
+	for s := range bobKeySet {
+		bobKeys = append(bobKeys, decodeKey([]byte(s), pl.h, p.EntryBits))
+	}
+
+	// Classify Alice's distinct keys; collect elements of far keys.
+	farKeyCache := map[string]bool{}
+	var ta metric.PointSet
+	farKeys := 0
+	for i := range sa {
+		s := string(aliceChildren[i].Payload)
+		far, seen := farKeyCache[s]
+		if !seen {
+			if bobKeySet[s] {
+				far = false // identical key exists on Bob's side
+			} else {
+				far = !pl.isClose(aliceKeys[i], bobKeys)
+			}
+			farKeyCache[s] = far
+			if far {
+				farKeys++
+			}
+		}
+		if far {
+			ta = append(ta, sa[i])
+		}
+	}
+
+	// Final round: transmit the far elements.
+	e := transport.NewEncoder()
+	e.WriteUvarint(uint64(len(ta)))
+	cb := uint(p.Space.BitsPerCoordinate())
+	for _, pt := range ta {
+		for _, c := range pt {
+			e.WriteBits(uint64(c), cb)
+		}
+	}
+	if err := conn.Send(e); err != nil {
+		return AliceReport{}, err
+	}
+	return AliceReport{TA: ta, FarKeys: farKeys}, nil
+}
+
+// runBob executes Bob's side: key construction, sets-of-sets (he is the
+// setsets Bob), then receive the far elements and union them in.
+func runBob(pl *plan, conn transport.Conn, sb metric.PointSet) (Result, error) {
+	p := pl.params
+	if len(sb) > p.N {
+		return Result{}, fmt.Errorf("gap: |SB|=%d exceeds N=%d", len(sb), p.N)
+	}
+	bobChildren := make([]setsets.Child, len(sb))
+	for i, b := range sb {
+		bobChildren[i] = setsets.Child{Payload: encodeKey(pl.ky.key(b), p.EntryBits)}
+	}
+	if err := setsets.RunBob(pl.setsetsParams(), conn, bobChildren); err != nil {
+		return Result{}, fmt.Errorf("gap: key reconciliation: %w", err)
+	}
+
+	d, err := conn.Recv()
+	if err != nil {
+		return Result{}, err
+	}
+	cnt, err := d.ReadUvarint()
+	if err != nil {
+		return Result{}, err
+	}
+	if cnt > uint64(p.N) {
+		return Result{}, fmt.Errorf("gap: peer claims %d far elements with N=%d", cnt, p.N)
+	}
+	cb := uint(p.Space.BitsPerCoordinate())
+	sPrime := sb.Clone()
+	var ta metric.PointSet
+	for i := uint64(0); i < cnt; i++ {
+		pt := make(metric.Point, p.Space.Dim)
+		for j := range pt {
+			v, err := d.ReadBits(cb)
+			if err != nil {
+				return Result{}, err
+			}
+			pt[j] = int32(v)
+		}
+		ta = append(ta, pt)
+		sPrime = append(sPrime, pt)
+	}
+	return Result{
+		SPrime:    sPrime,
+		TA:        ta,
+		Threshold: pl.threshold,
+		H:         pl.h,
+		Rho:       pl.rho,
+	}, nil
+}
+
+// RunAlice executes Alice's side of the general protocol over conn.
+func RunAlice(p Params, conn transport.Conn, sa metric.PointSet) (AliceReport, error) {
+	pl, err := newPlan(p)
+	if err != nil {
+		return AliceReport{}, err
+	}
+	return runAlice(pl, conn, sa)
+}
+
+// RunBob executes Bob's side of the general protocol over conn.
+func RunBob(p Params, conn transport.Conn, sb metric.PointSet) (Result, error) {
+	pl, err := newPlan(p)
+	if err != nil {
+		return Result{}, err
+	}
+	return runBob(pl, conn, sb)
+}
+
+// RunAliceOneSided and RunBobOneSided are the Theorem 4.5 counterparts.
+func RunAliceOneSided(p Params, pExp float64, conn transport.Conn, sa metric.PointSet) (AliceReport, error) {
+	pl, err := newOneSidedPlan(p, pExp)
+	if err != nil {
+		return AliceReport{}, err
+	}
+	return runAlice(pl, conn, sa)
+}
+
+// RunBobOneSided executes Bob's side of the one-sided variant over conn.
+func RunBobOneSided(p Params, pExp float64, conn transport.Conn, sb metric.PointSet) (Result, error) {
+	pl, err := newOneSidedPlan(p, pExp)
+	if err != nil {
+		return Result{}, err
+	}
+	return runBob(pl, conn, sb)
+}
+
+// reconcile drives both parties in-process over a pipe.
+func reconcile(pl *plan, sa, sb metric.PointSet) (Result, error) {
+	aConn, bConn := transport.NewPipe()
+	type bobOut struct {
+		res Result
+		err error
+	}
+	done := make(chan bobOut, 1)
+	go func() {
+		res, err := runBob(pl, bConn, sb)
+		// Closing Bob's end unblocks Alice if he failed before she
+		// finished receiving.
+		bConn.Close()
+		done <- bobOut{res, err}
+	}()
+	aRep, aErr := runAlice(pl, aConn, sa)
+	// Closing Alice's end unblocks Bob if she failed before sending.
+	aConn.Close()
+	b := <-done
+	if aErr != nil {
+		return Result{}, aErr
+	}
+	if b.err != nil {
+		return Result{}, b.err
+	}
+	res := b.res
+	res.FarKeys = aRep.FarKeys
+	res.Stats = aConn.Stats()
+	return res, nil
+}
+
+// Reconcile runs the full 4-round general protocol (Theorem 4.2)
+// in-process: Alice and Bob execute as concurrent parties over a counted
+// pipe.
+func Reconcile(p Params, sa, sb metric.PointSet) (Result, error) {
+	pl, err := newPlan(p)
+	if err != nil {
+		return Result{}, err
+	}
+	return reconcile(pl, sa, sb)
+}
+
+// ReconcileOneSided runs the Theorem 4.5 variant for ([∆]^d, ℓp): the
+// one-sided grid family has p2 = 0, so keys shrink to
+// h = Θ(log n / log(1/ρ̂)) single-function entries and one matching entry
+// certifies closeness (≤ r2). pExp is the norm exponent (1 for ℓ1, 2 for
+// ℓ2).
+func ReconcileOneSided(p Params, pExp float64, sa, sb metric.PointSet) (Result, error) {
+	pl, err := newOneSidedPlan(p, pExp)
+	if err != nil {
+		return Result{}, err
+	}
+	return reconcile(pl, sa, sb)
+}
+
+// NaiveBits returns the trivial protocol's cost (Alice sends everything):
+// n·log|U| bits.
+func NaiveBits(space metric.Space, n int) int64 {
+	return int64(n) * int64(space.BitsPerPoint())
+}

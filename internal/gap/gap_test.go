@@ -1,0 +1,237 @@
+package gap
+
+import (
+	"testing"
+
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{Space: metric.HammingCube(256), N: 10, R1: 2, R2: 32}
+	good.applyDefaults()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{Space: metric.HammingCube(256), N: 0, R1: 2, R2: 32},
+		{Space: metric.HammingCube(256), N: 10, R1: 32, R2: 2},
+		{Space: metric.HammingCube(256), N: 10, R1: 0, R2: 2},
+		{Space: metric.Space{}, N: 10, R1: 1, R2: 2},
+	}
+	for i, p := range bad {
+		p.applyDefaults()
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestDeriveRejectsTightHamming(t *testing.T) {
+	// r2 > d/2 breaks the p2 >= 1/2 assumption of §4.1.
+	p := Params{Space: metric.HammingCube(64), N: 10, R1: 2, R2: 40}
+	p.applyDefaults()
+	if _, _, err := p.derive(); err == nil {
+		t.Error("r2 > d/2 accepted for coordinate sampling")
+	}
+}
+
+func TestDeriveRejectsL2(t *testing.T) {
+	p := Params{Space: metric.Grid(100, 3, metric.L2), N: 10, R1: 1, R2: 50}
+	p.applyDefaults()
+	if _, _, err := p.derive(); err == nil {
+		t.Error("general protocol accepted ℓ2 (should direct to one-sided)")
+	}
+}
+
+// TestGapGuaranteeHamming is the core Definition 4.1 check: every planted
+// far point must arrive at Bob, so every point of SA ends within r2 of
+// S′B.
+func TestGapGuaranteeHamming(t *testing.T) {
+	space := metric.HammingCube(512)
+	const n, k = 60, 5
+	for trial := 0; trial < 5; trial++ {
+		inst, err := workload.NewGapInstance(space, n, k, 2, 8, 128, uint64(trial)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := Params{Space: space, N: n + k, R1: inst.R1, R2: inst.R2, Seed: uint64(trial) + 100}
+		res, err := Reconcile(p, inst.SA, inst.SB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The guarantee: ∀a ∈ SA ∃b ∈ S′B with f(a,b) ≤ r2.
+		for _, a := range inst.SA {
+			if d, _ := res.SPrime.MinDistanceTo(space, a); d > inst.R2 {
+				t.Errorf("trial %d: point %v left uncovered at distance %v", trial, a, d)
+			}
+		}
+		// All planted far points must literally be in S′B.
+		for _, f := range inst.Far {
+			found := false
+			for _, sp := range res.SPrime {
+				if sp.Equal(f) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("trial %d: planted far point %v not transferred", trial, f)
+			}
+		}
+	}
+}
+
+// TestGapDoesNotFloodCloseElements checks the communication side: with a
+// comfortable gap, the number of transmitted elements stays near k, not n.
+func TestGapDoesNotFloodCloseElements(t *testing.T) {
+	space := metric.HammingCube(512)
+	const n, k = 80, 4
+	inst, err := workload.NewGapInstance(space, n, k, 0, 4, 160, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Space: space, N: n + k, R1: inst.R1, R2: inst.R2, Seed: 55}
+	res, err := Reconcile(p, inst.SA, inst.SB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TA) > 4*k {
+		t.Errorf("transmitted %d elements for k=%d far points", len(res.TA), k)
+	}
+	if len(res.TA) < k {
+		t.Errorf("transmitted %d elements, fewer than k=%d planted", len(res.TA), k)
+	}
+}
+
+func TestGapL1Grid(t *testing.T) {
+	space := metric.Grid(1<<20, 4, metric.L1)
+	const n, k = 50, 4
+	inst, err := workload.NewGapInstance(space, n, k, 1, 200, 40000, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Space: space, N: n + k, R1: inst.R1, R2: inst.R2, Seed: 77}
+	res, err := Reconcile(p, inst.SA, inst.SB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range inst.SA {
+		if d, _ := res.SPrime.MinDistanceTo(space, a); d > inst.R2 {
+			t.Errorf("point %v uncovered at distance %v", a, d)
+		}
+	}
+}
+
+func TestOneSidedL2(t *testing.T) {
+	space := metric.Grid(1<<20, 2, metric.L2)
+	const n, k = 50, 4
+	// Theorem 4.5 needs r2 > r1·d: use r1=50, r2=30000, d=2.
+	inst, err := workload.NewGapInstance(space, n, k, 1, 50, 30000, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Space: space, N: n + k, R1: inst.R1, R2: inst.R2, Seed: 99}
+	res, err := ReconcileOneSided(p, 2, inst.SA, inst.SB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range inst.SA {
+		if d, _ := res.SPrime.MinDistanceTo(space, a); d > inst.R2 {
+			t.Errorf("point %v uncovered at distance %v", a, d)
+		}
+	}
+	// One-sided: close elements never misclassified far unless all h
+	// entries miss, so the transfer stays near k.
+	if len(res.TA) > 4*k {
+		t.Errorf("one-sided transmitted %d elements for k=%d", len(res.TA), k)
+	}
+}
+
+func TestOneSidedRejectsTinyGap(t *testing.T) {
+	space := metric.Grid(1000, 8, metric.L2)
+	p := Params{Space: space, N: 10, R1: 10, R2: 20, Seed: 1} // ρ̂ = 4 > 1
+	if _, err := ReconcileOneSided(p, 2, nil, nil); err == nil {
+		t.Error("rho-hat >= 1 accepted")
+	}
+}
+
+func TestRoundsMatchTheorem42(t *testing.T) {
+	space := metric.HammingCube(256)
+	inst, err := workload.NewGapInstance(space, 30, 2, 0, 4, 64, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Space: space, N: 32, R1: inst.R1, R2: inst.R2, Seed: 3}
+	res, err := Reconcile(p, inst.SA, inst.SB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 rounds of key reconciliation + 1 element round (absent retries).
+	if res.Stats.Rounds != 4 {
+		t.Errorf("rounds = %d, want 4", res.Stats.Rounds)
+	}
+}
+
+func TestEmptyAlice(t *testing.T) {
+	space := metric.HammingCube(128)
+	inst, err := workload.NewGapInstance(space, 20, 0, 0, 4, 32, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Space: space, N: 20, R1: 4, R2: 32, Seed: 5}
+	res, err := Reconcile(p, nil, inst.SB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TA) != 0 {
+		t.Errorf("empty Alice transmitted %d elements", len(res.TA))
+	}
+	if len(res.SPrime) != len(inst.SB) {
+		t.Errorf("|S'B| = %d, want %d", len(res.SPrime), len(inst.SB))
+	}
+}
+
+func TestSizeBoundEnforced(t *testing.T) {
+	space := metric.HammingCube(64)
+	p := Params{Space: space, N: 2, R1: 2, R2: 16, Seed: 1}
+	sa := workload.RandomSet(space, 5, rngFor(1))
+	if _, err := Reconcile(p, sa, nil); err == nil {
+		t.Error("oversized set accepted")
+	}
+}
+
+func TestIdenticalSetsTransferNothing(t *testing.T) {
+	space := metric.HammingCube(256)
+	sb := workload.RandomSet(space, 40, rngFor(11))
+	p := Params{Space: space, N: 40, R1: 4, R2: 64, Seed: 13}
+	res, err := Reconcile(p, sb.Clone(), sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TA) != 0 {
+		t.Errorf("identical sets transferred %d elements", len(res.TA))
+	}
+}
+
+func TestMatchesCounting(t *testing.T) {
+	a := []uint64{1, 2, 3, 4}
+	b := []uint64{1, 9, 3, 9}
+	if got := matches(a, b); got != 2 {
+		t.Errorf("matches = %d, want 2", got)
+	}
+}
+
+func TestEncodeDecodeKeyRoundTrip(t *testing.T) {
+	key := []uint64{5, 1023, 0, 77}
+	payload := encodeKey(key, 10)
+	got := decodeKey(payload, 4, 10)
+	for i := range key {
+		if got[i] != key[i] {
+			t.Fatalf("entry %d: %d != %d", i, got[i], key[i])
+		}
+	}
+}
+
+func rngFor(seed uint64) *rng.Source { return rng.New(seed) }

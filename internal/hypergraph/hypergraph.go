@@ -1,0 +1,250 @@
+// Package hypergraph simulates the random-hypergraph model the paper
+// uses to analyze RIBLT peeling (§3, Appendix B). An RIBLT with m cells
+// and cm keys of q cells each is the random q-uniform hypergraph
+// G^q_{m,cm}: cells are vertices, keys are hyperedges. Peeling removes a
+// vertex of degree one together with its hyperedge; decoding succeeds iff
+// peeling empties the graph (empty 2-core).
+//
+// The error-propagation experiment of Lemma 3.10 (illustrated by the
+// paper's Figure 1) runs here in its pure form: one random vertex starts
+// with a unit error; whenever a vertex v is peeled, its error count C_v
+// is added to every other vertex of its hyperedge. The lemma claims that
+// for c < 1/(q(q−1)) the expected final sum Σ C_v over peeled vertices is
+// O(1), independent of m — experiment E3 reproduces that, and shows the
+// sum blowing up once c crosses the tree/unicyclic threshold.
+package hypergraph
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Graph is a q-uniform hypergraph on m vertices.
+type Graph struct {
+	M     int
+	Q     int
+	Edges [][]int // each edge lists q distinct vertices
+	adj   [][]int // vertex -> incident edge indices
+}
+
+// Random draws G^q_{m,em}: e hyperedges, each q distinct vertices chosen
+// uniformly (vertices within an edge are distinct, matching the
+// partitioned IBLT layout and the paper's uniform model).
+func Random(m, e, q int, src *rng.Source) *Graph {
+	if q < 2 || m < q {
+		panic(fmt.Sprintf("hypergraph: need m >= q >= 2, got m=%d q=%d", m, q))
+	}
+	g := &Graph{M: m, Q: q, Edges: make([][]int, e), adj: make([][]int, m)}
+	for i := range g.Edges {
+		edge := make([]int, 0, q)
+		seen := map[int]bool{}
+		for len(edge) < q {
+			v := src.Intn(m)
+			if !seen[v] {
+				seen[v] = true
+				edge = append(edge, v)
+			}
+		}
+		g.Edges[i] = edge
+		for _, v := range edge {
+			g.adj[v] = append(g.adj[v], i)
+		}
+	}
+	return g
+}
+
+// PeelOrder selects the traversal discipline.
+type PeelOrder int
+
+const (
+	// BFS is the paper's breadth-first, first-come first-served order.
+	BFS PeelOrder = iota
+	// LIFO is the ablation order.
+	LIFO
+)
+
+// PeelStats reports one peeling run.
+type PeelStats struct {
+	// Peeled counts removed hyperedges; equal to len(Edges) iff the
+	// 2-core is empty.
+	Peeled int
+	// Complete is true when every edge was peeled (decode succeeds).
+	Complete bool
+	// ErrorSum is Σ C_v over peeled vertices given a single random
+	// initial unit error (the Lemma 3.10 quantity).
+	ErrorSum float64
+	// Touched counts peeled vertices with nonzero error (how many
+	// extracted values the error reached, the Figure 1 count).
+	Touched int
+	// Rounds is the number of parallel peeling rounds (Lemma B.4's
+	// log log n + O(1) quantity) — the BFS depth.
+	Rounds int
+}
+
+// PeelWithError runs the peeling process with error propagation. The
+// initial unit error is placed on a uniformly random vertex drawn from
+// src. The graph structure itself is not mutated (all bookkeeping is
+// local), so the same Graph can be peeled repeatedly.
+func (g *Graph) PeelWithError(src *rng.Source, order PeelOrder) PeelStats {
+	deg := make([]int, g.M)
+	for v := range g.adj {
+		deg[v] = len(g.adj[v])
+	}
+	removedEdge := make([]bool, len(g.Edges))
+	errCount := make([]float64, g.M)
+	errCount[src.Intn(g.M)] = 1
+
+	type item struct{ v, round int }
+	queue := make([]item, 0, g.M)
+	inQueue := make([]bool, g.M)
+	for v := 0; v < g.M; v++ {
+		if deg[v] == 1 {
+			queue = append(queue, item{v, 1})
+			inQueue[v] = true
+		}
+	}
+	var st PeelStats
+	for len(queue) > 0 {
+		var it item
+		if order == LIFO {
+			it = queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+		} else {
+			it = queue[0]
+			queue = queue[1:]
+		}
+		v := it.v
+		inQueue[v] = false
+		if deg[v] != 1 {
+			continue // stale
+		}
+		// Find v's single live edge.
+		var live = -1
+		for _, ei := range g.adj[v] {
+			if !removedEdge[ei] {
+				live = ei
+				break
+			}
+		}
+		if live == -1 {
+			continue
+		}
+		// Peel: record v's error, propagate to the edge's other
+		// vertices, remove the edge.
+		st.Peeled++
+		st.ErrorSum += errCount[v]
+		if errCount[v] != 0 {
+			st.Touched++
+		}
+		if it.round > st.Rounds {
+			st.Rounds = it.round
+		}
+		removedEdge[live] = true
+		for _, u := range g.Edges[live] {
+			deg[u]--
+			if u == v {
+				continue
+			}
+			errCount[u] += errCount[v]
+			if deg[u] == 1 && !inQueue[u] {
+				queue = append(queue, item{u, it.round + 1})
+				inQueue[u] = true
+			}
+		}
+	}
+	st.Complete = st.Peeled == len(g.Edges)
+	return st
+}
+
+// TwoCoreEdges returns the number of edges remaining after peeling a
+// *copy* of the degree structure (without error bookkeeping) — the size
+// of the 2-core.
+func (g *Graph) TwoCoreEdges() int {
+	deg := make([]int, g.M)
+	for v := range g.adj {
+		deg[v] = len(g.adj[v])
+	}
+	removed := make([]bool, len(g.Edges))
+	queue := []int{}
+	for v := 0; v < g.M; v++ {
+		if deg[v] == 1 {
+			queue = append(queue, v)
+		}
+	}
+	peeled := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if deg[v] != 1 {
+			continue
+		}
+		live := -1
+		for _, ei := range g.adj[v] {
+			if !removed[ei] {
+				live = ei
+				break
+			}
+		}
+		if live == -1 {
+			continue
+		}
+		removed[live] = true
+		peeled++
+		for _, u := range g.Edges[live] {
+			deg[u]--
+			if deg[u] == 1 {
+				queue = append(queue, u)
+			}
+		}
+	}
+	return len(g.Edges) - peeled
+}
+
+// ComponentKinds classifies connected components, returning counts of
+// trees, unicyclic components, and components with ≥ 2 independent
+// cycles. Lemma B.3: for c < 1/(q(q−1)) all components are trees or
+// unicyclic whp. A component on nv vertices with ne q-ary edges is a
+// (hyper)tree when ne·(q−1) = nv − 1, unicyclic when ne·(q−1) = nv.
+func (g *Graph) ComponentKinds() (trees, unicyclic, complex int) {
+	parent := make([]int, g.M)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, e := range g.Edges {
+		for i := 1; i < len(e); i++ {
+			union(e[0], e[i])
+		}
+	}
+	nv := map[int]int{}
+	ne := map[int]int{}
+	for v := 0; v < g.M; v++ {
+		nv[find(v)]++
+	}
+	for _, e := range g.Edges {
+		ne[find(e[0])]++
+	}
+	for root, edges := range ne {
+		excess := edges*(g.Q-1) - nv[root]
+		switch {
+		case excess == -1:
+			trees++
+		case excess == 0:
+			unicyclic++
+		default:
+			complex++
+		}
+	}
+	// Isolated vertices are trivial trees; exclude them from counts (no
+	// edges, no effect on peeling).
+	return trees, unicyclic, complex
+}

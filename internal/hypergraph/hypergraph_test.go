@@ -1,0 +1,148 @@
+package hypergraph
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestRandomShape(t *testing.T) {
+	src := rng.New(1)
+	g := Random(100, 30, 3, src)
+	if len(g.Edges) != 30 {
+		t.Fatalf("edges = %d", len(g.Edges))
+	}
+	for _, e := range g.Edges {
+		if len(e) != 3 {
+			t.Fatalf("edge size %d", len(e))
+		}
+		seen := map[int]bool{}
+		for _, v := range e {
+			if v < 0 || v >= 100 || seen[v] {
+				t.Fatalf("bad edge %v", e)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRandomPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("m < q accepted")
+		}
+	}()
+	Random(2, 1, 3, rng.New(1))
+}
+
+func TestSparsePeelsCompletely(t *testing.T) {
+	// c = 1/18 < 1/(q(q−1)) = 1/6 for q=3: peeling must almost always
+	// complete.
+	src := rng.New(2)
+	const m = 900
+	complete := 0
+	for trial := 0; trial < 30; trial++ {
+		g := Random(m, m/18, 3, src)
+		st := g.PeelWithError(src, BFS)
+		if st.Complete {
+			complete++
+		}
+	}
+	if complete < 28 {
+		t.Errorf("only %d/30 sparse graphs peeled completely", complete)
+	}
+}
+
+func TestDensePeelingStalls(t *testing.T) {
+	// c = 1.2 is far above the q=3 threshold (~0.818): 2-cores are
+	// essentially certain.
+	src := rng.New(3)
+	const m = 600
+	stalled := 0
+	for trial := 0; trial < 10; trial++ {
+		g := Random(m, m*12/10, 3, src)
+		st := g.PeelWithError(src, BFS)
+		if !st.Complete {
+			stalled++
+		}
+	}
+	if stalled < 9 {
+		t.Errorf("only %d/10 dense graphs stalled", stalled)
+	}
+}
+
+// TestLemma310ErrorSumConstant is the E3 invariant in miniature: below
+// the tree/unicyclic density the mean error sum is O(1) and does not
+// grow with m.
+func TestLemma310ErrorSumConstant(t *testing.T) {
+	mean := func(m int) float64 {
+		src := rng.New(uint64(m))
+		var sum float64
+		const trials = 400
+		for i := 0; i < trials; i++ {
+			g := Random(m, m/12, 3, src) // c = 1/12 < 1/6
+			st := g.PeelWithError(src, BFS)
+			sum += st.ErrorSum
+		}
+		return sum / trials
+	}
+	small := mean(300)
+	big := mean(3000)
+	if big > 3*small+1 {
+		t.Errorf("error sum grew with m: m=300 → %v, m=3000 → %v", small, big)
+	}
+	if small > 5 {
+		t.Errorf("error sum %v not O(1) at c=1/12", small)
+	}
+}
+
+func TestTwoCoreMatchesCompleteness(t *testing.T) {
+	src := rng.New(5)
+	for trial := 0; trial < 20; trial++ {
+		g := Random(200, 100, 3, src)
+		core := g.TwoCoreEdges()
+		st := g.PeelWithError(src, BFS)
+		if (core == 0) != st.Complete {
+			t.Fatalf("2-core %d edges but Complete=%v", core, st.Complete)
+		}
+	}
+}
+
+func TestComponentKindsSparse(t *testing.T) {
+	// Lemma B.3: below 1/(q(q−1)) components are trees or unicyclic whp.
+	src := rng.New(7)
+	badRuns := 0
+	for trial := 0; trial < 20; trial++ {
+		g := Random(1200, 100, 3, src) // c = 1/12
+		_, _, complex := g.ComponentKinds()
+		if complex > 0 {
+			badRuns++
+		}
+	}
+	if badRuns > 4 {
+		t.Errorf("complex components in %d/20 sparse graphs", badRuns)
+	}
+}
+
+func TestRoundsGrowSlowly(t *testing.T) {
+	// Lemma B.4: BFS peeling finishes in O(log log n) rounds; verify the
+	// round count stays tiny even for large m.
+	src := rng.New(9)
+	g := Random(20000, 20000/12, 3, src)
+	st := g.PeelWithError(src, BFS)
+	if !st.Complete {
+		t.Skip("rare stall; not the property under test")
+	}
+	if st.Rounds > 30 {
+		t.Errorf("BFS peeling took %d rounds on m=20000", st.Rounds)
+	}
+}
+
+func TestLIFOAlsoPeels(t *testing.T) {
+	src := rng.New(11)
+	g := Random(600, 50, 3, src)
+	st := g.PeelWithError(src, LIFO)
+	if !st.Complete {
+		t.Error("LIFO failed to peel a sparse graph")
+	}
+}

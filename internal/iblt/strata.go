@@ -1,0 +1,104 @@
+package iblt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/hashx"
+	"repro/internal/rng"
+	"repro/internal/transport"
+)
+
+// Strata is the strata estimator of Eppstein, Goodrich, Uyeda & Varghese
+// ("What's the difference?", SIGCOMM 2011, the paper's reference [10]).
+// It estimates the size of a set difference without prior context, which
+// the reconciliation protocols need to size their IBLTs: the paper's
+// bounds all assume a known difference bound k or d, and the estimator is
+// how a deployment obtains one.
+//
+// Each element is assigned to stratum i with probability 2^-(i+1) (by
+// counting trailing zeros of a shared hash) and inserted into a small
+// per-stratum IBLT. Subtracting two estimators and peeling strata from
+// the deepest down yields an unbiased difference estimate.
+type Strata struct {
+	levels []*Table
+	assign hashx.Mixer
+	perLvl int
+}
+
+// StrataLevels is the number of strata; 32 suffices for differences up to
+// ~2^32 elements.
+const StrataLevels = 32
+
+// NewStrata builds an estimator whose per-stratum tables have cellsPerLevel
+// cells (80 is the customary size from [10]).
+func NewStrata(cellsPerLevel int, seed uint64) *Strata {
+	src := rng.New(seed)
+	assign := hashx.NewMixer(src)
+	s := &Strata{levels: make([]*Table, StrataLevels), assign: assign, perLvl: cellsPerLevel}
+	for i := range s.levels {
+		s.levels[i] = New(cellsPerLevel, 3, src.Uint64())
+	}
+	return s
+}
+
+// Insert adds a key to its stratum.
+func (s *Strata) Insert(key uint64) {
+	lvl := bits.TrailingZeros64(s.assign.Hash(key) | 1<<(StrataLevels-1))
+	s.levels[lvl].Insert(key)
+}
+
+// Estimate subtracts other from a copy of s and returns an estimate of
+// |difference| (keys on either side). Peeling proceeds from the deepest
+// stratum; the first stratum that fails to decode determines the scaling
+// factor 2^(i+1) applied to the differences counted so far.
+func (s *Strata) Estimate(other *Strata) (int, error) {
+	if s.perLvl != other.perLvl {
+		return 0, fmt.Errorf("iblt: strata geometry mismatch")
+	}
+	count := 0
+	for i := StrataLevels - 1; i >= 0; i-- {
+		t := s.levels[i].Clone()
+		if err := t.Subtract(other.levels[i]); err != nil {
+			return 0, err
+		}
+		add, rem, err := t.Decode()
+		if err != nil {
+			// Stratum i failed: scale up what deeper strata recovered.
+			return count << uint(i+1), nil
+		}
+		count += len(add) + len(rem)
+	}
+	return count, nil
+}
+
+// Encode serializes the estimator.
+func (s *Strata) Encode(e *transport.Encoder) {
+	e.WriteUvarint(uint64(s.perLvl))
+	for _, t := range s.levels {
+		t.Encode(e)
+	}
+}
+
+// DecodeStrata deserializes an estimator built with the given seed.
+func DecodeStrata(d *transport.Decoder, seed uint64) (*Strata, error) {
+	perLvl, err := d.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if perLvl == 0 || perLvl > 1<<20 {
+		return nil, fmt.Errorf("iblt: implausible strata size %d", perLvl)
+	}
+	src := rng.New(seed)
+	assign := hashx.NewMixer(src)
+	s := &Strata{levels: make([]*Table, StrataLevels), assign: assign, perLvl: int(perLvl)}
+	for i := range s.levels {
+		lvlSeed := src.Uint64()
+		t, err := DecodeFrom(d, lvlSeed)
+		if err != nil {
+			return nil, err
+		}
+		s.levels[i] = t
+	}
+	return s, nil
+}

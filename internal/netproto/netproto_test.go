@@ -1,0 +1,254 @@
+package netproto
+
+import (
+	"math"
+	"net"
+	"sort"
+	"testing"
+
+	"repro/internal/emd"
+	"repro/internal/gap"
+	"repro/internal/matching"
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// duplex returns two connected byte streams (full duplex, blocking).
+func duplex() (net.Conn, net.Conn) { return net.Pipe() }
+
+func TestWireFrameRoundTrip(t *testing.T) {
+	a, b := duplex()
+	defer a.Close()
+	defer b.Close()
+	wa, wb := NewWire(a), NewWire(b)
+	errc := make(chan error, 1)
+	go func() {
+		e := transport.NewEncoder()
+		e.WriteUvarint(12345)
+		e.WriteBytes([]byte("hello"))
+		errc <- wa.Send(e)
+	}()
+	d, err := wb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.ReadUvarint(); v != 12345 {
+		t.Errorf("uvarint = %d", v)
+	}
+	if p, _ := d.ReadBytes(); string(p) != "hello" {
+		t.Errorf("bytes = %q", p)
+	}
+	if wa.Stats().MsgsAtoB != 1 || wb.Stats().MsgsBtoA != 1 {
+		t.Errorf("stats: %v / %v", wa.Stats(), wb.Stats())
+	}
+}
+
+func TestHandshakeMismatch(t *testing.T) {
+	a, b := duplex()
+	defer a.Close()
+	defer b.Close()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- handshake(NewWire(a), 111)
+	}()
+	err2 := handshake(NewWire(b), 222)
+	err1 := <-errc
+	if err1 == nil || err2 == nil {
+		t.Errorf("digest mismatch accepted: %v / %v", err1, err2)
+	}
+}
+
+func TestEMDOverWire(t *testing.T) {
+	space := emdSpace()
+	const n, k = 32, 3
+	inst := workload.NewEMDInstance(space, n, k, 2, 5)
+	emdK := matching.EMDk(space, inst.SA, inst.SB, k)
+	p := emd.DefaultParams(space, n, k, 17)
+	p.D1 = math.Max(1, emdK/4)
+	p.D2 = math.Max(emdK*4, p.D1*2)
+
+	a, b := duplex()
+	defer a.Close()
+	defer b.Close()
+	aliceErr := make(chan error, 1)
+	go func() {
+		aliceErr <- EMDAlice(a, p, inst.SA)
+	}()
+	res, err := EMDBob(b, p, inst.SB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-aliceErr; err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Skip("protocol failure (allowed with prob <= 1/8)")
+	}
+	if len(res.SPrime) != n {
+		t.Fatalf("|S'B| = %d", len(res.SPrime))
+	}
+	after := matching.EMD(space, inst.SA, res.SPrime)
+	if after > 20*math.Max(emdK, 1) {
+		t.Errorf("EMD after wire run = %v vs EMD_k %v", after, emdK)
+	}
+	if res.Stats.BitsBtoA == 0 {
+		t.Error("wire stats recorded no inbound traffic")
+	}
+}
+
+func TestEMDWireParamMismatch(t *testing.T) {
+	space := emdSpace()
+	inst := workload.NewEMDInstance(space, 8, 1, 1, 3)
+	pa := emd.DefaultParams(space, 8, 1, 10)
+	pb := emd.DefaultParams(space, 8, 1, 11) // different seed
+	a, b := duplex()
+	defer a.Close()
+	defer b.Close()
+	errc := make(chan error, 1)
+	go func() { errc <- EMDAlice(a, pa, inst.SA) }()
+	_, bobErr := EMDBob(b, pb, inst.SB)
+	aliceErr := <-errc
+	if aliceErr == nil || bobErr == nil {
+		t.Errorf("mismatched seeds not detected: %v / %v", aliceErr, bobErr)
+	}
+}
+
+func TestGapOverWire(t *testing.T) {
+	space := gapSpace()
+	const n, k = 40, 3
+	inst, err := workload.NewGapInstance(space, n, k, 1, 8, 128, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := gap.Params{Space: space, N: n + k, R1: 8, R2: 128, Seed: 23}
+
+	a, b := duplex()
+	defer a.Close()
+	defer b.Close()
+	type aliceOut struct {
+		rep gap.AliceReport
+		err error
+	}
+	ac := make(chan aliceOut, 1)
+	go func() {
+		rep, err := GapAlice(a, p, inst.SA)
+		ac <- aliceOut{rep, err}
+	}()
+	res, err := GapBob(b, p, inst.SB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arep := <-ac
+	if arep.err != nil {
+		t.Fatal(arep.err)
+	}
+	// The guarantee must hold across the wire exactly as in-process.
+	for _, pt := range inst.SA {
+		if d, _ := res.SPrime.MinDistanceTo(space, pt); d > 128 {
+			t.Errorf("uncovered point at distance %v", d)
+		}
+	}
+	if len(res.TA) != len(arep.rep.TA) {
+		t.Errorf("Alice sent %d, Bob received %d", len(arep.rep.TA), len(res.TA))
+	}
+}
+
+func TestSyncOverWire(t *testing.T) {
+	src := rng.New(9)
+	var shared []uint64
+	for i := 0; i < 5000; i++ {
+		shared = append(shared, src.Uint64())
+	}
+	initiator := append([]uint64{}, shared...)
+	responder := append([]uint64{}, shared...)
+	wantTheirs := []uint64{1, 2, 3, 4, 5}
+	wantMine := []uint64{100, 200}
+	responder = append(responder, wantTheirs...)
+	initiator = append(initiator, wantMine...)
+
+	a, b := duplex()
+	defer a.Close()
+	defer b.Close()
+	type out struct {
+		theirs, mine []uint64
+		err          error
+	}
+	ic := make(chan out, 1)
+	go func() {
+		th, mn, err := SyncInitiator(a, SyncParams{Seed: 31}, initiator)
+		ic <- out{th, mn, err}
+	}()
+	gotAtResponder, err := SyncResponder(b, SyncParams{Seed: 31}, responder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := <-ic
+	if got.err != nil {
+		t.Fatal(got.err)
+	}
+	if !sameIDs(got.theirs, wantTheirs) {
+		t.Errorf("initiator theirsOnly = %v", got.theirs)
+	}
+	if !sameIDs(got.mine, wantMine) {
+		t.Errorf("initiator minesOnly = %v", got.mine)
+	}
+	if !sameIDs(gotAtResponder, wantMine) {
+		t.Errorf("responder learned %v", gotAtResponder)
+	}
+}
+
+func TestSyncOverWireEmptyDiff(t *testing.T) {
+	ids := []uint64{10, 20, 30}
+	a, b := duplex()
+	defer a.Close()
+	defer b.Close()
+	ic := make(chan error, 1)
+	go func() {
+		th, mn, err := SyncInitiator(a, SyncParams{Seed: 37}, ids)
+		if err == nil && (len(th) != 0 || len(mn) != 0) {
+			err = errMismatch
+		}
+		ic <- err
+	}()
+	got, err := SyncResponder(b, SyncParams{Seed: 37}, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-ic; err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("responder learned %v from identical sets", got)
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "unexpected difference" }
+
+func sameIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]uint64{}, a...)
+	bs := append([]uint64{}, b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func emdSpace() metric.Space { return metric.HammingCube(128) }
+
+func gapSpace() metric.Space { return metric.HammingCube(512) }

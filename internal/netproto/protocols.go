@@ -1,0 +1,250 @@
+package netproto
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/emd"
+	"repro/internal/gap"
+	"repro/internal/hashx"
+	"repro/internal/iblt"
+	"repro/internal/metric"
+	"repro/internal/transport"
+)
+
+// digestEMD folds the fields of emd.Params both parties must agree on.
+func digestEMD(p emd.Params) uint64 {
+	m := hashx.MixerFromSeed(0x1807_09694)
+	h := m.Hash(uint64(p.Space.Delta))
+	h = m.Hash(h ^ uint64(p.Space.Dim))
+	h = m.Hash(h ^ uint64(p.Space.Norm))
+	h = m.Hash(h ^ uint64(p.N))
+	h = m.Hash(h ^ uint64(p.K))
+	h = m.Hash(h ^ uint64(int64(p.D1*1000)))
+	h = m.Hash(h ^ uint64(int64(p.D2*1000)))
+	h = m.Hash(h ^ uint64(p.Q))
+	h = m.Hash(h ^ p.Seed)
+	return h
+}
+
+// EMDAlice runs Alice's side of Algorithm 1 over a byte stream: a
+// handshake frame, then the single protocol message.
+func EMDAlice(rw io.ReadWriter, p emd.Params, sa metric.PointSet) error {
+	p.ApplyDefaults()
+	w := NewWire(rw)
+	if err := handshake(w, digestEMD(p)); err != nil {
+		return err
+	}
+	msg, err := emd.BuildMessage(p, sa)
+	if err != nil {
+		return err
+	}
+	e := transport.NewEncoder()
+	e.WriteBytes(msg)
+	return w.Send(e)
+}
+
+// EMDBob runs Bob's side: handshake, receive, apply.
+func EMDBob(rw io.ReadWriter, p emd.Params, sb metric.PointSet) (emd.Result, error) {
+	p.ApplyDefaults()
+	w := NewWire(rw)
+	if err := handshake(w, digestEMD(p)); err != nil {
+		return emd.Result{}, err
+	}
+	d, err := w.Recv()
+	if err != nil {
+		return emd.Result{}, err
+	}
+	msg, err := d.ReadBytes()
+	if err != nil {
+		return emd.Result{}, err
+	}
+	res, err := emd.ApplyMessage(p, sb, msg)
+	if err != nil {
+		return emd.Result{}, err
+	}
+	res.Stats = w.Stats()
+	return res, nil
+}
+
+func digestGap(p gap.Params) uint64 {
+	m := hashx.MixerFromSeed(0x4a92)
+	h := m.Hash(uint64(p.Space.Delta))
+	h = m.Hash(h ^ uint64(p.Space.Dim))
+	h = m.Hash(h ^ uint64(p.Space.Norm))
+	h = m.Hash(h ^ uint64(p.N))
+	h = m.Hash(h ^ uint64(int64(p.R1*1000)))
+	h = m.Hash(h ^ uint64(int64(p.R2*1000)))
+	h = m.Hash(h ^ uint64(p.HFactor))
+	h = m.Hash(h ^ uint64(p.EntryBits))
+	h = m.Hash(h ^ p.Seed)
+	return h
+}
+
+// GapAlice runs Alice's side of the Theorem 4.2 protocol over a byte
+// stream.
+func GapAlice(rw io.ReadWriter, p gap.Params, sa metric.PointSet) (gap.AliceReport, error) {
+	w := NewWire(rw)
+	if err := handshake(w, digestGap(p)); err != nil {
+		return gap.AliceReport{}, err
+	}
+	return gap.RunAlice(p, w, sa)
+}
+
+// GapBob runs Bob's side; the returned Result carries this endpoint's
+// traffic stats.
+func GapBob(rw io.ReadWriter, p gap.Params, sb metric.PointSet) (gap.Result, error) {
+	w := NewWire(rw)
+	if err := handshake(w, digestGap(p)); err != nil {
+		return gap.Result{}, err
+	}
+	res, err := gap.RunBob(p, w, sb)
+	if err != nil {
+		return gap.Result{}, err
+	}
+	res.Stats = w.Stats()
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Classic exact reconciliation over the wire: strata + IBLT + repair.
+
+// SyncParams tunes the wire-level ID synchronization.
+type SyncParams struct {
+	// Seed is the shared public-coin seed.
+	Seed uint64
+	// StrataCells sizes the estimator (default 80).
+	StrataCells int
+	// MaxRetries bounds the doubling rounds (default 6).
+	MaxRetries int
+}
+
+func (p *SyncParams) applyDefaults() {
+	if p.StrataCells == 0 {
+		p.StrataCells = 80
+	}
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 6
+	}
+}
+
+// SyncInitiator reconciles its ID set against a responder: afterwards
+// both sides know the full symmetric difference. theirsOnly holds IDs
+// only the responder has; minesOnly those only the initiator has.
+//
+// Wire: [strata] → ; ← [IBLT, attempt i] ; [ack + minesOnly] → (repeat
+// on nack with doubled size).
+func SyncInitiator(rw io.ReadWriter, p SyncParams, ids []uint64) (theirsOnly, minesOnly []uint64, err error) {
+	p.applyDefaults()
+	w := NewWire(rw)
+	st := iblt.NewStrata(p.StrataCells, p.Seed)
+	for _, id := range ids {
+		st.Insert(id)
+	}
+	e := transport.NewEncoder()
+	st.Encode(e)
+	if err := w.Send(e); err != nil {
+		return nil, nil, err
+	}
+	for attempt := 0; ; attempt++ {
+		d, err := w.Recv()
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := d.ReadUvarint(); err != nil {
+			return nil, nil, err
+		}
+		seed := p.Seed + 0x51ab + uint64(attempt)*0x9e37
+		tbl, err := iblt.DecodeFrom(d, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, id := range ids {
+			tbl.Delete(id)
+		}
+		added, removed, decErr := tbl.Decode()
+		e := transport.NewEncoder()
+		e.WriteBool(decErr == nil)
+		if decErr == nil {
+			e.WriteUvarint(uint64(len(removed)))
+			for _, id := range removed {
+				e.WriteUint64(id)
+			}
+		}
+		if err := w.Send(e); err != nil {
+			return nil, nil, err
+		}
+		if decErr == nil {
+			return added, removed, nil
+		}
+		if attempt >= p.MaxRetries {
+			return nil, nil, fmt.Errorf("netproto: sync failed after %d attempts", attempt+1)
+		}
+	}
+}
+
+// SyncResponder is the peer of SyncInitiator. It returns the IDs only
+// the initiator has (learned in the repair round); the initiator
+// symmetrically learns this side's exclusive IDs from the IBLT.
+func SyncResponder(rw io.ReadWriter, p SyncParams, ids []uint64) (theirsOnly []uint64, err error) {
+	p.applyDefaults()
+	w := NewWire(rw)
+	d, err := w.Recv()
+	if err != nil {
+		return nil, err
+	}
+	remote, err := iblt.DecodeStrata(d, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	local := iblt.NewStrata(p.StrataCells, p.Seed)
+	for _, id := range ids {
+		local.Insert(id)
+	}
+	est, err := local.Estimate(remote)
+	if err != nil {
+		return nil, err
+	}
+	diffBound := est*2 + 8
+	for attempt := 0; ; attempt++ {
+		seed := p.Seed + 0x51ab + uint64(attempt)*0x9e37
+		tbl := iblt.New(iblt.CellsForDiff(diffBound, 3), 3, seed)
+		for _, id := range ids {
+			tbl.Insert(id)
+		}
+		e := transport.NewEncoder()
+		e.WriteUvarint(uint64(attempt))
+		tbl.Encode(e)
+		if err := w.Send(e); err != nil {
+			return nil, err
+		}
+		d, err := w.Recv()
+		if err != nil {
+			return nil, err
+		}
+		ok, err := d.ReadBool()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			n, err := d.ReadUvarint()
+			if err != nil {
+				return nil, err
+			}
+			if n > uint64(maxFrame/8) {
+				return nil, fmt.Errorf("netproto: implausible repair size %d", n)
+			}
+			out := make([]uint64, n)
+			for i := range out {
+				if out[i], err = d.ReadUint64(); err != nil {
+					return nil, err
+				}
+			}
+			return out, nil
+		}
+		if attempt >= p.MaxRetries {
+			return nil, fmt.Errorf("netproto: sync failed after %d attempts", attempt+1)
+		}
+		diffBound *= 2
+	}
+}

@@ -1,0 +1,266 @@
+// Package quadtree implements the baseline the paper improves on: the
+// randomly-offset quadtree protocol of Chen, Konrad, Yi, Yu & Zhang,
+// "Robust set reconciliation" (SIGMOD 2014), the paper's reference [7].
+//
+// Where Algorithm 1 keys points by locality-sensitive hashes and stores
+// the points themselves as IBLT values, [7] "simply rounds points to the
+// center of their quadtree cell, and inserts those into an IBLT" (§1.1).
+// We realize that with a hierarchy of randomly shifted grids: at level ℓ
+// the cell width halves, each point is replaced by its cell's center
+// point, and the (cellID, occurrence) → center pairs go into a table per
+// level. Bob decodes the finest level whose difference fits and replaces
+// matched points by Alice's recovered cell centers.
+//
+// The recovered values carry quantization error up to the cell diameter,
+// which grows linearly with the dimension d under ℓ1 (and with √d under
+// ℓ2) — the O(d) approximation factor that motivates the paper's O(log n)
+// alternative. Experiment E7 measures exactly this contrast.
+package quadtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hashx"
+	"repro/internal/matching"
+	"repro/internal/metric"
+	"repro/internal/riblt"
+	"repro/internal/rng"
+	"repro/internal/transport"
+)
+
+// Params configures the baseline protocol.
+type Params struct {
+	Space metric.Space
+	N     int
+	K     int
+	// Q, KeyBits, CellsPerLevel mirror the RIBLT sizing; zero values
+	// default to the same geometry Algorithm 1 uses (4q²k cells, q=3),
+	// keeping the comparison apples-to-apples.
+	Q             int
+	KeyBits       uint
+	CellsPerLevel int
+	// MaxDecoded caps the per-level recovered pairs (default 4K).
+	MaxDecoded int
+	Seed       uint64
+}
+
+func (p *Params) applyDefaults() {
+	if p.Q == 0 {
+		p.Q = 3
+	}
+	if p.KeyBits == 0 {
+		p.KeyBits = 40
+	}
+	if p.CellsPerLevel == 0 {
+		p.CellsPerLevel = 4 * p.Q * p.Q * p.K
+	}
+	if p.MaxDecoded == 0 {
+		p.MaxDecoded = 4 * p.K
+	}
+}
+
+// Validate reports an error for unusable parameters.
+func (p *Params) Validate() error {
+	if err := p.Space.Validate(); err != nil {
+		return err
+	}
+	if p.N < 1 || p.K < 1 || p.K > p.N {
+		return fmt.Errorf("quadtree: need 1 <= k <= n, got n=%d k=%d", p.N, p.K)
+	}
+	return nil
+}
+
+// Result mirrors emd.Result for the baseline.
+type Result struct {
+	SPrime metric.PointSet
+	Failed bool
+	// Level is the finest decoded level (1-based; higher = finer cells).
+	Level  int
+	XA, XB metric.PointSet
+	Stats  transport.Stats
+	Levels int
+}
+
+// levelWidths returns the cell width per level: level 0 covers the whole
+// space in one cell, and widths halve down to 1.
+func levelWidths(space metric.Space) []float64 {
+	max := float64(space.Delta + 1)
+	var widths []float64
+	for w := max; w >= 1; w /= 2 {
+		widths = append(widths, w)
+	}
+	return widths
+}
+
+// grid captures one level's randomly offset grid.
+type grid struct {
+	w       float64
+	offsets []float64
+	mix     hashx.Mixer
+	space   metric.Space
+}
+
+func newGrid(space metric.Space, w float64, src *rng.Source) grid {
+	off := make([]float64, space.Dim)
+	for i := range off {
+		off[i] = src.Float64() * w
+	}
+	return grid{w: w, offsets: off, mix: hashx.NewMixer(src), space: space}
+}
+
+// cellAndCenter returns the cell id hash and the center point of p's
+// cell, clamped into the space.
+func (g grid) cellAndCenter(p metric.Point) (uint64, metric.Point) {
+	h := g.mix.Hash(uint64(len(p)))
+	center := make(metric.Point, len(p))
+	for i, x := range p {
+		cell := math.Floor((float64(x) + g.offsets[i]) / g.w)
+		h = g.mix.Hash(h ^ uint64(int64(cell)) ^ uint64(i)<<48)
+		c := cell*g.w + g.w/2 - g.offsets[i]
+		center[i] = int32(math.Round(c))
+	}
+	return h, g.space.Clamp(center)
+}
+
+// occurrenceKeys assigns, per party, stable occurrence indices to points
+// sharing a cell so duplicates become distinct table keys that still
+// cancel across parties.
+func occurrenceKeys(cells []uint64, keyBits uint, mix hashx.Mixer) []uint64 {
+	order := make([]int, len(cells))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return cells[order[a]] < cells[order[b]] })
+	out := make([]uint64, len(cells))
+	occ := map[uint64]uint64{}
+	for _, i := range order {
+		c := cells[i]
+		n := occ[c]
+		occ[c] = n + 1
+		out[i] = mix.Hash(c^(n+1)*0x9e3779b97f4a7c15) & (1<<keyBits - 1)
+	}
+	return out
+}
+
+// Reconcile runs the baseline protocol in-process.
+func Reconcile(p Params, sa, sb metric.PointSet) (Result, error) {
+	p.applyDefaults()
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(sa) != p.N || len(sb) != p.N {
+		return Result{}, fmt.Errorf("quadtree: |SA|=%d |SB|=%d, N=%d", len(sa), len(sb), p.N)
+	}
+	widths := levelWidths(p.Space)
+	src := rng.New(p.Seed)
+	grids := make([]grid, len(widths))
+	for i, w := range widths {
+		grids[i] = newGrid(p.Space, w, src)
+	}
+	occMix := hashx.NewMixer(src)
+	cfgs := make([]riblt.Config, len(widths))
+	for i := range cfgs {
+		cfgs[i] = riblt.Config{
+			Cells: p.CellsPerLevel, Q: p.Q, Dim: p.Space.Dim, Delta: p.Space.Delta,
+			KeyBits: p.KeyBits, MaxItems: 2*p.N + 2, Seed: src.Uint64(),
+		}
+	}
+
+	// Alice: build and send all levels.
+	var ch transport.Channel
+	e := transport.NewEncoder()
+	e.WriteUvarint(uint64(len(widths)))
+	aliceCenters := make([]metric.PointSet, len(widths))
+	for lvl := range widths {
+		tbl := riblt.New(cfgs[lvl])
+		cells := make([]uint64, len(sa))
+		centers := make(metric.PointSet, len(sa))
+		for i, a := range sa {
+			cells[i], centers[i] = grids[lvl].cellAndCenter(a)
+		}
+		aliceCenters[lvl] = centers
+		for i, key := range occurrenceKeys(cells, p.KeyBits, occMix) {
+			tbl.Insert(key, centers[i])
+		}
+		tbl.Encode(e)
+	}
+	ch.Send(transport.AliceToBob, e)
+
+	// Bob: delete his rounded points, decode finest feasible level.
+	d, err := ch.Recv(transport.AliceToBob)
+	if err != nil {
+		return Result{}, err
+	}
+	nLvl, err := d.ReadUvarint()
+	if err != nil {
+		return Result{}, err
+	}
+	if int(nLvl) != len(widths) {
+		return Result{}, fmt.Errorf("quadtree: level count mismatch")
+	}
+	tables := make([]*riblt.Table, len(widths))
+	for lvl := range tables {
+		if tables[lvl], err = riblt.DecodeFrom(d, cfgs[lvl]); err != nil {
+			return Result{}, err
+		}
+	}
+	for lvl := range widths {
+		cells := make([]uint64, len(sb))
+		centers := make(metric.PointSet, len(sb))
+		for i, b := range sb {
+			cells[i], centers[i] = grids[lvl].cellAndCenter(b)
+		}
+		for i, key := range occurrenceKeys(cells, p.KeyBits, occMix) {
+			tables[lvl].Delete(key, centers[i])
+		}
+	}
+	round := rng.New(p.Seed ^ 0xbead)
+	for lvl := len(widths) - 1; lvl >= 0; lvl-- {
+		res, err := tables[lvl].Peel(round)
+		if err != nil {
+			continue
+		}
+		if len(res.Inserted)+len(res.Deleted) > p.MaxDecoded {
+			continue
+		}
+		xa := make(metric.PointSet, len(res.Inserted))
+		for j, pr := range res.Inserted {
+			xa[j] = pr.Value
+		}
+		xb := make(metric.PointSet, len(res.Deleted))
+		for j, pr := range res.Deleted {
+			xb[j] = pr.Value
+		}
+		sPrime := assemble(p.Space, sb, xa, xb)
+		return Result{
+			SPrime: sPrime, Level: lvl + 1, XA: xa, XB: xb,
+			Stats: ch.Stats(), Levels: len(widths),
+		}, nil
+	}
+	return Result{Failed: true, Stats: ch.Stats(), Levels: len(widths)}, nil
+}
+
+// assemble mirrors the Algorithm 1 output step: S′B = (SB \ YB) ∪ XA with
+// YB the min-cost match of XB into SB.
+func assemble(space metric.Space, sb, xa, xb metric.PointSet) metric.PointSet {
+	if len(xb) == 0 {
+		return append(sb.Clone(), xa.Clone()...)
+	}
+	rows, _ := matching.Assign(matching.CostMatrix(space, xb, sb))
+	drop := make(map[int]bool, len(rows))
+	for _, j := range rows {
+		if j >= 0 {
+			drop[j] = true
+		}
+	}
+	out := make(metric.PointSet, 0, len(sb)-len(drop)+len(xa))
+	for j, b := range sb {
+		if !drop[j] {
+			out = append(out, b.Clone())
+		}
+	}
+	out = append(out, xa.Clone()...)
+	return out
+}

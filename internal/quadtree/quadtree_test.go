@@ -1,0 +1,151 @@
+package quadtree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matching"
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+func TestParamsValidate(t *testing.T) {
+	p := Params{Space: metric.Grid(255, 2, metric.L1), N: 10, K: 2}
+	p.applyDefaults()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.K = 11
+	if err := p.Validate(); err == nil {
+		t.Error("k > n accepted")
+	}
+}
+
+func TestLevelWidthsHalve(t *testing.T) {
+	ws := levelWidths(metric.Grid(255, 2, metric.L1))
+	if len(ws) < 8 {
+		t.Fatalf("only %d levels for Delta=255", len(ws))
+	}
+	for i := 1; i < len(ws); i++ {
+		if math.Abs(ws[i]*2-ws[i-1]) > 1e-9 {
+			t.Fatalf("widths not halving: %v", ws)
+		}
+	}
+	if ws[len(ws)-1] < 1 {
+		t.Fatalf("finest width %v < 1", ws[len(ws)-1])
+	}
+}
+
+func TestCellCenterWithinCell(t *testing.T) {
+	space := metric.Grid(1023, 3, metric.L1)
+	src := rngNew(5)
+	g := newGrid(space, 64, src)
+	for i := 0; i < 200; i++ {
+		p := workload.RandomPoint(space, src)
+		_, center := g.cellAndCenter(p)
+		if !space.Contains(center) {
+			t.Fatalf("center %v outside space", center)
+		}
+		// Distance from a point to its (unclamped) cell center is at
+		// most w/2 per coordinate, so ℓ1 ≤ d·w/2; clamping only helps.
+		if d := space.Distance(p, center); d > 3*64/2+1 {
+			t.Fatalf("point %v to center %v distance %v", p, center, d)
+		}
+	}
+}
+
+func TestIdenticalSetsCancel(t *testing.T) {
+	space := metric.Grid(1023, 2, metric.L1)
+	src := rngNew(7)
+	sb := workload.RandomSet(space, 30, src)
+	p := Params{Space: space, N: 30, K: 3, Seed: 9}
+	res, err := Reconcile(p, sb.Clone(), sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatal("failed on identical sets")
+	}
+	// Finest level must decode with zero difference.
+	if res.Level != res.Levels {
+		t.Errorf("identical sets decoded at level %d of %d", res.Level, res.Levels)
+	}
+	if got := matching.EMD(space, sb, res.SPrime); got != 0 {
+		t.Errorf("EMD = %v on identical sets", got)
+	}
+}
+
+func TestBaselineReconciles(t *testing.T) {
+	space := metric.Grid(4095, 2, metric.L1)
+	const n, k = 40, 4
+	improved := 0
+	const trials = 6
+	for trial := 0; trial < trials; trial++ {
+		inst := workload.NewEMDInstance(space, n, k, 20, uint64(trial)+50)
+		p := Params{Space: space, N: n, K: k, Seed: uint64(trial) + 3}
+		res, err := Reconcile(p, inst.SA, inst.SB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed {
+			continue
+		}
+		if len(res.SPrime) != n {
+			t.Fatalf("|S'B| = %d", len(res.SPrime))
+		}
+		before := matching.EMD(space, inst.SA, inst.SB)
+		after := matching.EMD(space, inst.SA, res.SPrime)
+		if after < before {
+			improved++
+		}
+	}
+	if improved < trials/2 {
+		t.Errorf("baseline improved EMD in only %d/%d trials", improved, trials)
+	}
+}
+
+// TestQuantizationGrowsWithDimension captures the baseline's weakness
+// (the reason the paper exists): with everything else fixed, recovered
+// points' quantization error grows with d.
+func TestQuantizationGrowsWithDimension(t *testing.T) {
+	errAtDim := func(d int) float64 {
+		space := metric.Grid(255, d, metric.L1)
+		const n, k = 24, 3
+		var total float64
+		cnt := 0
+		for trial := 0; trial < 8; trial++ {
+			inst := workload.NewEMDInstance(space, n, k, 0, uint64(trial)+90)
+			p := Params{Space: space, N: n, K: k, Seed: uint64(trial) + 7}
+			res, err := Reconcile(p, inst.SA, inst.SB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed {
+				continue
+			}
+			total += matching.EMD(space, inst.SA, res.SPrime)
+			cnt++
+		}
+		if cnt == 0 {
+			t.Fatal("all trials failed")
+		}
+		return total / float64(cnt)
+	}
+	e2 := errAtDim(2)
+	e16 := errAtDim(16)
+	if e16 < e2*2 {
+		t.Errorf("quantization error did not grow with d: d=2 → %v, d=16 → %v", e2, e16)
+	}
+}
+
+func TestSizeMismatch(t *testing.T) {
+	space := metric.Grid(255, 2, metric.L1)
+	p := Params{Space: space, N: 5, K: 1, Seed: 1}
+	src := rngNew(3)
+	if _, err := Reconcile(p, workload.RandomSet(space, 5, src), workload.RandomSet(space, 4, src)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func rngNew(seed uint64) *rng.Source { return rng.New(seed) }

@@ -1,0 +1,409 @@
+// Package riblt implements the paper's Robust Invertible Bloom Lookup
+// Table (§2.2), the novel data structure behind the EMD protocol
+// (Algorithm 1). An RIBLT stores (key, value) pairs where keys are short
+// hashes (a point's locality-sensitive fingerprint) and values are the
+// points themselves. It differs from a classic IBLT in five ways, all
+// implemented here exactly as the paper prescribes:
+//
+//  1. Peeling proceeds breadth-first, first-come first-served.
+//  2. The table is sparser: the load must satisfy c < 1/(q(q−1)), so the
+//     underlying hypergraph is trees and unicyclic components whp.
+//  3. Cells hold *sums* of keys and key checksums rather than XORs.
+//  4. Cells hold coordinate-wise sums of values (points in
+//     {−n∆,…,n∆}^d).
+//  5. A cell is peelable whenever its contents are C net copies of one
+//     key: count C ≠ 0, key sum divisible by C, and checksum sum equal
+//     to C times the checksum of the quotient key. Extraction averages
+//     the value sum over C, clamps into [0,∆]^d, and randomly rounds
+//     fractional coordinates (unbiased), so extracted values always lie
+//     in the original space.
+//
+// Because unequal values under equal keys cancel only partially, peeling
+// leaves and propagates value error; the whole point of the design (and
+// of the paper's Lemma 3.10 analysis) is that with the sparsity of
+// item 2 and the order of item 1, each error is added to O(1) extracted
+// values in expectation.
+package riblt
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hashx"
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/transport"
+)
+
+// PeelOrder selects the traversal order of the peeling process. The paper
+// requires breadth-first (item 1); LIFO is provided only as an ablation
+// to demonstrate why (see the riblt tests and bench E3).
+type PeelOrder int
+
+const (
+	// BFS peels first-come first-served, as the paper requires.
+	BFS PeelOrder = iota
+	// LIFO peels most-recently-discovered first (ablation only).
+	LIFO
+)
+
+// Config fixes the geometry of a table. Both parties must use identical
+// configs (including Seed) for their tables to align.
+type Config struct {
+	// Cells is the number of cells m. Algorithm 1 uses m = 4q²k.
+	Cells int
+	// Q is the number of cell hashes per key (q ≥ 3 in Algorithm 1).
+	Q int
+	// Dim and Delta describe the value space [∆]^d.
+	Dim   int
+	Delta int32
+	// KeyBits bounds the width of keys; keys must fit so that sums of
+	// up to MaxItems keys cannot overflow an int64. Algorithm 1 keys are
+	// Θ(log n)-bit pairwise hashes, so 40 bits is ample.
+	KeyBits uint
+	// MaxItems is an upper bound on insertions plus deletions, used only
+	// to verify that sums cannot overflow.
+	MaxItems int
+	// Seed derives the cell-index hashes and the checksum function.
+	Seed uint64
+	// Order is the peel order; zero value is the paper's BFS.
+	Order PeelOrder
+}
+
+// Validate reports an error for unusable configurations, including any
+// combination that could overflow a cell's int64 sums.
+func (c Config) Validate() error {
+	if c.Cells < c.Q || c.Q < 2 {
+		return fmt.Errorf("riblt: need cells >= q >= 2, got m=%d q=%d", c.Cells, c.Q)
+	}
+	if c.Dim < 1 || c.Delta < 1 {
+		return fmt.Errorf("riblt: bad value space [%d]^%d", c.Delta, c.Dim)
+	}
+	if c.KeyBits < 1 || c.KeyBits > 48 {
+		return fmt.Errorf("riblt: KeyBits = %d, need in [1,48]", c.KeyBits)
+	}
+	if c.MaxItems < 1 {
+		return fmt.Errorf("riblt: MaxItems = %d", c.MaxItems)
+	}
+	// Key sums: MaxItems · 2^KeyBits must stay below 2^62 (sign + slack).
+	if bitsOf(uint64(c.MaxItems))+int(c.KeyBits) > 62 {
+		return fmt.Errorf("riblt: MaxItems %d with %d-bit keys can overflow key sums", c.MaxItems, c.KeyBits)
+	}
+	// Value sums: MaxItems · Delta must stay below 2^62.
+	if bitsOf(uint64(c.MaxItems))+bitsOf(uint64(c.Delta)) > 62 {
+		return fmt.Errorf("riblt: MaxItems %d with Delta %d can overflow value sums", c.MaxItems, c.Delta)
+	}
+	return nil
+}
+
+func bitsOf(v uint64) int {
+	n := 0
+	for v > 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// checkBits is the width of summed checksums. 40 bits keeps false
+// positive peels below 2^-40 per test while leaving headroom for sums of
+// 2^22 items in an int64.
+const checkBits = 40
+
+// Pair is one recovered (key, value) pair.
+type Pair struct {
+	Key   uint64
+	Value metric.Point
+}
+
+// cell is one bucket: net count, summed keys, summed checksums, and
+// coordinate-wise summed values.
+type cell struct {
+	count    int64
+	keySum   int64
+	checkSum int64
+	valSum   []int64
+}
+
+func (c *cell) empty() bool {
+	return c.count == 0 && c.keySum == 0 && c.checkSum == 0
+}
+
+// Table is a Robust IBLT.
+type Table struct {
+	cfg       Config
+	cellsPerQ int
+	cells     []cell
+	idx       []hashx.Mixer
+	check     hashx.Mixer
+	items     int // inserts + deletes, for the overflow guard
+}
+
+// New builds an empty table. It panics on an invalid config: geometry is
+// fixed at construction by protocol parameters, so a bad config is a
+// programming error.
+func New(cfg Config) *Table {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	src := rng.New(cfg.Seed)
+	idx := make([]hashx.Mixer, cfg.Q)
+	for i := range idx {
+		idx[i] = hashx.NewMixer(src)
+	}
+	cellsPerQ := (cfg.Cells + cfg.Q - 1) / cfg.Q
+	cells := make([]cell, cellsPerQ*cfg.Q)
+	for i := range cells {
+		cells[i].valSum = make([]int64, cfg.Dim)
+	}
+	return &Table{
+		cfg:       cfg,
+		cellsPerQ: cellsPerQ,
+		cells:     cells,
+		idx:       idx,
+		check:     hashx.NewMixer(src),
+	}
+}
+
+// Cells returns the number of cells.
+func (t *Table) Cells() int { return len(t.cells) }
+
+// Config returns the table's configuration.
+func (t *Table) Config() Config { return t.cfg }
+
+func (t *Table) cellOf(key uint64, j int) int {
+	return j*t.cellsPerQ + int(t.idx[j].Hash(key)%uint64(t.cellsPerQ))
+}
+
+func (t *Table) checksum(key uint64) int64 {
+	return int64(t.check.Hash(key) & (1<<checkBits - 1))
+}
+
+// Insert adds a key-value pair (Alice's side in Algorithm 1).
+func (t *Table) Insert(key uint64, val metric.Point) { t.update(key, val, 1) }
+
+// Delete removes a key-value pair (Bob's side). The pair need not have
+// been inserted; un-canceled deletions surface as negative-count
+// recoveries.
+func (t *Table) Delete(key uint64, val metric.Point) { t.update(key, val, -1) }
+
+func (t *Table) update(key uint64, val metric.Point, dir int64) {
+	if key >= 1<<t.cfg.KeyBits {
+		panic(fmt.Sprintf("riblt: key %#x exceeds %d bits", key, t.cfg.KeyBits))
+	}
+	if len(val) != t.cfg.Dim {
+		panic(fmt.Sprintf("riblt: value dim %d, table dim %d", len(val), t.cfg.Dim))
+	}
+	t.items++
+	if t.items > t.cfg.MaxItems {
+		panic(fmt.Sprintf("riblt: %d items exceed MaxItems %d", t.items, t.cfg.MaxItems))
+	}
+	for j := 0; j < t.cfg.Q; j++ {
+		c := &t.cells[t.cellOf(key, j)]
+		c.count += dir
+		c.keySum += dir * int64(key)
+		c.checkSum += dir * t.checksum(key)
+		for i, v := range val {
+			c.valSum[i] += dir * int64(v)
+		}
+	}
+}
+
+// peelable reports whether the cell currently holds C net copies of one
+// key, returning that key and C. This is the §2.2 item 5 test: count
+// nonzero, key sum divisible by count, checksum sum equal to count times
+// the checksum of the quotient.
+func (t *Table) peelable(c *cell) (key uint64, count int64, ok bool) {
+	if c.count == 0 {
+		return 0, 0, false
+	}
+	if c.keySum%c.count != 0 {
+		return 0, 0, false
+	}
+	k := c.keySum / c.count
+	if k < 0 || k >= 1<<t.cfg.KeyBits {
+		return 0, 0, false
+	}
+	if t.checksum(uint64(k))*c.count != c.checkSum {
+		return 0, 0, false
+	}
+	return uint64(k), c.count, true
+}
+
+// Result is the outcome of peeling a table that held Alice-inserted and
+// Bob-deleted pairs.
+type Result struct {
+	// Inserted holds pairs recovered with positive net count (Alice's
+	// un-canceled pairs, the paper's XA).
+	Inserted []Pair
+	// Deleted holds pairs recovered with negative net count (Bob's
+	// un-canceled pairs, the paper's XB).
+	Deleted []Pair
+	// Peels counts peeling steps (cells extracted), for the error
+	// propagation experiments.
+	Peels int
+}
+
+// ErrStalled is returned when peeling stops before all counts reach
+// zero: the difference hypergraph has a 2-core, or mixed-key cells never
+// became pure.
+var ErrStalled = errors.New("riblt: peeling stalled")
+
+// Peel inverts the table using the configured order. Random rounding of
+// averaged values consumes from src (the decoder's private randomness —
+// it does not need to be shared). Peel consumes the table; value-only
+// residue (count 0, key 0, checksum 0, nonzero value sum) is expected
+// and does not count as failure — it is exactly the error left behind by
+// close-but-unequal pairs whose keys canceled (Figure 1).
+func (t *Table) Peel(src *rng.Source) (Result, error) {
+	var res Result
+	queue := make([]int, 0, len(t.cells))
+	inQueue := make([]bool, len(t.cells))
+	for i := range t.cells {
+		if _, _, ok := t.peelable(&t.cells[i]); ok {
+			queue = append(queue, i)
+			inQueue[i] = true
+		}
+	}
+	for len(queue) > 0 {
+		var i int
+		switch t.cfg.Order {
+		case LIFO:
+			i = queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+		default: // BFS, the paper's order
+			i = queue[0]
+			queue = queue[1:]
+		}
+		inQueue[i] = false
+		c := &t.cells[i]
+		key, count, ok := t.peelable(c)
+		if !ok {
+			continue // cell changed since enqueued
+		}
+		res.Peels++
+		// Extract |count| pairs. Each pair's value is independently the
+		// randomized rounding of the clamped average V/C (§2.2 item 5).
+		n := count
+		if n < 0 {
+			n = -n
+		}
+		avg := make([]float64, t.cfg.Dim)
+		for d := 0; d < t.cfg.Dim; d++ {
+			avg[d] = float64(c.valSum[d]) / float64(count)
+		}
+		for copyIdx := int64(0); copyIdx < n; copyIdx++ {
+			val := roundClamped(avg, t.cfg.Delta, src)
+			if count > 0 {
+				res.Inserted = append(res.Inserted, Pair{Key: key, Value: val})
+			} else {
+				res.Deleted = append(res.Deleted, Pair{Key: key, Value: val})
+			}
+		}
+		// Subtract the full cell contents — count, key sum, checksum
+		// sum, AND value sum including any accumulated error — from
+		// every cell the key maps to. Propagating the error is the
+		// paper's mechanism (Figure 1); zeroing only this cell would be
+		// a different (incorrect) data structure.
+		snap := cell{count: c.count, keySum: c.keySum, checkSum: c.checkSum,
+			valSum: append([]int64(nil), c.valSum...)}
+		for j := 0; j < t.cfg.Q; j++ {
+			ci := t.cellOf(key, j)
+			cc := &t.cells[ci]
+			cc.count -= snap.count
+			cc.keySum -= snap.keySum
+			cc.checkSum -= snap.checkSum
+			for d := range cc.valSum {
+				cc.valSum[d] -= snap.valSum[d]
+			}
+			if _, _, ok := t.peelable(cc); ok && !inQueue[ci] {
+				queue = append(queue, ci)
+				inQueue[ci] = true
+			}
+		}
+	}
+	for i := range t.cells {
+		if !t.cells[i].empty() {
+			return res, ErrStalled
+		}
+	}
+	return res, nil
+}
+
+// roundClamped clamps avg into [0, Delta] per coordinate and randomly
+// rounds fractional coordinates up with probability equal to the
+// fractional part — the unbiased rounding of §2.2 item 5.
+func roundClamped(avg []float64, delta int32, src *rng.Source) metric.Point {
+	out := make(metric.Point, len(avg))
+	for i, v := range avg {
+		if v < 0 {
+			v = 0
+		} else if v > float64(delta) {
+			v = float64(delta)
+		}
+		fl := int32(v)
+		frac := v - float64(fl)
+		if frac > 0 && src.Float64() < frac {
+			fl++
+		}
+		if fl > delta { // guard fl == delta with frac rounding up
+			fl = delta
+		}
+		out[i] = fl
+	}
+	return out
+}
+
+// Encode serializes the table's cells. Counts, key sums, checksum sums
+// and value sums are all varint-coded: in a reconciliation most cells are
+// fully canceled, so the wire size tracks the difference, matching the
+// paper's accounting of O(log(∆·n)) bits per occupied coordinate.
+func (t *Table) Encode(e *transport.Encoder) {
+	e.WriteUvarint(uint64(t.cfg.Cells))
+	e.WriteUvarint(uint64(t.cfg.Q))
+	for i := range t.cells {
+		c := &t.cells[i]
+		e.WriteVarint(c.count)
+		e.WriteVarint(c.keySum)
+		e.WriteVarint(c.checkSum)
+		for _, v := range c.valSum {
+			e.WriteVarint(v)
+		}
+	}
+}
+
+// DecodeFrom reconstructs a table from the wire. cfg must match the
+// sender's config (protocols fix it from shared parameters).
+func DecodeFrom(d *transport.Decoder, cfg Config) (*Table, error) {
+	cells, err := d.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	q, err := d.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if int(cells) != cfg.Cells || int(q) != cfg.Q {
+		return nil, fmt.Errorf("riblt: wire geometry m=%d q=%d, expected m=%d q=%d",
+			cells, q, cfg.Cells, cfg.Q)
+	}
+	t := New(cfg)
+	for i := range t.cells {
+		c := &t.cells[i]
+		if c.count, err = d.ReadVarint(); err != nil {
+			return nil, err
+		}
+		if c.keySum, err = d.ReadVarint(); err != nil {
+			return nil, err
+		}
+		if c.checkSum, err = d.ReadVarint(); err != nil {
+			return nil, err
+		}
+		for j := range c.valSum {
+			if c.valSum[j], err = d.ReadVarint(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}

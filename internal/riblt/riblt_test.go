@@ -1,0 +1,472 @@
+package riblt
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/transport"
+)
+
+func testCfg(cells int) Config {
+	return Config{
+		Cells:    cells,
+		Q:        3,
+		Dim:      4,
+		Delta:    1000,
+		KeyBits:  40,
+		MaxItems: 1 << 16,
+		Seed:     42,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testCfg(64).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Cells: 2, Q: 3, Dim: 1, Delta: 1, KeyBits: 40, MaxItems: 10},
+		{Cells: 64, Q: 1, Dim: 1, Delta: 1, KeyBits: 40, MaxItems: 10},
+		{Cells: 64, Q: 3, Dim: 0, Delta: 1, KeyBits: 40, MaxItems: 10},
+		{Cells: 64, Q: 3, Dim: 1, Delta: 0, KeyBits: 40, MaxItems: 10},
+		{Cells: 64, Q: 3, Dim: 1, Delta: 1, KeyBits: 0, MaxItems: 10},
+		{Cells: 64, Q: 3, Dim: 1, Delta: 1, KeyBits: 60, MaxItems: 10},
+		{Cells: 64, Q: 3, Dim: 1, Delta: 1, KeyBits: 40, MaxItems: 0},
+		// Overflow: 2^40 keys · 2^40 items.
+		{Cells: 64, Q: 3, Dim: 1, Delta: 1, KeyBits: 40, MaxItems: 1 << 40},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestInsertDeleteCancelExactly(t *testing.T) {
+	tb := New(testCfg(96))
+	v := metric.Point{1, 2, 3, 4}
+	tb.Insert(77, v)
+	tb.Delete(77, v)
+	res, err := tb.Peel(rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Inserted)+len(res.Deleted) != 0 {
+		t.Fatalf("canceled pair recovered: %+v", res)
+	}
+}
+
+func TestExactRecovery(t *testing.T) {
+	// No duplicate keys, no noise: the RIBLT must behave like a classic
+	// IBLT and recover everything exactly.
+	tb := New(testCfg(200))
+	ins := map[uint64]metric.Point{
+		10: {1, 2, 3, 4}, 11: {5, 6, 7, 8}, 12: {9, 10, 11, 12},
+	}
+	del := map[uint64]metric.Point{
+		20: {100, 200, 300, 400}, 21: {500, 600, 700, 800},
+	}
+	for k, v := range ins {
+		tb.Insert(k, v)
+	}
+	for k, v := range del {
+		tb.Delete(k, v)
+	}
+	res, err := tb.Peel(rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Inserted) != len(ins) || len(res.Deleted) != len(del) {
+		t.Fatalf("recovered %d/%d, want %d/%d",
+			len(res.Inserted), len(res.Deleted), len(ins), len(del))
+	}
+	for _, p := range res.Inserted {
+		want, ok := ins[p.Key]
+		if !ok || !p.Value.Equal(want) {
+			t.Errorf("inserted %d -> %v, want %v", p.Key, p.Value, want)
+		}
+	}
+	for _, p := range res.Deleted {
+		want, ok := del[p.Key]
+		if !ok || !p.Value.Equal(want) {
+			t.Errorf("deleted %d -> %v, want %v", p.Key, p.Value, want)
+		}
+	}
+}
+
+func TestDuplicateKeysAveraged(t *testing.T) {
+	// Two insertions under the same key with different values must peel
+	// as two pairs whose values are (randomized roundings of) the
+	// average — §2.2 item 5.
+	tb := New(testCfg(96))
+	tb.Insert(5, metric.Point{10, 20, 0, 1000})
+	tb.Insert(5, metric.Point{20, 21, 0, 0})
+	res, err := tb.Peel(rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Inserted) != 2 || len(res.Deleted) != 0 {
+		t.Fatalf("got %d/%d pairs", len(res.Inserted), len(res.Deleted))
+	}
+	for _, p := range res.Inserted {
+		if p.Key != 5 {
+			t.Errorf("key = %d", p.Key)
+		}
+		// Average is (15, 20.5, 0, 500): coordinate 0 must be 15,
+		// coordinate 1 must round to 20 or 21.
+		if p.Value[0] != 15 {
+			t.Errorf("coord 0 = %d, want 15", p.Value[0])
+		}
+		if p.Value[1] != 20 && p.Value[1] != 21 {
+			t.Errorf("coord 1 = %d, want 20 or 21", p.Value[1])
+		}
+		if p.Value[2] != 0 || p.Value[3] != 500 {
+			t.Errorf("coords 2,3 = %d,%d", p.Value[2], p.Value[3])
+		}
+	}
+}
+
+func TestRoundingUnbiasedAndInRange(t *testing.T) {
+	src := rng.New(7)
+	avg := []float64{0.25, 999.75, -5, 2000, 500}
+	const trials = 20000
+	sums := make([]float64, len(avg))
+	for i := 0; i < trials; i++ {
+		p := roundClamped(avg, 1000, src)
+		for j, v := range p {
+			if v < 0 || v > 1000 {
+				t.Fatalf("coordinate %d out of range: %d", j, v)
+			}
+			sums[j] += float64(v)
+		}
+	}
+	means := make([]float64, len(avg))
+	for j := range sums {
+		means[j] = sums[j] / trials
+	}
+	// Unbiased within the clamp: E[round(x)] = clamp(x).
+	wants := []float64{0.25, 999.75, 0, 1000, 500}
+	for j, want := range wants {
+		if math.Abs(means[j]-want) > 0.02*math.Max(1, want) {
+			t.Errorf("coord %d mean = %v, want %v", j, means[j], want)
+		}
+	}
+}
+
+func TestNoisyPairLeavesResidueButDecodes(t *testing.T) {
+	// A matched pair (same key, close but unequal values) plus a clean
+	// difference: the clean difference must still decode, carrying at
+	// most bounded error.
+	cfg := testCfg(200)
+	tb := New(cfg)
+	// Matched pair: cancels count/key/checksum, leaves value residue.
+	tb.Insert(40, metric.Point{100, 100, 100, 100})
+	tb.Delete(40, metric.Point{101, 99, 100, 100})
+	// Clean unmatched insertion.
+	want := metric.Point{7, 7, 7, 7}
+	tb.Insert(50, want)
+	res, err := tb.Peel(rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Inserted) != 1 {
+		t.Fatalf("recovered %d inserted pairs, want 1", len(res.Inserted))
+	}
+	got := res.Inserted[0]
+	if got.Key != 50 {
+		t.Fatalf("key = %d", got.Key)
+	}
+	// The residue (±1 in two coordinates) may or may not land in one of
+	// key 50's cells; error per coordinate is at most 1 either way.
+	space := metric.Grid(cfg.Delta, cfg.Dim, metric.L1)
+	if d := space.Distance(got.Value, want); d > 2 {
+		t.Errorf("recovered value %v too far from %v (ℓ1 = %v)", got.Value, want, d)
+	}
+}
+
+func TestStalledOnOverload(t *testing.T) {
+	cfg := testCfg(30)
+	tb := New(cfg)
+	src := rng.New(5)
+	for i := 0; i < 200; i++ {
+		tb.Insert(uint64(src.Uint64n(1<<40)), metric.Point{1, 2, 3, 4})
+	}
+	if _, err := tb.Peel(rng.New(6)); err != ErrStalled {
+		t.Fatalf("overloaded peel err = %v, want ErrStalled", err)
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	tb := New(testCfg(64))
+	assertPanics(t, "oversized key", func() { tb.Insert(1<<41, metric.Point{0, 0, 0, 0}) })
+	assertPanics(t, "wrong dim", func() { tb.Insert(1, metric.Point{0}) })
+	cfg := testCfg(64)
+	cfg.MaxItems = 1
+	small := New(cfg)
+	small.Insert(1, metric.Point{0, 0, 0, 0})
+	assertPanics(t, "item budget", func() { small.Insert(2, metric.Point{0, 0, 0, 0}) })
+	badCfg := testCfg(64)
+	badCfg.Q = 0
+	assertPanics(t, "bad config", func() { New(badCfg) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	f()
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cfg := testCfg(120)
+	tb := New(cfg)
+	src := rng.New(8)
+	type kv struct {
+		k uint64
+		v metric.Point
+	}
+	var pairs []kv
+	for i := 0; i < 15; i++ {
+		p := kv{k: src.Uint64n(1 << 40), v: metric.Point{
+			int32(src.Intn(1000)), int32(src.Intn(1000)),
+			int32(src.Intn(1000)), int32(src.Intn(1000))}}
+		pairs = append(pairs, p)
+		tb.Insert(p.k, p.v)
+	}
+	e := transport.NewEncoder()
+	tb.Encode(e)
+	var ch transport.Channel
+	ch.Send(transport.AliceToBob, e)
+	d, _ := ch.Recv(transport.AliceToBob)
+	got, err := DecodeFrom(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bob-side behaviour: delete the same pairs; the table must cancel.
+	for _, p := range pairs {
+		got.Delete(p.k, p.v)
+	}
+	res, err := got.Peel(rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Inserted)+len(res.Deleted) != 0 {
+		t.Errorf("round-tripped table did not cancel: %+v", res)
+	}
+}
+
+func TestDecodeFromGeometryMismatch(t *testing.T) {
+	cfg := testCfg(120)
+	tb := New(cfg)
+	e := transport.NewEncoder()
+	tb.Encode(e)
+	var ch transport.Channel
+	ch.Send(transport.AliceToBob, e)
+	d, _ := ch.Recv(transport.AliceToBob)
+	other := cfg
+	other.Cells = 60
+	if _, err := DecodeFrom(d, other); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}
+
+// TestReconciliationProperty drives a full Alice/Bob RIBLT exchange with
+// random clean differences and checks exact recovery, for many sizes.
+func TestReconciliationProperty(t *testing.T) {
+	prop := func(seed uint64, nd uint8) bool {
+		src := rng.New(seed)
+		nDiff := int(nd%12) + 1
+		cfg := Config{
+			Cells: 4 * 3 * 3 * (nDiff + 2), Q: 3, Dim: 2, Delta: 500,
+			KeyBits: 40, MaxItems: 1 << 14, Seed: seed ^ 0x5555,
+		}
+		alice := New(cfg)
+		bobKeys := make([]uint64, 0, nDiff)
+		// Shared pairs cancel fully.
+		for i := 0; i < 200; i++ {
+			k := src.Uint64n(1 << 40)
+			v := metric.Point{int32(src.Intn(501)), int32(src.Intn(501))}
+			alice.Insert(k, v)
+			alice.Delete(k, v)
+		}
+		want := map[uint64]metric.Point{}
+		for i := 0; i < nDiff; i++ {
+			k := src.Uint64n(1 << 40)
+			v := metric.Point{int32(src.Intn(501)), int32(src.Intn(501))}
+			want[k] = v
+			alice.Insert(k, v)
+		}
+		res, err := alice.Peel(rng.New(seed ^ 0x77))
+		if err != nil {
+			return false
+		}
+		if len(res.Inserted) != len(want) || len(res.Deleted) != len(bobKeys) {
+			return false
+		}
+		for _, p := range res.Inserted {
+			w, ok := want[p.Key]
+			if !ok || !p.Value.Equal(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBreadthFirstOrder verifies the FIFO discipline: with a chain of
+// dependencies, cells discovered earlier peel earlier.
+func TestBreadthFirstOrder(t *testing.T) {
+	// Construct a table where two independent singleton cells exist from
+	// the start; BFS must peel the lower-indexed one first. We verify
+	// order indirectly through Peels counting and determinism: the same
+	// table peeled twice (same rounding seed) yields identical results.
+	cfg := testCfg(300)
+	build := func() *Table {
+		tb := New(cfg)
+		src := rng.New(10)
+		for i := 0; i < 40; i++ {
+			tb.Insert(src.Uint64n(1<<40), metric.Point{1, 2, 3, 4})
+		}
+		return tb
+	}
+	r1, err1 := build().Peel(rng.New(11))
+	r2, err2 := build().Peel(rng.New(11))
+	if err1 != nil || err2 != nil {
+		t.Fatalf("peel errors: %v, %v", err1, err2)
+	}
+	if r1.Peels != r2.Peels || len(r1.Inserted) != len(r2.Inserted) {
+		t.Fatal("peeling not deterministic")
+	}
+	sortPairs(r1.Inserted)
+	sortPairs(r2.Inserted)
+	for i := range r1.Inserted {
+		if r1.Inserted[i].Key != r2.Inserted[i].Key ||
+			!r1.Inserted[i].Value.Equal(r2.Inserted[i].Value) {
+			t.Fatal("peeling results differ between identical runs")
+		}
+	}
+}
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Key < ps[j].Key })
+}
+
+// TestLIFOAblationStillDecodes checks the ablation order functions (the
+// error-spread comparison lives in the experiments package).
+func TestLIFOAblationStillDecodes(t *testing.T) {
+	cfg := testCfg(300)
+	cfg.Order = LIFO
+	tb := New(cfg)
+	src := rng.New(12)
+	want := map[uint64]bool{}
+	for i := 0; i < 30; i++ {
+		k := src.Uint64n(1 << 40)
+		want[k] = true
+		tb.Insert(k, metric.Point{9, 9, 9, 9})
+	}
+	res, err := tb.Peel(rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Inserted) != len(want) {
+		t.Fatalf("LIFO recovered %d/%d", len(res.Inserted), len(want))
+	}
+}
+
+// TestErrorPropagationBounded reproduces in miniature the Lemma 3.10
+// situation: many matched-but-noisy pairs, a few clean differences, and
+// the requirement that total recovered-value error stays comparable to
+// the injected error rather than blowing up.
+func TestErrorPropagationBounded(t *testing.T) {
+	const trials = 30
+	var totalErr, totalInjected float64
+	for trial := 0; trial < trials; trial++ {
+		src := rng.New(uint64(trial) + 100)
+		k := 8
+		cfg := Config{
+			Cells: 4 * 9 * k, Q: 3, Dim: 4, Delta: 1000,
+			KeyBits: 40, MaxItems: 1 << 14, Seed: uint64(trial),
+		}
+		tb := New(cfg)
+		space := metric.Grid(cfg.Delta, cfg.Dim, metric.L1)
+		// 50 noisy matched pairs: same key, values differ by ±1 in one
+		// coordinate (injected error 1 each).
+		for i := 0; i < 50; i++ {
+			key := src.Uint64n(1 << 40)
+			v := metric.Point{int32(src.Intn(900) + 50), int32(src.Intn(900) + 50),
+				int32(src.Intn(900) + 50), int32(src.Intn(900) + 50)}
+			w := v.Clone()
+			w[src.Intn(4)]++
+			tb.Insert(key, v)
+			tb.Delete(key, w)
+			totalInjected++
+		}
+		// k clean differences.
+		want := map[uint64]metric.Point{}
+		for i := 0; i < k; i++ {
+			key := src.Uint64n(1 << 40)
+			v := metric.Point{int32(src.Intn(1001)), int32(src.Intn(1001)),
+				int32(src.Intn(1001)), int32(src.Intn(1001))}
+			want[key] = v
+			tb.Insert(key, v)
+		}
+		res, err := tb.Peel(rng.New(uint64(trial) + 999))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, p := range res.Inserted {
+			if w, ok := want[p.Key]; ok {
+				totalErr += space.Distance(p.Value, w)
+			}
+		}
+	}
+	// Lemma 3.10: each injected error reaches O(1) extracted values in
+	// expectation, so total recovered error is O(totalInjected). Allow a
+	// generous constant.
+	if totalErr > 3*totalInjected {
+		t.Errorf("recovered error %v vs injected %v: propagation too large",
+			totalErr, totalInjected)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	cfg := Config{Cells: 1 << 12, Q: 3, Dim: 8, Delta: 1000, KeyBits: 40,
+		MaxItems: 1 << 21, Seed: 1}
+	tb := New(cfg)
+	v := metric.Point{1, 2, 3, 4, 5, 6, 7, 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%(1<<20) == 0 {
+			b.StopTimer()
+			tb = New(cfg)
+			b.StartTimer()
+		}
+		tb.Insert(uint64(i)&(1<<40-1), v)
+	}
+}
+
+func BenchmarkPeel100(b *testing.B) {
+	cfg := Config{Cells: 4 * 9 * 100, Q: 3, Dim: 4, Delta: 1000, KeyBits: 40,
+		MaxItems: 1 << 16, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tb := New(cfg)
+		src := rng.New(uint64(i))
+		for j := 0; j < 100; j++ {
+			tb.Insert(src.Uint64n(1<<40), metric.Point{1, 2, 3, 4})
+		}
+		b.StartTimer()
+		if _, err := tb.Peel(rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

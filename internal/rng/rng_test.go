@@ -1,0 +1,238 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestSplitReproducible(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	ca := a.Split()
+	cb := b.Split()
+	for i := 0; i < 100; i++ {
+		if ca.Uint64() != cb.Uint64() {
+			t.Fatalf("split children diverged at step %d", i)
+		}
+	}
+	// Parent streams must also remain in lockstep after splitting.
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("parents diverged after split at step %d", i)
+		}
+	}
+}
+
+func TestSplitIndependentOfParentStream(t *testing.T) {
+	a := New(7)
+	child := a.Split()
+	// Collisions between the child's outputs and the parent's subsequent
+	// outputs should be no more likely than chance.
+	parentVals := map[uint64]bool{}
+	for i := 0; i < 200; i++ {
+		parentVals[a.Uint64()] = true
+	}
+	hits := 0
+	for i := 0; i < 200; i++ {
+		if parentVals[child.Uint64()] {
+			hits++
+		}
+	}
+	if hits > 0 {
+		t.Fatalf("child stream reproduced %d parent outputs", hits)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(3)
+	for _, n := range []uint64{1, 2, 3, 7, 100, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := New(11)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: got %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(9)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := New(13)
+	for _, lambda := range []float64{0.3, 1, 2.5, 8, 50} {
+		const n = 100000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := float64(r.Poisson(lambda))
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-lambda) > 0.05*lambda+0.05 {
+			t.Errorf("Poisson(%v) mean = %v", lambda, mean)
+		}
+		if math.Abs(variance-lambda) > 0.1*lambda+0.1 {
+			t.Errorf("Poisson(%v) variance = %v", lambda, variance)
+		}
+	}
+}
+
+func TestPoissonNonPositive(t *testing.T) {
+	r := New(1)
+	if got := r.Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", got)
+	}
+	if got := r.Poisson(-2); got != 0 {
+		t.Fatalf("Poisson(-2) = %d, want 0", got)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("Exp mean = %v, want ~1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	prop := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(21)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := map[int]bool{}
+	for _, v := range xs {
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := New(23)
+	trues := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if math.Abs(float64(trues)-n/2) > 4*math.Sqrt(n/4) {
+		t.Errorf("Bool() true count %d of %d", trues, n)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat64()
+	}
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	want := math.Sqrt(2)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Errorf("std = %v, want %v", s.Std, want)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := Quantile(xs, 0); got != 10 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 40 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); got != 25 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	prop := func(raw []float64, qa, qb float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		sort.Float64s(xs)
+		qa = math.Abs(math.Mod(qa, 1))
+		qb = math.Abs(math.Mod(qb, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(xs, qa) <= Quantile(xs, qb)+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanBounds(t *testing.T) {
+	s := Summarize([]float64{2, 8})
+	if s.Mean < s.Min || s.Mean > s.Max {
+		t.Error("mean outside [min,max]")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 12345678.0)
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.500") {
+		t.Errorf("table output missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, separator, two rows
+		t.Errorf("table has %d lines", len(lines))
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("Rows = %d", tb.Rows())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		3.14159: "3.142",
+		1e9:     "1000000000",
+		0.0001:  "0.0001",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := NewPipe()
+	e := NewEncoder()
+	e.WriteUvarint(99)
+	if err := a.Send(e); err != nil {
+		t.Fatal(err)
+	}
+	d, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.ReadUvarint(); v != 99 {
+		t.Fatalf("payload = %d", v)
+	}
+}
+
+func TestPipeBidirectional(t *testing.T) {
+	a, b := NewPipe()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		d, err := b.Recv()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		v, _ := d.ReadUvarint()
+		e := NewEncoder()
+		e.WriteUvarint(v + 1)
+		if err := b.Send(e); err != nil {
+			t.Error(err)
+		}
+	}()
+	e := NewEncoder()
+	e.WriteUvarint(41)
+	if err := a.Send(e); err != nil {
+		t.Fatal(err)
+	}
+	d, err := a.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.ReadUvarint(); v != 42 {
+		t.Fatalf("reply = %d", v)
+	}
+	wg.Wait()
+}
+
+func TestPipeSharedStats(t *testing.T) {
+	a, b := NewPipe()
+	e := NewEncoder()
+	e.WriteBits(0, 10)
+	if err := a.Send(e); err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEncoder()
+	e2.WriteBits(0, 20)
+	if err := b.Send(e2); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.BitsAtoB != 10 || st.BitsBtoA != 20 || st.Rounds != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if b.Stats() != st {
+		t.Error("ends disagree on shared stats")
+	}
+}
+
+func TestPipeCloseUnblocksPeer(t *testing.T) {
+	a, b := NewPipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		done <- err
+	}()
+	a.Close()
+	if err := <-done; err == nil {
+		t.Fatal("Recv on closed pipe succeeded")
+	}
+}
+
+func TestPipeDrainsBufferedBeforeClose(t *testing.T) {
+	a, b := NewPipe()
+	e := NewEncoder()
+	e.WriteUvarint(5)
+	if err := a.Send(e); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	d, err := b.Recv()
+	if err != nil {
+		t.Fatalf("buffered message lost after close: %v", err)
+	}
+	if v, _ := d.ReadUvarint(); v != 5 {
+		t.Fatalf("payload = %d", v)
+	}
+	if _, err := b.Recv(); err == nil {
+		t.Fatal("Recv past close succeeded")
+	}
+}
+
+func TestConnStats(t *testing.T) {
+	a, _ := NewPipe()
+	if _, ok := ConnStats(a); !ok {
+		t.Error("PipeConn should expose stats")
+	}
+	var c Conn = fakeConn{}
+	if _, ok := ConnStats(c); ok {
+		t.Error("fake conn should not expose stats")
+	}
+}
+
+type fakeConn struct{}
+
+func (fakeConn) Send(*Encoder) error     { return nil }
+func (fakeConn) Recv() (*Decoder, error) { return NewDecoder(nil), nil }

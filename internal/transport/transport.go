@@ -1,0 +1,298 @@
+// Package transport simulates the communication channel between Alice
+// and Bob and accounts for every bit exchanged.
+//
+// The paper's results are communication bounds, so the reproduction must
+// measure communication exactly rather than estimate it. Both parties run
+// in one process, but every protocol message is serialized through an
+// Encoder before the peer may read it, and a Channel tallies message
+// sizes and rounds. A round, following §2, is one message: "the number of
+// rounds of communication a protocol uses ... is equal to the number of
+// messages sent."
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Direction identifies the sender of a message.
+type Direction int
+
+const (
+	// AliceToBob marks messages sent by Alice.
+	AliceToBob Direction = iota
+	// BobToAlice marks messages sent by Bob.
+	BobToAlice
+)
+
+// String names the direction for reports.
+func (d Direction) String() string {
+	if d == AliceToBob {
+		return "alice→bob"
+	}
+	return "bob→alice"
+}
+
+// Stats summarizes the traffic carried by a Channel.
+type Stats struct {
+	Rounds     int   // number of messages (the paper's round count)
+	BitsAtoB   int64 // payload bits Alice sent
+	BitsBtoA   int64 // payload bits Bob sent
+	MsgsAtoB   int
+	MsgsBtoA   int
+	maxPayload int64
+}
+
+// TotalBits returns all payload bits in both directions.
+func (s Stats) TotalBits() int64 { return s.BitsAtoB + s.BitsBtoA }
+
+// TotalBytes returns the total payload rounded up to bytes.
+func (s Stats) TotalBytes() int64 { return (s.TotalBits() + 7) / 8 }
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("rounds=%d a→b=%dbits b→a=%dbits total=%dB",
+		s.Rounds, s.BitsAtoB, s.BitsBtoA, s.TotalBytes())
+}
+
+// Channel carries serialized messages between the two parties and tallies
+// Stats. The zero value is ready to use.
+type Channel struct {
+	stats   Stats
+	pending []message
+}
+
+type message struct {
+	dir  Direction
+	data []byte
+	bits int64
+}
+
+// Send transmits an encoded message. The encoder is consumed: its
+// contents become the message payload, measured in exact bits written.
+func (c *Channel) Send(dir Direction, enc *Encoder) {
+	data, bits := enc.finish()
+	c.stats.Rounds++
+	switch dir {
+	case AliceToBob:
+		c.stats.BitsAtoB += bits
+		c.stats.MsgsAtoB++
+	case BobToAlice:
+		c.stats.BitsBtoA += bits
+		c.stats.MsgsBtoA++
+	}
+	if bits > c.stats.maxPayload {
+		c.stats.maxPayload = bits
+	}
+	c.pending = append(c.pending, message{dir: dir, data: data, bits: bits})
+}
+
+// Recv returns a decoder over the oldest undelivered message in the given
+// direction. It returns an error if no such message is queued — protocols
+// must consume messages in order, which catches round-structure bugs.
+func (c *Channel) Recv(dir Direction) (*Decoder, error) {
+	for i, m := range c.pending {
+		if m.dir == dir {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return NewDecoder(m.data), nil
+		}
+	}
+	return nil, fmt.Errorf("transport: no pending message in direction %v", dir)
+}
+
+// Stats returns a snapshot of the traffic so far.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// ErrShortMessage is returned when a Decoder runs out of payload.
+var ErrShortMessage = errors.New("transport: message truncated")
+
+// Encoder writes a message payload with exact bit accounting. Values are
+// bit-packed; WriteBits is the primitive, with varint and length-prefixed
+// helpers on top.
+type Encoder struct {
+	buf     []byte
+	bitsUse int64 // exact logical bits written (may trail the byte buffer)
+	cur     byte
+	curN    uint // bits currently occupied in cur
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// WriteBits appends the low n bits of v, most significant bit first.
+// n must be in [0, 64].
+func (e *Encoder) WriteBits(v uint64, n uint) {
+	if n > 64 {
+		panic("transport: WriteBits width > 64")
+	}
+	e.bitsUse += int64(n)
+	for n > 0 {
+		take := 8 - e.curN
+		if take > n {
+			take = n
+		}
+		chunk := byte(v >> (n - take) & (1<<take - 1))
+		e.cur |= chunk << (8 - e.curN - take)
+		e.curN += take
+		n -= take
+		if e.curN == 8 {
+			e.buf = append(e.buf, e.cur)
+			e.cur, e.curN = 0, 0
+		}
+	}
+}
+
+// WriteBool writes a single bit.
+func (e *Encoder) WriteBool(b bool) {
+	if b {
+		e.WriteBits(1, 1)
+	} else {
+		e.WriteBits(0, 1)
+	}
+}
+
+// WriteUvarint writes v in a bitwise varint: groups of 7 bits, each
+// preceded by a continue flag, costing 8 bits per 7 payload bits.
+func (e *Encoder) WriteUvarint(v uint64) {
+	for {
+		if v < 0x80 {
+			e.WriteBits(0, 1)
+			e.WriteBits(v, 7)
+			return
+		}
+		e.WriteBits(1, 1)
+		e.WriteBits(v&0x7f, 7)
+		v >>= 7
+	}
+}
+
+// WriteVarint writes a signed value with zigzag coding.
+func (e *Encoder) WriteVarint(v int64) {
+	e.WriteUvarint(uint64(v<<1) ^ uint64(v>>63))
+}
+
+// WriteUint64 writes a fixed 64-bit value.
+func (e *Encoder) WriteUint64(v uint64) { e.WriteBits(v, 64) }
+
+// WriteBytes writes a length-prefixed byte string.
+func (e *Encoder) WriteBytes(p []byte) {
+	e.WriteUvarint(uint64(len(p)))
+	for _, b := range p {
+		e.WriteBits(uint64(b), 8)
+	}
+}
+
+// Bits returns the exact number of payload bits written so far.
+func (e *Encoder) Bits() int64 { return e.bitsUse }
+
+// Pack flushes the trailing partial byte and returns the payload bytes
+// and exact bit count, resetting the encoder. Use it when the encoder
+// serves as a local bit packer rather than a channel message (e.g.
+// serializing LSH keys for hashing); Channel.Send uses the same path.
+func (e *Encoder) Pack() ([]byte, int64) { return e.finish() }
+
+// finish flushes the trailing partial byte and returns payload and size.
+func (e *Encoder) finish() ([]byte, int64) {
+	buf := e.buf
+	if e.curN > 0 {
+		buf = append(buf, e.cur)
+	}
+	bits := e.bitsUse
+	e.buf, e.cur, e.curN, e.bitsUse = nil, 0, 0, 0
+	return buf, bits
+}
+
+// Decoder reads a payload produced by an Encoder, in the same order.
+type Decoder struct {
+	buf []byte
+	pos int64 // bit position
+}
+
+// NewDecoder wraps a payload.
+func NewDecoder(data []byte) *Decoder { return &Decoder{buf: data} }
+
+// ReadBits reads n bits written by WriteBits.
+func (d *Decoder) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		panic("transport: ReadBits width > 64")
+	}
+	if d.pos+int64(n) > int64(len(d.buf))*8 {
+		return 0, ErrShortMessage
+	}
+	var v uint64
+	for n > 0 {
+		byteIdx := d.pos >> 3
+		bitOff := uint(d.pos & 7)
+		take := 8 - bitOff
+		if take > n {
+			take = n
+		}
+		chunk := uint64(d.buf[byteIdx]>>(8-bitOff-take)) & (1<<take - 1)
+		v = v<<take | chunk
+		d.pos += int64(take)
+		n -= take
+	}
+	return v, nil
+}
+
+// ReadBool reads one bit.
+func (d *Decoder) ReadBool() (bool, error) {
+	v, err := d.ReadBits(1)
+	return v == 1, err
+}
+
+// ReadUvarint reads a value written by WriteUvarint.
+func (d *Decoder) ReadUvarint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		cont, err := d.ReadBits(1)
+		if err != nil {
+			return 0, err
+		}
+		chunk, err := d.ReadBits(7)
+		if err != nil {
+			return 0, err
+		}
+		if shift >= 64 {
+			return 0, errors.New("transport: uvarint overflow")
+		}
+		v |= chunk << shift
+		if cont == 0 {
+			return v, nil
+		}
+		shift += 7
+	}
+}
+
+// ReadVarint reads a value written by WriteVarint.
+func (d *Decoder) ReadVarint() (int64, error) {
+	u, err := d.ReadUvarint()
+	if err != nil {
+		return 0, err
+	}
+	return int64(u>>1) ^ -int64(u&1), nil
+}
+
+// ReadUint64 reads a fixed 64-bit value.
+func (d *Decoder) ReadUint64() (uint64, error) { return d.ReadBits(64) }
+
+// ReadBytes reads a length-prefixed byte string.
+func (d *Decoder) ReadBytes() ([]byte, error) {
+	n, err := d.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if int64(n)*8 > int64(len(d.buf))*8-d.pos {
+		return nil, ErrShortMessage
+	}
+	p := make([]byte, n)
+	for i := range p {
+		v, err := d.ReadBits(8)
+		if err != nil {
+			return nil, err
+		}
+		p[i] = byte(v)
+	}
+	return p, nil
+}

@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matching"
+	"repro/internal/metric"
+	"repro/internal/rng"
+)
+
+func TestRandomPointInSpace(t *testing.T) {
+	spaces := []metric.Space{
+		metric.HammingCube(32),
+		metric.Grid(1000, 4, metric.L1),
+		metric.Grid(7, 2, metric.L2),
+	}
+	src := rng.New(1)
+	for _, s := range spaces {
+		for i := 0; i < 200; i++ {
+			if p := RandomPoint(s, src); !s.Contains(p) {
+				t.Fatalf("point %v outside %v", p, s)
+			}
+		}
+	}
+}
+
+func TestPerturbHammingExactDistance(t *testing.T) {
+	prop := func(seed uint64, flipsRaw uint8) bool {
+		src := rng.New(seed)
+		space := metric.HammingCube(64)
+		flips := int(flipsRaw % 65)
+		p := RandomPoint(space, src)
+		q := PerturbHamming(space, p, flips, src)
+		return space.Distance(p, q) == float64(flips) && space.Contains(q)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerturbHammingLargeAlphabet(t *testing.T) {
+	space := metric.Grid(9, 16, metric.Hamming)
+	src := rng.New(2)
+	p := RandomPoint(space, src)
+	q := PerturbHamming(space, p, 5, src)
+	if d := space.Distance(p, q); d != 5 {
+		t.Errorf("distance = %v, want 5", d)
+	}
+	if !space.Contains(q) {
+		t.Errorf("perturbed point left space: %v", q)
+	}
+}
+
+func TestPerturbWithinRespectsBudget(t *testing.T) {
+	cases := []struct {
+		space metric.Space
+		dist  float64
+	}{
+		{metric.HammingCube(64), 7},
+		{metric.Grid(10000, 6, metric.L1), 250},
+		{metric.Grid(10000, 6, metric.L2), 250},
+	}
+	src := rng.New(3)
+	for _, c := range cases {
+		for i := 0; i < 300; i++ {
+			p := RandomPoint(c.space, src)
+			q := PerturbWithin(c.space, p, c.dist, src)
+			if d := c.space.Distance(p, q); d > c.dist+1e-9 {
+				t.Fatalf("%v: displaced %v > budget %v", c.space, d, c.dist)
+			}
+			if !c.space.Contains(q) {
+				t.Fatalf("%v: point %v left space", c.space, q)
+			}
+		}
+	}
+}
+
+func TestFarPoint(t *testing.T) {
+	space := metric.HammingCube(128)
+	src := rng.New(4)
+	anchor := RandomSet(space, 20, src)
+	p, err := FarPoint(space, anchor, 30, src, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := anchor.MinDistanceTo(space, p); d < 30 {
+		t.Errorf("far point at distance %v", d)
+	}
+	// Unsatisfiable: distance beyond diameter.
+	if _, err := FarPoint(space, anchor, 129, src, 50); err == nil {
+		t.Error("impossible far point succeeded")
+	}
+}
+
+func TestNewEMDInstanceShape(t *testing.T) {
+	space := metric.Grid(4095, 3, metric.L2)
+	inst := NewEMDInstance(space, 60, 6, 10, 99)
+	if len(inst.SA) != 60 || len(inst.SB) != 60 {
+		t.Fatalf("sizes %d/%d", len(inst.SA), len(inst.SB))
+	}
+	for _, p := range append(inst.SA.Clone(), inst.SB...) {
+		if !space.Contains(p) {
+			t.Fatalf("point %v outside space", p)
+		}
+	}
+	// Planted structure: EMD_k should be at most (n−k)·noise, far below
+	// EMD_0 for uniform outliers.
+	emdK := matching.EMDk(space, inst.SA, inst.SB, inst.K)
+	if emdK > float64(60-6)*inst.Noise {
+		t.Errorf("EMD_k = %v exceeds planted noise budget %v", emdK, float64(54)*inst.Noise)
+	}
+}
+
+func TestNewEMDInstancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k > n accepted")
+		}
+	}()
+	NewEMDInstance(metric.HammingCube(8), 4, 5, 1, 1)
+}
+
+func TestNewGapInstanceInvariants(t *testing.T) {
+	space := metric.HammingCube(256)
+	inst, err := NewGapInstance(space, 50, 4, 3, 8, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Far) != 4 {
+		t.Fatalf("planted %d far points, want 4", len(inst.Far))
+	}
+	if len(inst.SA) != 54 || len(inst.SB) != 53 {
+		t.Fatalf("sizes %d/%d", len(inst.SA), len(inst.SB))
+	}
+	// Bob's far points must also be far from Alice's set (model
+	// symmetry: CB covers all but k of Bob's points).
+	farFromAlice := 0
+	for _, b := range inst.SB {
+		if d, _ := inst.SA.MinDistanceTo(space, b); d >= inst.R2 {
+			farFromAlice++
+		}
+	}
+	if farFromAlice != inst.KBob {
+		t.Errorf("found %d Bob-only far points, want %d", farFromAlice, inst.KBob)
+	}
+}
+
+func TestNewGapInstanceL1(t *testing.T) {
+	space := metric.Grid(1<<20, 4, metric.L1)
+	inst, err := NewGapInstance(space, 40, 3, 0, 100, 5000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewGapInstanceUnsatisfiable(t *testing.T) {
+	// r2 beyond the diameter cannot be planted.
+	space := metric.HammingCube(16)
+	if _, err := NewGapInstance(space, 10, 2, 0, 2, 17, 3); err == nil {
+		t.Error("unsatisfiable gap instance succeeded")
+	}
+}
+
+func TestSpreadCodewords(t *testing.T) {
+	words, err := SpreadCodewords(256, 33, 64, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 33 {
+		t.Fatalf("got %d words", len(words))
+	}
+	space := metric.HammingCube(256)
+	for i := range words {
+		for j := i + 1; j < len(words); j++ {
+			if d := space.Distance(words[i], words[j]); d < 64 {
+				t.Fatalf("words %d,%d at distance %v", i, j, d)
+			}
+		}
+	}
+}
+
+func TestSpreadCodewordsImpossible(t *testing.T) {
+	if _, err := SpreadCodewords(8, 1000, 4, 1); err == nil {
+		t.Error("impossible codebook succeeded")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewEMDInstance(metric.HammingCube(64), 30, 3, 4, 42)
+	b := NewEMDInstance(metric.HammingCube(64), 30, 3, 4, 42)
+	for i := range a.SA {
+		if !a.SA[i].Equal(b.SA[i]) || !a.SB[i].Equal(b.SB[i]) {
+			t.Fatal("same seed produced different instances")
+		}
+	}
+}

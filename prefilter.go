@@ -1,0 +1,37 @@
+package robustsync
+
+import (
+	"repro/internal/dsbf"
+	"repro/internal/lsh"
+)
+
+// Distance-sensitive membership pre-filtering (Kirsch & Mitzenmacher,
+// the paper's reference [18]): a compact sketch a party can publish so
+// peers can ask "is this point approximately present?" before spending a
+// reconciliation round.
+
+// PrefilterParams configures a distance-sensitive Bloom filter.
+type PrefilterParams = dsbf.Params
+
+// Prefilter is a built filter.
+type Prefilter = dsbf.Filter
+
+// NewPrefilter builds a distance-sensitive Bloom filter over a point set
+// using the standard LSH family for the space's norm: queries within r1
+// of a stored point are accepted whp, queries beyond r2 of all stored
+// points are rejected whp.
+func NewPrefilter(space Space, set PointSet, r1, r2 float64, seed uint64) (*Prefilter, error) {
+	p := dsbf.Params{Space: space, Seed: seed}
+	switch space.Norm {
+	case Hamming:
+		p.LSH = lsh.HammingParams(space, r1, r2)
+		p.Family = lsh.NewCoordSampling(space, float64(space.Dim))
+	default:
+		// Grid LSH covers both ℓ1 and (conservatively, via norm
+		// monotonicity ‖·‖2 ≤ ‖·‖1) ℓ2 point sets.
+		w := r2 / 0.6931471805599453 // r2/ln 2 pins p2 near 1/2
+		p.LSH = lsh.GridL1Params(space, r1, r2, w)
+		p.Family = lsh.NewGridL1(space, w)
+	}
+	return dsbf.Build(p, set)
+}

@@ -1,0 +1,56 @@
+package robustsync
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+func TestPrefilterHamming(t *testing.T) {
+	space := HammingSpace(256)
+	src := rng.New(3)
+	set := workload.RandomSet(space, 30, src)
+	f, err := NewPrefilter(space, set, 8, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range set {
+		if !f.Contains(pt) {
+			t.Error("stored point rejected")
+		}
+	}
+	misses := 0
+	for i := 0; i < 50; i++ {
+		q, err := workload.FarPoint(space, set, 100, src, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Contains(q) {
+			misses++
+		}
+	}
+	if misses > 3 {
+		t.Errorf("%d/50 far points accepted", misses)
+	}
+}
+
+func TestPrefilterL1(t *testing.T) {
+	space := GridSpace(1<<16, 3, L1)
+	src := rng.New(7)
+	set := workload.RandomSet(space, 20, src)
+	f, err := NewPrefilter(space, set, 50, 5000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := 0; i < 60; i++ {
+		q := workload.PerturbWithin(space, set[src.Intn(len(set))], 50, src)
+		if f.Contains(q) {
+			hits++
+		}
+	}
+	if hits < 55 {
+		t.Errorf("close acceptance %d/60", hits)
+	}
+}

@@ -1,0 +1,123 @@
+package robustsync
+
+import (
+	"testing"
+
+	"repro/internal/matching"
+	"repro/internal/workload"
+)
+
+func TestFacadeEMD(t *testing.T) {
+	space := HammingSpace(128)
+	const n, k = 32, 3
+	inst := workload.NewEMDInstance(space, n, k, 2, 7)
+	emdK := matching.EMDk(space, inst.SA, inst.SB, k)
+	p := DefaultEMDParams(space, n, k, 11)
+	p.D1 = maxf(1, emdK/4)
+	p.D2 = maxf(emdK*4, p.D1*2)
+	res, err := ReconcileEMD(p, inst.SA, inst.SB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed && len(res.SPrime) != n {
+		t.Errorf("|S'B| = %d", len(res.SPrime))
+	}
+}
+
+func TestFacadeEMDScaled(t *testing.T) {
+	space := GridSpace(4095, 2, L2)
+	const n, k = 24, 2
+	inst := workload.NewEMDInstance(space, n, k, 6, 13)
+	p := DefaultEMDParams(space, n, k, 17)
+	res, err := ReconcileEMDScaled(p, inst.SA, inst.SB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatal("scaled run failed")
+	}
+	if len(res.SPrime) != n {
+		t.Errorf("|S'B| = %d", len(res.SPrime))
+	}
+}
+
+func TestFacadeGap(t *testing.T) {
+	space := HammingSpace(512)
+	inst, err := workload.NewGapInstance(space, 40, 3, 1, 8, 128, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := GapParams{Space: space, N: 43, R1: 8, R2: 128, Seed: 23}
+	res, err := ReconcileGap(p, inst.SA, inst.SB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range inst.SA {
+		if d, _ := res.SPrime.MinDistanceTo(space, a); d > 128 {
+			t.Errorf("uncovered point at distance %v", d)
+		}
+	}
+}
+
+func TestFacadeGapOneSided(t *testing.T) {
+	space := GridSpace(1<<20, 2, L2)
+	inst, err := workload.NewGapInstance(space, 30, 2, 0, 50, 30000, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := GapParams{Space: space, N: 32, R1: 50, R2: 30000, Seed: 31}
+	res, err := ReconcileGapOneSided(p, 2, inst.SA, inst.SB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range inst.SA {
+		if d, _ := res.SPrime.MinDistanceTo(space, a); d > 30000 {
+			t.Errorf("uncovered point at distance %v", d)
+		}
+	}
+}
+
+func TestFacadeQuadtree(t *testing.T) {
+	space := GridSpace(1023, 2, L1)
+	inst := workload.NewEMDInstance(space, 24, 2, 10, 37)
+	res, err := ReconcileQuadtree(QuadtreeParams{Space: space, N: 24, K: 2, Seed: 41}, inst.SA, inst.SB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed && len(res.SPrime) != 24 {
+		t.Errorf("|S'B| = %d", len(res.SPrime))
+	}
+}
+
+func TestFacadeSyncIDs(t *testing.T) {
+	bob := []uint64{1, 2, 3, 4, 5, 100}
+	alice := []uint64{1, 2, 3, 4, 5, 200, 300}
+	ob, oa, err := SyncIDs(bob, alice, 8, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ob) != 1 || ob[0] != 100 {
+		t.Errorf("onlyBob = %v", ob)
+	}
+	if len(oa) != 2 {
+		t.Errorf("onlyAlice = %v", oa)
+	}
+}
+
+func TestFacadeEstimateDiff(t *testing.T) {
+	var bob, alice []uint64
+	for i := uint64(0); i < 5000; i++ {
+		bob = append(bob, i*7919)
+		alice = append(alice, i*7919)
+	}
+	for i := uint64(0); i < 200; i++ {
+		bob = append(bob, (1<<50)+i)
+	}
+	est, err := EstimateDiff(bob, alice, 47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 60 || est > 600 {
+		t.Errorf("estimate = %d for true diff 200", est)
+	}
+}

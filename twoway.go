@@ -1,0 +1,82 @@
+package robustsync
+
+import (
+	"fmt"
+
+	"repro/internal/gap"
+	"repro/internal/metric"
+)
+
+// Two-way reconciliation. The paper's models are one-way (§1: "the
+// one-way variation is more natural" for robust reconciliation), and it
+// notes that "we can easily achieve a natural version of two-way
+// reconciliation by having both Alice and Bob run the protocol once in
+// each direction; however, they will generally not end with the same
+// point set." These wrappers implement exactly that composition.
+
+// TwoWayGapResult reports both directions of a two-way gap
+// reconciliation.
+type TwoWayGapResult struct {
+	// APrime is Alice's final set (SA ∪ TB); BPrime is Bob's (SB ∪ TA).
+	APrime, BPrime PointSet
+	// AtoB and BtoA are the per-direction results.
+	AtoB, BtoA GapResult
+}
+
+// ReconcileGapTwoWay runs the Gap Guarantee protocol in both directions
+// with independent derived seeds. Afterwards every point of SA ∪ SB is
+// within R2 of both parties' final sets (each direction's Definition 4.1
+// guarantee, applied symmetrically). The sets are generally not equal —
+// the paper is explicit that two-way robust reconciliation does not
+// converge to a common set.
+func ReconcileGapTwoWay(p GapParams, sa, sb PointSet) (TwoWayGapResult, error) {
+	atob, err := gap.Reconcile(p, sa, sb)
+	if err != nil {
+		return TwoWayGapResult{}, fmt.Errorf("robustsync: a→b direction: %w", err)
+	}
+	back := p
+	back.Seed = p.Seed ^ 0xb1d12ec7
+	btoa, err := gap.Reconcile(back, sb, sa)
+	if err != nil {
+		return TwoWayGapResult{}, fmt.Errorf("robustsync: b→a direction: %w", err)
+	}
+	return TwoWayGapResult{
+		APrime: btoa.SPrime,
+		BPrime: atob.SPrime,
+		AtoB:   atob,
+		BtoA:   btoa,
+	}, nil
+}
+
+// TwoWayEMDResult reports both directions of a two-way EMD
+// reconciliation.
+type TwoWayEMDResult struct {
+	// APrime approximates SB from Alice's side; BPrime approximates SA
+	// from Bob's side.
+	APrime, BPrime PointSet
+	AtoB, BtoA     EMDScaledResult
+}
+
+// ReconcileEMDTwoWay runs the scaled EMD protocol once in each
+// direction. Either direction may independently report failure
+// (Theorem 3.4's ≤ 1/8); callers should check both embedded results.
+func ReconcileEMDTwoWay(p EMDParams, sa, sb PointSet) (TwoWayEMDResult, error) {
+	atob, err := ReconcileEMDScaled(p, sa, sb)
+	if err != nil {
+		return TwoWayEMDResult{}, fmt.Errorf("robustsync: a→b direction: %w", err)
+	}
+	back := p
+	back.Seed = p.Seed ^ 0x2a2a
+	btoa, err := ReconcileEMDScaled(back, sb, sa)
+	if err != nil {
+		return TwoWayEMDResult{}, fmt.Errorf("robustsync: b→a direction: %w", err)
+	}
+	var aPrime, bPrime metric.PointSet
+	if !btoa.Failed {
+		aPrime = btoa.SPrime
+	}
+	if !atob.Failed {
+		bPrime = atob.SPrime
+	}
+	return TwoWayEMDResult{APrime: aPrime, BPrime: bPrime, AtoB: atob, BtoA: btoa}, nil
+}

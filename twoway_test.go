@@ -1,0 +1,61 @@
+package robustsync
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestTwoWayGapCoversBothDirections(t *testing.T) {
+	space := HammingSpace(512)
+	// Far points on both sides: Alice has 3 Bob lacks, Bob has 2 Alice
+	// lacks.
+	inst, err := workload.NewGapInstance(space, 40, 3, 2, 8, 128, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := GapParams{Space: space, N: 45, R1: 8, R2: 128, Seed: 71}
+	res, err := ReconcileGapTwoWay(p, inst.SA, inst.SB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every point of SA covered by Bob's final set, and every point of
+	// SB covered by Alice's.
+	for _, a := range inst.SA {
+		if d, _ := res.BPrime.MinDistanceTo(space, a); d > 128 {
+			t.Errorf("B' misses Alice point at distance %v", d)
+		}
+	}
+	for _, b := range inst.SB {
+		if d, _ := res.APrime.MinDistanceTo(space, b); d > 128 {
+			t.Errorf("A' misses Bob point at distance %v", d)
+		}
+	}
+	// Bob planted 2 far points; Alice must have received them.
+	if len(res.BtoA.TA) < 2 {
+		t.Errorf("b→a transferred %d points, want >= 2", len(res.BtoA.TA))
+	}
+	if len(res.AtoB.TA) < 3 {
+		t.Errorf("a→b transferred %d points, want >= 3", len(res.AtoB.TA))
+	}
+}
+
+func TestTwoWayEMD(t *testing.T) {
+	space := GridSpace(4095, 2, L2)
+	const n, k = 24, 2
+	inst := workload.NewEMDInstance(space, n, k, 6, 93)
+	p := DefaultEMDParams(space, n, k, 95)
+	res, err := ReconcileEMDTwoWay(p, inst.SA, inst.SB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AtoB.Failed && len(res.BPrime) != n {
+		t.Errorf("|B'| = %d", len(res.BPrime))
+	}
+	if !res.BtoA.Failed && len(res.APrime) != n {
+		t.Errorf("|A'| = %d", len(res.APrime))
+	}
+	if res.AtoB.Failed && res.BtoA.Failed {
+		t.Error("both directions failed (prob <= 1/64)")
+	}
+}

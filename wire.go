@@ -1,0 +1,63 @@
+package robustsync
+
+import (
+	"io"
+
+	"repro/internal/emd"
+	"repro/internal/gap"
+	"repro/internal/netproto"
+)
+
+// Networked entry points: the same protocol state machines the
+// in-process helpers drive, carried over any byte stream (net.Conn,
+// pipes, tunnels) as length-prefixed frames. Both endpoints must
+// construct identical Params — a digest handshake verifies this before
+// any protocol traffic flows.
+
+// EMDSend runs Alice's side of the EMD protocol over rw: handshake plus
+// the single Algorithm 1 message.
+func EMDSend(rw io.ReadWriter, p EMDParams, sa PointSet) error {
+	return netproto.EMDAlice(rw, p, sa)
+}
+
+// EMDReceive runs Bob's side over rw and returns his reconciled set.
+func EMDReceive(rw io.ReadWriter, p EMDParams, sb PointSet) (EMDResult, error) {
+	return netproto.EMDBob(rw, p, sb)
+}
+
+// GapAliceReport is what the sending side of a networked gap run learns.
+type GapAliceReport = gap.AliceReport
+
+// GapSend runs Alice's side of the 4-round Gap Guarantee protocol over
+// rw.
+func GapSend(rw io.ReadWriter, p GapParams, sa PointSet) (GapAliceReport, error) {
+	return netproto.GapAlice(rw, p, sa)
+}
+
+// GapReceive runs Bob's side over rw; the result carries this endpoint's
+// traffic statistics.
+func GapReceive(rw io.ReadWriter, p GapParams, sb PointSet) (GapResult, error) {
+	return netproto.GapBob(rw, p, sb)
+}
+
+// SyncWireParams tunes networked exact-ID synchronization.
+type SyncWireParams = netproto.SyncParams
+
+// SyncIDsInitiator reconciles an ID set against a remote responder; both
+// ends finish knowing the full symmetric difference.
+func SyncIDsInitiator(rw io.ReadWriter, p SyncWireParams, ids []uint64) (theirsOnly, minesOnly []uint64, err error) {
+	return netproto.SyncInitiator(rw, p, ids)
+}
+
+// SyncIDsResponder is the peer of SyncIDsInitiator.
+func SyncIDsResponder(rw io.ReadWriter, p SyncWireParams, ids []uint64) (theirsOnly []uint64, err error) {
+	return netproto.SyncResponder(rw, p, ids)
+}
+
+// Compile-time checks that the split-party APIs stay usable directly.
+var (
+	_ = emd.BuildMessage
+	_ = emd.ApplyMessage
+	_ = gap.RunAlice
+	_ = gap.RunBob
+)
