@@ -7,10 +7,14 @@
 package robustsync
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/experiments"
 	"repro/internal/matching"
+	"repro/internal/netproto"
+	"repro/internal/session"
 	"repro/internal/workload"
 )
 
@@ -146,4 +150,64 @@ func maxf(a, b float64) float64 {
 		return a
 	}
 	return b
+}
+
+// BenchmarkServerThroughput measures the session engine end to end:
+// sessions/sec and MB/s of a reconciled-style server completing full
+// EMD reconciliations over loopback TCP at 1, 4 and 16 concurrent
+// peers. Each op is one complete session (dial, header negotiation,
+// protocol, teardown); later PRs should beat these numbers.
+func BenchmarkServerThroughput(b *testing.B) {
+	space := HammingSpace(128)
+	const n, k = 64, 4
+	inst := workload.NewEMDInstance(space, n, k, 2, 9)
+	emdK := matching.EMDk(space, inst.SA, inst.SB, k)
+	params := DefaultEMDParams(space, n, k, 77)
+	params.D1 = maxf(1, emdK/4)
+	params.D2 = maxf(emdK*4, params.D1*2)
+
+	for _, peers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("peers=%d", peers), func(b *testing.B) {
+			srv := session.NewServer(session.Config{MaxSessions: 2 * peers})
+			emdFactory, err := netproto.NewEMDSenderFactory(params, inst.SA)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv.Handle(emdFactory)
+			l, err := srv.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			d := session.Dialer{Addr: l.Addr().String()}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for p := 0; p < peers; p++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						h := netproto.NewEMDReceiver(params, inst.SB)
+						if _, err := d.Do(h); err != nil {
+							b.Error(err)
+						}
+					}()
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			// Server-side accounting can trail the clients' last read;
+			// Close waits for every session before Stats is read.
+			srv.Close()
+			elapsed := b.Elapsed().Seconds()
+			sessions := float64(b.N * peers)
+			if elapsed > 0 {
+				b.ReportMetric(sessions/elapsed, "sessions/sec")
+				total, _ := srv.Stats()
+				b.ReportMetric(float64(total.TotalBytes())/1e6/elapsed, "MB/s")
+			}
+		})
+	}
 }

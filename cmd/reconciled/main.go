@@ -1,0 +1,345 @@
+// Command reconciled is the reconciliation daemon: it serves the
+// paper's protocols (EMD, Gap, exact ID sync, multiset-of-sets) to many
+// concurrent peers over TCP or unix sockets through the session engine,
+// and doubles as the matching client.
+//
+// Server and client derive their synthetic two-party workload — and,
+// critically, their protocol Params — from the same flags, standing in
+// for two deployments that share configuration out of band. The session
+// header's parameter digest enforces the agreement on every connection.
+//
+// Usage:
+//
+//	reconciled -listen :7444                      # serve all protocols
+//	reconciled -listen unix:/tmp/reconciled.sock  # same, unix socket
+//	reconciled -connect :7444 -proto emd          # one client session
+//	reconciled -connect :7444 -proto gap
+//	reconciled -demo 12                           # in-process server + 12
+//	                                              # concurrent mixed clients
+//
+// Workload flags (-d, -n, -k, -noise, -r1, -r2, -diff, -seed) must match
+// between server and client; -workers, -max-sessions and timeouts are
+// local tuning.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/emd"
+	"repro/internal/gap"
+	"repro/internal/metric"
+	"repro/internal/netproto"
+	"repro/internal/rng"
+	"repro/internal/session"
+	"repro/internal/setsets"
+	"repro/internal/workload"
+)
+
+type config struct {
+	// workload (must agree between server and client)
+	d     int
+	n     int
+	k     int
+	noise float64
+	r1    float64
+	r2    float64
+	diff  int
+	seed  uint64
+	// local tuning
+	workers     int
+	maxSessions int
+	timeout     time.Duration
+}
+
+// fixture is the deterministic two-party state both endpoints derive
+// from the shared flags.
+type fixture struct {
+	emdParams emd.Params
+	emdSA     metric.PointSet
+	emdSB     metric.PointSet
+
+	gapParams gap.Params
+	gapSpace  metric.Space
+	gapSA     metric.PointSet
+	gapSB     metric.PointSet
+
+	syncParams netproto.SyncParams
+	serverIDs  []uint64
+	clientIDs  []uint64
+
+	ssParams   setsets.Params
+	serverKids []setsets.Child
+	clientKids []setsets.Child
+}
+
+func newFixture(c config) (*fixture, error) {
+	f := &fixture{}
+
+	emdSpace := metric.HammingCube(c.d)
+	inst := workload.NewEMDInstance(emdSpace, c.n, c.k, c.noise, c.seed)
+	f.emdParams = emd.DefaultParams(emdSpace, c.n, c.k, c.seed+1)
+	f.emdParams.Workers = c.workers
+	f.emdSA, f.emdSB = inst.SA, inst.SB
+
+	f.gapSpace = metric.HammingCube(4 * c.d)
+	ginst, err := workload.NewGapInstance(f.gapSpace, c.n, c.k, 1, c.r1, c.r2, c.seed)
+	if err != nil {
+		return nil, fmt.Errorf("gap instance: %w", err)
+	}
+	// N bounds both parties: Alice holds n+k points, Bob n+1 (the
+	// instance plants one Bob-only point), so budget n+k+1.
+	f.gapParams = gap.Params{
+		Space: f.gapSpace, N: c.n + c.k + 1, R1: c.r1, R2: c.r2,
+		Seed: c.seed + 2, Workers: c.workers,
+	}
+	f.gapSA, f.gapSB = ginst.SA, ginst.SB
+
+	src := rng.New(c.seed + 3)
+	shared := make([]uint64, 20*c.n)
+	for i := range shared {
+		shared[i] = src.Uint64()
+	}
+	f.syncParams = netproto.SyncParams{Seed: c.seed + 4, Workers: c.workers}
+	f.serverIDs = append([]uint64{}, shared...)
+	f.clientIDs = append([]uint64{}, shared...)
+	for i := 0; i < c.diff; i++ {
+		f.serverIDs = append(f.serverIDs, src.Uint64())
+		f.clientIDs = append(f.clientIDs, src.Uint64())
+	}
+
+	f.ssParams = setsets.Params{PayloadBytes: 16, Seed: c.seed + 5}
+	child := func(tag uint64) setsets.Child {
+		p := make([]byte, 16)
+		for i := 0; i < 8; i++ {
+			p[i] = byte(tag >> (8 * i))
+		}
+		return setsets.Child{Payload: p}
+	}
+	for i := 0; i < c.n; i++ {
+		cc := child(uint64(i))
+		f.serverKids = append(f.serverKids, cc)
+		f.clientKids = append(f.clientKids, cc)
+	}
+	for i := 0; i < c.diff; i++ {
+		f.serverKids = append(f.serverKids, child(1<<32+uint64(i)))
+		f.clientKids = append(f.clientKids, child(1<<33+uint64(i)))
+	}
+	return f, nil
+}
+
+func main() {
+	listen := flag.String("listen", "", "serve on this address (host:port, or unix:/path)")
+	connect := flag.String("connect", "", "run one client session against this address")
+	proto := flag.String("proto", "emd", "client protocol: emd | gap | sync | setsets")
+	demo := flag.Int("demo", 0, "in-process demo: serve and run N concurrent mixed clients")
+
+	d := flag.Int("d", 128, "EMD dimension (gap uses 4d)")
+	n := flag.Int("n", 64, "points / children per party")
+	k := flag.Int("k", 4, "outlier budget")
+	noise := flag.Float64("noise", 2, "per-point noise radius (emd)")
+	r1 := flag.Float64("r1", 8, "close radius (gap)")
+	r2 := flag.Float64("r2", 0, "far radius (gap; default d)")
+	diff := flag.Int("diff", 16, "per-side exclusive IDs/children (sync, setsets)")
+	seed := flag.Uint64("seed", 1, "shared public-coin seed")
+
+	workers := flag.Int("workers", 0, "sketch-construction workers (0 = GOMAXPROCS)")
+	maxSessions := flag.Int("max-sessions", 64, "concurrent session cap (server)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-session deadline")
+	flag.Parse()
+
+	cfg := config{
+		d: *d, n: *n, k: *k, noise: *noise, r1: *r1, r2: *r2,
+		diff: *diff, seed: *seed,
+		workers: *workers, maxSessions: *maxSessions, timeout: *timeout,
+	}
+	if cfg.r2 == 0 {
+		cfg.r2 = float64(cfg.d)
+	}
+	f, err := newFixture(cfg)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	switch {
+	case *listen != "":
+		runServer(cfg, f, *listen)
+	case *connect != "":
+		network, host := splitAddr(*connect)
+		if err := runClient(f, network, host, *proto, true); err != nil {
+			fail("%v", err)
+		}
+	case *demo > 0:
+		runDemo(cfg, f, *demo)
+	default:
+		fmt.Fprintln(os.Stderr, "reconciled: need -listen, -connect or -demo (see -help)")
+		os.Exit(2)
+	}
+}
+
+// newServer builds the daemon's session server: it plays Alice for the
+// point-set protocols (it owns the canonical set and ships sketches)
+// and the responder for sync and setsets.
+func newServer(cfg config, f *fixture, logf func(string, ...any)) *session.Server {
+	srv := session.NewServer(session.Config{
+		MaxSessions:    cfg.maxSessions,
+		SessionTimeout: cfg.timeout,
+		Logf:           logf,
+	})
+	emdFactory, err := netproto.NewEMDSenderFactory(f.emdParams, f.emdSA)
+	if err != nil {
+		fail("emd sketch: %v", err)
+	}
+	srv.Handle(emdFactory)
+	srv.Handle(func() netproto.Handler { return netproto.NewGapSender(f.gapParams, f.gapSA) })
+	srv.Handle(func() netproto.Handler { return netproto.NewSyncResponder(f.syncParams, f.serverIDs) })
+	srv.Handle(func() netproto.Handler { return netproto.NewSetSetsResponder(f.ssParams, f.serverKids) })
+	return srv
+}
+
+func splitAddr(addr string) (network, host string) {
+	if strings.HasPrefix(addr, "unix:") {
+		return "unix", strings.TrimPrefix(addr, "unix:")
+	}
+	return "tcp", addr
+}
+
+func runServer(cfg config, f *fixture, addr string) {
+	logger := log.New(os.Stderr, "reconciled: ", log.LstdFlags|log.Lmicroseconds)
+	srv := newServer(cfg, f, logger.Printf)
+	network, host := splitAddr(addr)
+	l, err := net.Listen(network, host)
+	if err != nil {
+		fail("listen: %v", err)
+	}
+	logger.Printf("serving emd, gap, sync, setsets on %s %s (max %d sessions)",
+		network, l.Addr(), cfg.maxSessions)
+	if err := srv.Serve(l); err != session.ErrServerClosed {
+		fail("serve: %v", err)
+	}
+}
+
+// runClient runs one session of the named protocol and reports the
+// outcome. It returns an error both on transport failure and on a
+// result that violates the protocol's guarantee, so the exit status is
+// an end-to-end check.
+func runClient(f *fixture, network, addr, proto string, verbose bool) error {
+	dial := session.Dialer{Network: network, Addr: addr}
+	sayf := func(format string, args ...any) {
+		if verbose {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	id, ok := netproto.ProtoByName(proto)
+	if !ok {
+		names := make([]string, 0, 4)
+		for _, p := range netproto.Protos() {
+			names = append(names, p.String())
+		}
+		return fmt.Errorf("unknown protocol %q (want %s)", proto, strings.Join(names, " | "))
+	}
+	start := time.Now()
+	switch id {
+	case netproto.ProtoEMD:
+		h := netproto.NewEMDReceiver(f.emdParams, f.emdSB)
+		if _, err := dial.Do(h); err != nil {
+			return err
+		}
+		if h.Result.Failed {
+			sayf("emd: protocol reported failure (Theorem 3.4 allows prob <= 1/8)")
+			return nil
+		}
+		if len(h.Result.SPrime) != len(f.emdSB) {
+			return fmt.Errorf("emd: |S'B| = %d, want %d", len(h.Result.SPrime), len(f.emdSB))
+		}
+		sayf("emd: reconciled %d points at level %d/%d in %v; %s",
+			len(h.Result.SPrime), h.Result.Level, h.Result.Levels,
+			time.Since(start).Round(time.Millisecond), h.Result.Stats)
+	case netproto.ProtoGap:
+		h := netproto.NewGapReceiver(f.gapParams, f.gapSB)
+		if _, err := dial.Do(h); err != nil {
+			return err
+		}
+		for _, pt := range f.gapSA {
+			if dist, _ := h.Result.SPrime.MinDistanceTo(f.gapSpace, pt); dist > f.gapParams.R2 {
+				return fmt.Errorf("gap: uncovered point at distance %v > r2=%v", dist, f.gapParams.R2)
+			}
+		}
+		sayf("gap: received %d elements, coverage verified, in %v; %s",
+			len(h.Result.TA), time.Since(start).Round(time.Millisecond), h.Result.Stats)
+	case netproto.ProtoSync:
+		h := netproto.NewSyncInitiator(f.syncParams, f.clientIDs)
+		st, err := dial.Do(h)
+		if err != nil {
+			return err
+		}
+		sayf("sync: learned %d server-only and reported %d client-only IDs in %v; %s",
+			len(h.TheirsOnly), len(h.MinesOnly), time.Since(start).Round(time.Millisecond), st)
+	case netproto.ProtoSetSets:
+		h := netproto.NewSetSetsInitiator(f.ssParams, f.clientKids)
+		st, err := dial.Do(h)
+		if err != nil {
+			return err
+		}
+		sayf("setsets: %d server-only / %d client-only children in %d rounds, %v; %s",
+			len(h.Result.BobOnly), len(h.Result.AliceOnly), h.Result.Rounds,
+			time.Since(start).Round(time.Millisecond), st)
+	}
+	return nil
+}
+
+// runDemo spins up the server in-process and drives peers concurrent
+// client sessions cycling through every protocol — the end-to-end proof
+// that the whole stack reconciles over real sockets.
+func runDemo(cfg config, f *fixture, peers int) {
+	srv := newServer(cfg, f, func(string, ...any) {})
+	l, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail("demo listen: %v", err)
+	}
+	defer srv.Close()
+	protos := []string{"emd", "gap", "sync", "setsets"}
+	fmt.Printf("demo: %d concurrent peers against %s\n", peers, l.Addr())
+	start := time.Now()
+	errs := make([]error, peers)
+	var wg sync.WaitGroup
+	for i := 0; i < peers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			proto := protos[i%len(protos)]
+			if err := runClient(f, "tcp", l.Addr().String(), proto, false); err != nil {
+				errs[i] = fmt.Errorf("%s: %w", proto, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	srv.Close()
+	bad := 0
+	for i, err := range errs {
+		if err != nil {
+			bad++
+			fmt.Fprintf(os.Stderr, "demo: peer %d: %v\n", i, err)
+		}
+	}
+	total, nSessions := srv.Stats()
+	fmt.Printf("demo: %d/%d sessions ok in %v (%.1f sessions/s); server total: %s (%d sessions, %.2f MB)\n",
+		peers-bad, peers, elapsed.Round(time.Millisecond),
+		float64(peers)/elapsed.Seconds(), total, nSessions,
+		float64(total.TotalBytes())/1e6)
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "reconciled: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -57,6 +57,12 @@ type Params struct {
 	// PeelOrder is forwarded to the RIBLTs (BFS per the paper; LIFO
 	// exists for the ablation experiment).
 	PeelOrder riblt.PeelOrder
+	// Workers shards sketch construction (LSH key evaluation and RIBLT
+	// insertion) across goroutines: 0 means GOMAXPROCS, 1 forces the
+	// sequential path. Purely local — the sharded build merges
+	// deterministically, so wire bytes are identical for any value —
+	// hence not part of the parameter digest.
+	Workers int
 }
 
 // DefaultParams returns the no-prior-knowledge parameterization of §3:
@@ -280,19 +286,14 @@ func Reconcile(p Params, sa, sb metric.PointSet) (Result, error) {
 	return res, nil
 }
 
-// alice builds the t RIBLTs and encodes them as the protocol's single
-// message.
+// alice builds the t RIBLTs (sharded across workers, see parallel.go)
+// and encodes them as the protocol's single message. Encoding itself is
+// sequential over the merged cells, so the wire bytes are identical for
+// any worker count.
 func alice(pl *plan, sa metric.PointSet) (*transport.Encoder, error) {
-	tables := make([]*riblt.Table, pl.levels)
-	for i := range tables {
-		tables[i] = riblt.New(pl.cfgs[i])
-	}
-	scratch := make([]uint64, pl.s)
-	for _, a := range sa {
-		keys := pl.keysFor(a, scratch)
-		for i, key := range keys {
-			tables[i].Insert(key, a)
-		}
+	tables, err := pl.buildTables(sa)
+	if err != nil {
+		return nil, err
 	}
 	e := transport.NewEncoder()
 	e.WriteUvarint(uint64(pl.levels))
@@ -322,10 +323,9 @@ func bob(pl *plan, sb metric.PointSet, ch *transport.Channel) (Result, error) {
 			return Result{}, err
 		}
 	}
-	scratch := make([]uint64, pl.s)
-	for _, b := range sb {
-		keys := pl.keysFor(b, scratch)
-		for i, key := range keys {
+	allKeys := pl.levelKeys(sb)
+	for j, b := range sb {
+		for i, key := range allKeys[j] {
 			tables[i].Delete(key, b)
 		}
 	}

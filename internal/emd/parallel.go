@@ -1,0 +1,94 @@
+package emd
+
+import (
+	"repro/internal/metric"
+	"repro/internal/parallel"
+	"repro/internal/riblt"
+)
+
+// Sharded sketch construction. The two hot loops of Algorithm 1 — MLSH
+// key-vector evaluation (s function applications per point) and RIBLT
+// insertion (q cell updates per level per point) — are both
+// order-independent: keys depend only on the point and the shared draw,
+// and RIBLT cells hold sums, which commute. Points are therefore sharded
+// into blocks, each worker builds private per-level tables, and the
+// shards merge cell-wise (riblt.Merge). The merged tables are
+// field-identical to a sequential build, so the encoded wire bytes are
+// bit-identical for any worker count — asserted by TestShardedBuildGolden.
+
+// minBlock is the smallest point block worth a goroutine (each point
+// costs s LSH evaluations, far heavier than one IBLT key insert).
+const minBlock = 16
+
+// levelKeys computes every point's per-level keys, sharding the MLSH
+// evaluation across workers by point block. out[i] is point i's key per
+// level, so the result is positionally deterministic regardless of
+// worker count. Each worker reuses one scratch buffer across its block;
+// the drawn Funcs and the key hasher are immutable after plan
+// construction, so concurrent evaluation is safe.
+func (pl *plan) levelKeys(pts metric.PointSet) [][]uint64 {
+	out := make([][]uint64, len(pts))
+	w := parallel.Workers(pl.params.Workers, len(pts), minBlock)
+	if w == 1 {
+		scratch := make([]uint64, pl.s)
+		for i, p := range pts {
+			out[i] = pl.keysFor(p, scratch)
+		}
+		return out
+	}
+	parallel.Shard(len(pts), w, func(_, lo, hi int) {
+		scratch := make([]uint64, pl.s)
+		for i := lo; i < hi; i++ {
+			out[i] = pl.keysFor(pts[i], scratch)
+		}
+	})
+	return out
+}
+
+// buildTables constructs Alice's t level-RIBLTs over sa, sharding both
+// the key evaluation and the insertions across workers.
+func (pl *plan) buildTables(sa metric.PointSet) ([]*riblt.Table, error) {
+	newTables := func() []*riblt.Table {
+		ts := make([]*riblt.Table, pl.levels)
+		for i := range ts {
+			ts[i] = riblt.New(pl.cfgs[i])
+		}
+		return ts
+	}
+	w := parallel.Workers(pl.params.Workers, len(sa), minBlock)
+	if w == 1 {
+		tables := newTables()
+		scratch := make([]uint64, pl.s)
+		for _, a := range sa {
+			keys := pl.keysFor(a, scratch)
+			for i, key := range keys {
+				tables[i].Insert(key, a)
+			}
+		}
+		return tables, nil
+	}
+	shards := make([][]*riblt.Table, w)
+	parallel.Shard(len(sa), w, func(b, lo, hi int) {
+		ts := newTables()
+		scratch := make([]uint64, pl.s)
+		for _, a := range sa[lo:hi] {
+			keys := pl.keysFor(a, scratch)
+			for i, key := range keys {
+				ts[i].Insert(key, a)
+			}
+		}
+		shards[b] = ts
+	})
+	merged := shards[0]
+	for _, ts := range shards[1:] {
+		if ts == nil {
+			continue
+		}
+		for i := range merged {
+			if err := merged[i].Merge(ts[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return merged, nil
+}

@@ -1,0 +1,79 @@
+package emd
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/metric"
+	"repro/internal/workload"
+)
+
+// TestShardedBuildGolden asserts the tentpole invariant of the parallel
+// sketch path: the wire bytes of Alice's message are bit-identical for
+// any worker count. A peer must be unable to tell how many cores built
+// the sketch it received.
+func TestShardedBuildGolden(t *testing.T) {
+	space := metric.HammingCube(64)
+	const n, k = 96, 4
+	inst := workload.NewEMDInstance(space, n, k, 2, 11)
+
+	base := DefaultParams(space, n, k, 5)
+	base.D1, base.D2 = 4, 64 // informed bounds keep s manageable
+	base.Workers = 1
+	seq, err := BuildMessage(base, inst.SA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 3, 8} {
+		p := base
+		p.Workers = workers
+		got, err := BuildMessage(p, inst.SA)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(seq, got) {
+			t.Errorf("workers=%d: message differs from sequential build (%d vs %d bytes)",
+				workers, len(got), len(seq))
+		}
+	}
+}
+
+// TestShardedReconcile runs the full protocol with a sharded Bob side
+// and checks the outcome matches the sequential run exactly (Bob's
+// peeling consumes his private randomness identically because the
+// received tables are identical and deletes are applied in point
+// order).
+func TestShardedReconcile(t *testing.T) {
+	space := metric.HammingCube(64)
+	const n, k = 96, 4
+	inst := workload.NewEMDInstance(space, n, k, 2, 12)
+
+	run := func(workers int) Result {
+		p := DefaultParams(space, n, k, 6)
+		p.D1, p.D2 = 4, 64
+		p.Workers = workers
+		res, err := Reconcile(p, inst.SA, inst.SB)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	seq := run(1)
+	par := run(4)
+	if seq.Failed != par.Failed || seq.Level != par.Level {
+		t.Fatalf("outcome diverged: sequential level=%d failed=%v, parallel level=%d failed=%v",
+			seq.Level, seq.Failed, par.Level, par.Failed)
+	}
+	if !seq.Failed {
+		if len(seq.SPrime) != len(par.SPrime) {
+			t.Fatalf("|S'B| diverged: %d vs %d", len(seq.SPrime), len(par.SPrime))
+		}
+		for i := range seq.SPrime {
+			for d := range seq.SPrime[i] {
+				if seq.SPrime[i][d] != par.SPrime[i][d] {
+					t.Fatalf("S'B[%d] diverged", i)
+				}
+			}
+		}
+	}
+}

@@ -48,9 +48,17 @@ type Params struct {
 	Seed uint64
 	// SetSets forwards tuning to the substrate (zero values = defaults).
 	SetSets setsets.Params
+	// Workers shards key construction (h·m LSH evaluations per element)
+	// across goroutines: 0 means GOMAXPROCS, 1 forces the sequential
+	// path. Purely local — key vectors are positionally deterministic —
+	// so it is not part of the parameter digest.
+	Workers int
 }
 
-func (p *Params) applyDefaults() {
+// ApplyDefaults fills zero fields with the documented defaults, so a
+// zero-value and an explicitly defaulted configuration behave — and
+// digest — identically.
+func (p *Params) ApplyDefaults() {
 	if p.HFactor == 0 {
 		p.HFactor = 6
 	}
@@ -201,7 +209,7 @@ type plan struct {
 
 // newPlan derives the general (Theorem 4.2) plan.
 func newPlan(p Params) (*plan, error) {
-	p.applyDefaults()
+	p.ApplyDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -237,7 +245,7 @@ func newPlan(p Params) (*plan, error) {
 
 // newOneSidedPlan derives the Theorem 4.5 plan.
 func newOneSidedPlan(p Params, pExp float64) (*plan, error) {
-	p.applyDefaults()
+	p.ApplyDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -295,10 +303,9 @@ func runAlice(pl *plan, conn transport.Conn, sa metric.PointSet) (AliceReport, e
 	if len(sa) > p.N {
 		return AliceReport{}, fmt.Errorf("gap: |SA|=%d exceeds N=%d", len(sa), p.N)
 	}
-	aliceKeys := make([][]uint64, len(sa))
+	aliceKeys := pl.keyBatch(sa)
 	aliceChildren := make([]setsets.Child, len(sa))
-	for i, a := range sa {
-		aliceKeys[i] = pl.ky.key(a)
+	for i := range sa {
 		aliceChildren[i] = setsets.Child{Payload: encodeKey(aliceKeys[i], p.EntryBits)}
 	}
 
@@ -380,9 +387,10 @@ func runBob(pl *plan, conn transport.Conn, sb metric.PointSet) (Result, error) {
 	if len(sb) > p.N {
 		return Result{}, fmt.Errorf("gap: |SB|=%d exceeds N=%d", len(sb), p.N)
 	}
+	bobKeys := pl.keyBatch(sb)
 	bobChildren := make([]setsets.Child, len(sb))
-	for i, b := range sb {
-		bobChildren[i] = setsets.Child{Payload: encodeKey(pl.ky.key(b), p.EntryBits)}
+	for i := range sb {
+		bobChildren[i] = setsets.Child{Payload: encodeKey(bobKeys[i], p.EntryBits)}
 	}
 	if err := setsets.RunBob(pl.setsetsParams(), conn, bobChildren); err != nil {
 		return Result{}, fmt.Errorf("gap: key reconciliation: %w", err)

@@ -10,7 +10,7 @@ import (
 
 func TestParamsValidate(t *testing.T) {
 	good := Params{Space: metric.HammingCube(256), N: 10, R1: 2, R2: 32}
-	good.applyDefaults()
+	good.ApplyDefaults()
 	if err := good.Validate(); err != nil {
 		t.Fatalf("valid params rejected: %v", err)
 	}
@@ -21,7 +21,7 @@ func TestParamsValidate(t *testing.T) {
 		{Space: metric.Space{}, N: 10, R1: 1, R2: 2},
 	}
 	for i, p := range bad {
-		p.applyDefaults()
+		p.ApplyDefaults()
 		if err := p.Validate(); err == nil {
 			t.Errorf("bad params %d accepted", i)
 		}
@@ -31,7 +31,7 @@ func TestParamsValidate(t *testing.T) {
 func TestDeriveRejectsTightHamming(t *testing.T) {
 	// r2 > d/2 breaks the p2 >= 1/2 assumption of §4.1.
 	p := Params{Space: metric.HammingCube(64), N: 10, R1: 2, R2: 40}
-	p.applyDefaults()
+	p.ApplyDefaults()
 	if _, _, err := p.derive(); err == nil {
 		t.Error("r2 > d/2 accepted for coordinate sampling")
 	}
@@ -39,7 +39,7 @@ func TestDeriveRejectsTightHamming(t *testing.T) {
 
 func TestDeriveRejectsL2(t *testing.T) {
 	p := Params{Space: metric.Grid(100, 3, metric.L2), N: 10, R1: 1, R2: 50}
-	p.applyDefaults()
+	p.ApplyDefaults()
 	if _, _, err := p.derive(); err == nil {
 		t.Error("general protocol accepted ℓ2 (should direct to one-sided)")
 	}

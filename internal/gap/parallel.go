@@ -1,0 +1,30 @@
+package gap
+
+import (
+	"repro/internal/metric"
+	"repro/internal/parallel"
+)
+
+// keyBatch computes every element's key, sharding the h·m LSH
+// evaluations across workers by point block. out[i] is element i's key,
+// so the output — and everything derived from it, including the setsets
+// children that go on the wire — is identical for any worker count. The
+// keyer's drawn functions and entry hashers are immutable after plan
+// construction, so concurrent evaluation is safe.
+func (pl *plan) keyBatch(pts metric.PointSet) [][]uint64 {
+	const minBlock = 8
+	out := make([][]uint64, len(pts))
+	w := parallel.Workers(pl.params.Workers, len(pts), minBlock)
+	if w == 1 {
+		for i, p := range pts {
+			out[i] = pl.ky.key(p)
+		}
+		return out
+	}
+	parallel.Shard(len(pts), w, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = pl.ky.key(pts[i])
+		}
+	})
+	return out
+}

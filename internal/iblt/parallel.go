@@ -1,0 +1,113 @@
+package iblt
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// Sharded construction. Inserting a key touches q cells with XOR and
+// counter updates, all of which commute, so a table built from key
+// blocks by independent workers and merged cell-wise is identical —
+// field for field, and therefore bit for bit on the wire — to one built
+// sequentially. This is the balls-and-bins parallelism the peeling
+// literature's threshold analyses already rely on: the hypergraph drawn
+// does not depend on insertion order.
+
+// minBlock is the smallest key block worth a goroutine.
+const minBlock = 1024
+
+// Merge adds other's cells into t. The two tables must have identical
+// geometry and seed; afterwards t holds the union of both multisets.
+func (t *Table) Merge(other *Table) error {
+	if t.q != other.q || len(t.cells) != len(other.cells) {
+		return fmt.Errorf("iblt: merge geometry mismatch: %d/%d cells, q %d/%d",
+			len(t.cells), len(other.cells), t.q, other.q)
+	}
+	for i := range t.cells {
+		t.cells[i].Count += other.cells[i].Count
+		t.cells[i].KeySum ^= other.cells[i].KeySum
+		t.cells[i].CheckSum ^= other.cells[i].CheckSum
+	}
+	return nil
+}
+
+// NewFromKeys builds a table with q hash functions and at least m cells
+// holding every key, sharding insertion across workers goroutines
+// (workers <= 0 means GOMAXPROCS, 1 forces the sequential path). The
+// result is bit-identical to sequential insertion.
+func NewFromKeys(m, q int, seed uint64, keys []uint64, workers int) *Table {
+	w := parallel.Workers(workers, len(keys), minBlock)
+	if w == 1 {
+		t := New(m, q, seed)
+		for _, k := range keys {
+			t.Insert(k)
+		}
+		return t
+	}
+	shards := make([]*Table, w)
+	parallel.Shard(len(keys), w, func(b, lo, hi int) {
+		t := New(m, q, seed)
+		for _, k := range keys[lo:hi] {
+			t.Insert(k)
+		}
+		shards[b] = t
+	})
+	out := shards[0]
+	for _, s := range shards[1:] {
+		if s == nil {
+			continue
+		}
+		if err := out.Merge(s); err != nil {
+			// Shards are built from one geometry by construction.
+			panic(err)
+		}
+	}
+	return out
+}
+
+// Merge adds other's per-stratum tables into s. Both estimators must
+// have been built with the same seed and geometry.
+func (s *Strata) Merge(other *Strata) error {
+	if s.perLvl != other.perLvl {
+		return fmt.Errorf("iblt: strata merge geometry mismatch")
+	}
+	for i := range s.levels {
+		if err := s.levels[i].Merge(other.levels[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewStrataFromKeys builds an estimator over every key, sharding
+// insertion across workers goroutines; the result is bit-identical to
+// sequential insertion.
+func NewStrataFromKeys(cellsPerLevel int, seed uint64, keys []uint64, workers int) *Strata {
+	w := parallel.Workers(workers, len(keys), minBlock)
+	if w == 1 {
+		s := NewStrata(cellsPerLevel, seed)
+		for _, k := range keys {
+			s.Insert(k)
+		}
+		return s
+	}
+	shards := make([]*Strata, w)
+	parallel.Shard(len(keys), w, func(b, lo, hi int) {
+		s := NewStrata(cellsPerLevel, seed)
+		for _, k := range keys[lo:hi] {
+			s.Insert(k)
+		}
+		shards[b] = s
+	})
+	out := shards[0]
+	for _, sh := range shards[1:] {
+		if sh == nil {
+			continue
+		}
+		if err := out.Merge(sh); err != nil {
+			panic(err)
+		}
+	}
+	return out
+}

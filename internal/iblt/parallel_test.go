@@ -1,0 +1,93 @@
+package iblt
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/transport"
+)
+
+func testKeys(n int, seed uint64) []uint64 {
+	src := rng.New(seed)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = src.Uint64()
+	}
+	return keys
+}
+
+func encodeTable(t *Table) []byte {
+	e := transport.NewEncoder()
+	t.Encode(e)
+	data, _ := e.Pack()
+	return data
+}
+
+// TestShardedBuildGolden asserts that a table built from sharded key
+// blocks and merged encodes to exactly the wire bytes of a sequential
+// build, for several worker counts.
+func TestShardedBuildGolden(t *testing.T) {
+	keys := testKeys(20000, 3)
+	seq := NewFromKeys(300, 3, 77, keys, 1)
+	seqBytes := encodeTable(seq)
+	for _, workers := range []int{0, 2, 5, 8} {
+		got := encodeTable(NewFromKeys(300, 3, 77, keys, workers))
+		if !bytes.Equal(seqBytes, got) {
+			t.Errorf("workers=%d: encoding differs from sequential build", workers)
+		}
+	}
+}
+
+// TestShardedStrataGolden does the same for the strata estimator.
+func TestShardedStrataGolden(t *testing.T) {
+	keys := testKeys(20000, 4)
+	seqBytes := func() []byte {
+		e := transport.NewEncoder()
+		NewStrataFromKeys(80, 9, keys, 1).Encode(e)
+		data, _ := e.Pack()
+		return data
+	}()
+	for _, workers := range []int{0, 3, 8} {
+		e := transport.NewEncoder()
+		NewStrataFromKeys(80, 9, keys, workers).Encode(e)
+		got, _ := e.Pack()
+		if !bytes.Equal(seqBytes, got) {
+			t.Errorf("workers=%d: strata encoding differs from sequential build", workers)
+		}
+	}
+}
+
+// TestMergeGeometryMismatch ensures merging incompatible tables fails
+// loudly instead of corrupting cells.
+func TestMergeGeometryMismatch(t *testing.T) {
+	a := New(100, 3, 1)
+	b := New(200, 3, 1)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge of mismatched geometries accepted")
+	}
+	c := New(100, 4, 1)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merge of mismatched q accepted")
+	}
+}
+
+// TestMergedTableDecodes checks a sharded-and-merged difference table
+// still peels correctly.
+func TestMergedTableDecodes(t *testing.T) {
+	keys := testKeys(5000, 5)
+	extra := []uint64{11, 22, 33, 44, 55}
+	withExtra := append(append([]uint64{}, keys...), extra...)
+
+	tbl := NewFromKeys(CellsForDiff(16, 3), 3, 99, withExtra, 4)
+	for _, k := range keys {
+		tbl.Delete(k)
+	}
+	added, removed, err := tbl.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 0 || len(added) != len(extra) {
+		t.Fatalf("decoded %d added / %d removed, want %d / 0", len(added), len(removed), len(extra))
+	}
+}

@@ -349,6 +349,11 @@ func GridL1Params(space metric.Space, r1, r2, w float64) Params {
 // Vector is an ordered list of functions drawn from one family. The EMD
 // protocol hashes each point with a *prefix* of the vector whose length
 // grows with the resolution level, so prefix evaluation is the primitive.
+//
+// A Vector is immutable after DrawVector, and drawn Funcs are pure, so
+// concurrent evaluation from many goroutines is safe — the sharded
+// sketch builders (emd, gap) rely on this to spread key evaluation
+// across point blocks.
 type Vector struct {
 	funcs []Func
 }

@@ -2,6 +2,7 @@ package lsh
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/metric"
@@ -333,4 +334,49 @@ func BenchmarkPStableHash(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		v.HashPrefixInto(dst, p, 32)
 	}
+}
+
+// TestVectorConcurrentEval locks in the documented contract that a
+// drawn Vector is safe for concurrent evaluation: the sharded sketch
+// builders evaluate one shared Vector from many goroutines. Run under
+// -race this is a real detector, not just a determinism check.
+func TestVectorConcurrentEval(t *testing.T) {
+	space := metric.HammingCube(64)
+	fam := NewCoordSampling(space, 64)
+	vec := DrawVector(fam, rng.New(42), 128)
+	src := rng.New(43)
+	pts := make([]metric.Point, 64)
+	for i := range pts {
+		pts[i] = workloadPoint(space, src)
+	}
+	want := make([][]uint64, len(pts))
+	for i, p := range pts {
+		want[i] = vec.Hash(p)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := make([]uint64, vec.Len())
+			for i, p := range pts {
+				got := vec.HashPrefixInto(scratch, p, vec.Len())
+				for j := range got {
+					if got[j] != want[i][j] {
+						t.Errorf("concurrent eval diverged at point %d fn %d", i, j)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func workloadPoint(space metric.Space, src *rng.Source) metric.Point {
+	p := make(metric.Point, space.Dim)
+	for i := range p {
+		p[i] = int32(src.Uint64n(uint64(space.Delta) + 1))
+	}
+	return p
 }

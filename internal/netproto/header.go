@@ -1,0 +1,214 @@
+package netproto
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/transport"
+)
+
+// The session header: the first frame of every session, sent by the
+// initiating endpoint, answered by an accept frame from the peer. It
+// replaces the old symmetric digest handshake — protocol selection and
+// parameter-digest validation now happen in one negotiated exchange
+// before any protocol traffic flows.
+//
+// Hello frame (initiator → peer):
+//
+//	magic   32 bits  0x5253594E ("RSYN")
+//	version uvarint  wire format version (currently 1)
+//	proto   uvarint  Proto ID
+//	role    uvarint  the initiator's Role
+//	digest  64 bits  parameter digest (per-protocol fold of Params)
+//
+// Accept frame (peer → initiator):
+//
+//	status  uvarint  Status code (0 = OK)
+//	digest  64 bits  the peer's own digest, echoed for diagnostics
+const (
+	helloMagic  = 0x5253_594E // "RSYN"
+	wireVersion = 1
+)
+
+// Status is the peer's verdict on a session hello.
+type Status uint8
+
+const (
+	// StatusOK accepts the session; protocol traffic follows.
+	StatusOK Status = 0
+	// StatusUnknownProto rejects an unregistered or unserved protocol.
+	StatusUnknownProto Status = 1
+	// StatusRoleUnavailable rejects a role the peer cannot complement.
+	StatusRoleUnavailable Status = 2
+	// StatusDigestMismatch rejects disagreeing parameter digests.
+	StatusDigestMismatch Status = 3
+)
+
+// String names the status for errors and logs.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusUnknownProto:
+		return "unknown protocol"
+	case StatusRoleUnavailable:
+		return "role unavailable"
+	case StatusDigestMismatch:
+		return "parameter digest mismatch"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Hello is the decoded session header.
+type Hello struct {
+	Proto  Proto
+	Role   Role // the initiator's role
+	Digest uint64
+}
+
+// SendHello writes the session header frame.
+func SendHello(w *Wire, h Hello) error {
+	e := transport.NewEncoder()
+	e.WriteBits(helloMagic, 32)
+	e.WriteUvarint(wireVersion)
+	e.WriteUvarint(uint64(h.Proto))
+	e.WriteUvarint(uint64(h.Role))
+	e.WriteUint64(h.Digest)
+	return w.Send(e)
+}
+
+// ReadHello reads and validates the session header frame.
+func ReadHello(w *Wire) (Hello, error) {
+	d, err := w.Recv()
+	if err != nil {
+		return Hello{}, err
+	}
+	magic, err := d.ReadBits(32)
+	if err != nil {
+		return Hello{}, err
+	}
+	if magic != helloMagic {
+		return Hello{}, fmt.Errorf("netproto: bad hello magic %#x", magic)
+	}
+	ver, err := d.ReadUvarint()
+	if err != nil {
+		return Hello{}, err
+	}
+	if ver != wireVersion {
+		return Hello{}, fmt.Errorf("netproto: unsupported wire version %d", ver)
+	}
+	proto, err := d.ReadUvarint()
+	if err != nil {
+		return Hello{}, err
+	}
+	// Range-check before narrowing: 257 must not alias to proto 1.
+	if proto == 0 || proto > 0xff {
+		return Hello{}, fmt.Errorf("netproto: bad proto %d in hello", proto)
+	}
+	role, err := d.ReadUvarint()
+	if err != nil {
+		return Hello{}, err
+	}
+	if role > uint64(RoleBob) {
+		return Hello{}, fmt.Errorf("netproto: bad role %d in hello", role)
+	}
+	digest, err := d.ReadUint64()
+	if err != nil {
+		return Hello{}, err
+	}
+	return Hello{Proto: Proto(proto), Role: Role(role), Digest: digest}, nil
+}
+
+// SendAccept writes the accept frame answering a hello.
+func SendAccept(w *Wire, st Status, digest uint64) error {
+	e := transport.NewEncoder()
+	e.WriteUvarint(uint64(st))
+	e.WriteUint64(digest)
+	return w.Send(e)
+}
+
+// ReadAccept reads the accept frame.
+func ReadAccept(w *Wire) (Status, uint64, error) {
+	d, err := w.Recv()
+	if err != nil {
+		return 0, 0, err
+	}
+	st, err := d.ReadUvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	// Range-check before narrowing: a status of 256 must not alias to
+	// StatusOK and turn a rejection into an acceptance.
+	if st > 0xff {
+		return 0, 0, fmt.Errorf("netproto: bad status %d in accept", st)
+	}
+	digest, err := d.ReadUint64()
+	if err != nil {
+		return 0, 0, err
+	}
+	return Status(st), digest, nil
+}
+
+// Initiate opens a session for h: it sends the hello and waits for the
+// peer's accept. On return with nil error the wire is ready for h.Run.
+func Initiate(w *Wire, h Handler) error {
+	if err := SendHello(w, Hello{Proto: h.Proto(), Role: h.Role(), Digest: h.Digest()}); err != nil {
+		return err
+	}
+	st, peerDigest, err := ReadAccept(w)
+	if err != nil {
+		return err
+	}
+	if st != StatusOK {
+		return fmt.Errorf("netproto: peer rejected %v session: %v (local digest %#x, peer %#x)",
+			h.Proto(), st, h.Digest(), peerDigest)
+	}
+	return nil
+}
+
+// Accept answers an initiator's hello on behalf of the bound handler h:
+// the hello must name h's protocol, the complementary role, and an equal
+// digest. On any mismatch the rejecting status is sent before the error
+// returns, so the initiator fails with a reason rather than a dead
+// stream. This is the two-party path; session.Server performs the same
+// validation against its handler registry.
+func Accept(w *Wire, h Handler) error {
+	hello, err := ReadHello(w)
+	if err != nil {
+		return err
+	}
+	if hello.Proto != h.Proto() {
+		SendAccept(w, StatusUnknownProto, h.Digest())
+		return fmt.Errorf("netproto: peer wants %v, handler speaks %v", hello.Proto, h.Proto())
+	}
+	if hello.Role != h.Role().Peer() {
+		SendAccept(w, StatusRoleUnavailable, h.Digest())
+		return fmt.Errorf("netproto: peer plays %v, handler also plays %v", hello.Role, h.Role())
+	}
+	if hello.Digest != h.Digest() {
+		SendAccept(w, StatusDigestMismatch, h.Digest())
+		return fmt.Errorf("netproto: parameter digest mismatch (local %#x, peer %#x)",
+			h.Digest(), hello.Digest)
+	}
+	return SendAccept(w, StatusOK, h.Digest())
+}
+
+// RunInitiator negotiates a session for h over rw and runs its state
+// machine; the wire is returned for traffic accounting.
+func RunInitiator(rw io.ReadWriter, h Handler) (*Wire, error) {
+	w := NewWire(rw)
+	if err := Initiate(w, h); err != nil {
+		return w, err
+	}
+	return w, h.Run(w)
+}
+
+// RunResponder answers a session for h over rw and runs its state
+// machine; the wire is returned for traffic accounting.
+func RunResponder(rw io.ReadWriter, h Handler) (*Wire, error) {
+	w := NewWire(rw)
+	if err := Accept(w, h); err != nil {
+		return w, err
+	}
+	return w, h.Run(w)
+}

@@ -4,10 +4,14 @@
 // protocol state machines are written against, so the same party code
 // that runs in-process in the experiments runs across a network here.
 //
-// Parameter agreement is the caller's job (both sides must construct
-// identical protocol Params, including the shared seed — the paper's
-// public coins); netproto validates agreement with a parameter digest in
-// the first frame each side sends, failing fast on mismatch instead of
+// The protocols themselves are registered Handlers (see registry.go):
+// each handler binds one party's state machine to its parameters and
+// local data, and the session layer (internal/session) — or the
+// two-party helpers in protocols.go — drives it. Parameter agreement is
+// the caller's job (both sides must construct identical protocol Params,
+// including the shared seed — the paper's public coins); the session
+// header (header.go) carries a parameter digest that both ends validate
+// before any protocol traffic flows, failing fast on mismatch instead of
 // producing garbage.
 package netproto
 
@@ -15,6 +19,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"repro/internal/transport"
 )
@@ -24,13 +29,16 @@ import (
 const maxFrame = 1 << 28
 
 // Wire adapts an io.ReadWriter to transport.Conn with length-prefixed
-// frames and local traffic accounting.
+// frames and local traffic accounting. The tallies are atomic, so a
+// server may snapshot Stats while the session is mid-protocol; Send and
+// Recv themselves may each be used by at most one goroutine at a time
+// (full-duplex use — one sender, one receiver — is fine).
 type Wire struct {
 	rw        io.ReadWriter
-	sent      int64 // payload bits sent
-	recvd     int64
-	msgsSent  int
-	msgsRecvd int
+	sent      atomic.Int64 // payload bits sent
+	recvd     atomic.Int64
+	msgsSent  atomic.Int64
+	msgsRecvd atomic.Int64
 }
 
 // NewWire wraps a byte stream.
@@ -48,8 +56,8 @@ func (w *Wire) Send(e *transport.Encoder) error {
 	if _, err := w.rw.Write(data); err != nil {
 		return fmt.Errorf("netproto: send payload: %w", err)
 	}
-	w.sent += bits
-	w.msgsSent++
+	w.sent.Add(bits)
+	w.msgsSent.Add(1)
 	return nil
 }
 
@@ -67,51 +75,22 @@ func (w *Wire) Recv() (*transport.Decoder, error) {
 	if _, err := io.ReadFull(w.rw, data); err != nil {
 		return nil, fmt.Errorf("netproto: recv payload: %w", err)
 	}
-	w.recvd += int64(n) * 8
-	w.msgsRecvd++
+	w.recvd.Add(int64(n) * 8)
+	w.msgsRecvd.Add(1)
 	return transport.NewDecoder(data), nil
 }
 
 // Stats reports this endpoint's view of the traffic: bits it sent count
 // as AliceToBob, bits it received as BobToAlice (i.e. "outbound" /
-// "inbound" from the local perspective).
+// "inbound" from the local perspective). Safe to call concurrently with
+// an in-flight session.
 func (w *Wire) Stats() transport.Stats {
+	sent, recvd := w.msgsSent.Load(), w.msgsRecvd.Load()
 	return transport.Stats{
-		Rounds:   w.msgsSent + w.msgsRecvd,
-		BitsAtoB: w.sent,
-		BitsBtoA: w.recvd,
-		MsgsAtoB: w.msgsSent,
-		MsgsBtoA: w.msgsRecvd,
+		Rounds:   int(sent + recvd),
+		BitsAtoB: w.sent.Load(),
+		BitsBtoA: w.recvd.Load(),
+		MsgsAtoB: int(sent),
+		MsgsBtoA: int(recvd),
 	}
-}
-
-// handshake exchanges an 8-byte parameter digest in both directions and
-// fails on mismatch. Each party calls it with the digest of its local
-// Params; agreement certifies both built the same plan (and thus the
-// same hash functions) before any protocol traffic flows.
-func handshake(w *Wire, digest uint64) error {
-	// Both parties send first, so the send must not wait for the peer's
-	// read: unbuffered transports (net.Pipe) would deadlock otherwise.
-	// Concurrent Send and Recv on a full-duplex stream are safe.
-	sendErr := make(chan error, 1)
-	go func() {
-		e := transport.NewEncoder()
-		e.WriteUint64(digest)
-		sendErr <- w.Send(e)
-	}()
-	d, err := w.Recv()
-	if serr := <-sendErr; serr != nil && err == nil {
-		err = serr
-	}
-	if err != nil {
-		return err
-	}
-	peer, err := d.ReadUint64()
-	if err != nil {
-		return err
-	}
-	if peer != digest {
-		return fmt.Errorf("netproto: parameter digest mismatch (local %#x, peer %#x)", digest, peer)
-	}
-	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/matching"
 	"repro/internal/metric"
 	"repro/internal/rng"
+	"repro/internal/setsets"
 	"repro/internal/transport"
 	"repro/internal/workload"
 )
@@ -48,18 +49,35 @@ func TestWireFrameRoundTrip(t *testing.T) {
 	}
 }
 
-func TestHandshakeMismatch(t *testing.T) {
+func TestHeaderDigestMismatch(t *testing.T) {
 	a, b := duplex()
 	defer a.Close()
 	defer b.Close()
 	errc := make(chan error, 1)
 	go func() {
-		errc <- handshake(NewWire(a), 111)
+		_, err := RunInitiator(a, NewSyncInitiator(SyncParams{Seed: 111}, nil))
+		errc <- err
 	}()
-	err2 := handshake(NewWire(b), 222)
+	_, err2 := RunResponder(b, NewSyncResponder(SyncParams{Seed: 222}, nil))
 	err1 := <-errc
 	if err1 == nil || err2 == nil {
 		t.Errorf("digest mismatch accepted: %v / %v", err1, err2)
+	}
+}
+
+func TestHeaderProtoMismatch(t *testing.T) {
+	a, b := duplex()
+	defer a.Close()
+	defer b.Close()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := RunInitiator(a, NewSyncInitiator(SyncParams{Seed: 1}, nil))
+		errc <- err
+	}()
+	_, err2 := RunResponder(b, NewSetSetsResponder(setsets.Params{PayloadBytes: 4, Seed: 1}, nil))
+	err1 := <-errc
+	if err1 == nil || err2 == nil {
+		t.Errorf("protocol mismatch accepted: %v / %v", err1, err2)
 	}
 }
 
@@ -180,10 +198,10 @@ func TestSyncOverWire(t *testing.T) {
 	}
 	ic := make(chan out, 1)
 	go func() {
-		th, mn, err := SyncInitiator(a, SyncParams{Seed: 31}, initiator)
+		th, mn, err := SyncInitiatorFunc(a, SyncParams{Seed: 31}, initiator)
 		ic <- out{th, mn, err}
 	}()
-	gotAtResponder, err := SyncResponder(b, SyncParams{Seed: 31}, responder)
+	gotAtResponder, err := SyncResponderFunc(b, SyncParams{Seed: 31}, responder)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,13 +227,13 @@ func TestSyncOverWireEmptyDiff(t *testing.T) {
 	defer b.Close()
 	ic := make(chan error, 1)
 	go func() {
-		th, mn, err := SyncInitiator(a, SyncParams{Seed: 37}, ids)
+		th, mn, err := SyncInitiatorFunc(a, SyncParams{Seed: 37}, ids)
 		if err == nil && (len(th) != 0 || len(mn) != 0) {
 			err = errMismatch
 		}
 		ic <- err
 	}()
-	got, err := SyncResponder(b, SyncParams{Seed: 37}, ids)
+	got, err := SyncResponderFunc(b, SyncParams{Seed: 37}, ids)
 	if err != nil {
 		t.Fatal(err)
 	}

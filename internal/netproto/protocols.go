@@ -6,104 +6,51 @@ import (
 
 	"repro/internal/emd"
 	"repro/internal/gap"
-	"repro/internal/hashx"
 	"repro/internal/iblt"
 	"repro/internal/metric"
 	"repro/internal/transport"
 )
 
-// digestEMD folds the fields of emd.Params both parties must agree on.
-func digestEMD(p emd.Params) uint64 {
-	m := hashx.MixerFromSeed(0x1807_09694)
-	h := m.Hash(uint64(p.Space.Delta))
-	h = m.Hash(h ^ uint64(p.Space.Dim))
-	h = m.Hash(h ^ uint64(p.Space.Norm))
-	h = m.Hash(h ^ uint64(p.N))
-	h = m.Hash(h ^ uint64(p.K))
-	h = m.Hash(h ^ uint64(int64(p.D1*1000)))
-	h = m.Hash(h ^ uint64(int64(p.D2*1000)))
-	h = m.Hash(h ^ uint64(p.Q))
-	h = m.Hash(h ^ p.Seed)
-	return h
-}
+// Two-party convenience entry points. Each wraps a registered Handler in
+// the session negotiation (header.go): the Alice side initiates, the Bob
+// side answers. They exist for symmetric deployments — two processes and
+// one stream, no server; internal/session drives the same handlers for
+// the many-peer case.
 
-// EMDAlice runs Alice's side of Algorithm 1 over a byte stream: a
-// handshake frame, then the single protocol message.
+// EMDAlice runs Alice's side of Algorithm 1 over a byte stream: the
+// session header, then the single protocol message.
 func EMDAlice(rw io.ReadWriter, p emd.Params, sa metric.PointSet) error {
-	p.ApplyDefaults()
-	w := NewWire(rw)
-	if err := handshake(w, digestEMD(p)); err != nil {
-		return err
-	}
-	msg, err := emd.BuildMessage(p, sa)
-	if err != nil {
-		return err
-	}
-	e := transport.NewEncoder()
-	e.WriteBytes(msg)
-	return w.Send(e)
+	_, err := RunInitiator(rw, NewEMDSender(p, sa))
+	return err
 }
 
-// EMDBob runs Bob's side: handshake, receive, apply.
+// EMDBob runs Bob's side: answer the header, receive, apply.
 func EMDBob(rw io.ReadWriter, p emd.Params, sb metric.PointSet) (emd.Result, error) {
-	p.ApplyDefaults()
-	w := NewWire(rw)
-	if err := handshake(w, digestEMD(p)); err != nil {
+	h := NewEMDReceiver(p, sb)
+	if _, err := RunResponder(rw, h); err != nil {
 		return emd.Result{}, err
 	}
-	d, err := w.Recv()
-	if err != nil {
-		return emd.Result{}, err
-	}
-	msg, err := d.ReadBytes()
-	if err != nil {
-		return emd.Result{}, err
-	}
-	res, err := emd.ApplyMessage(p, sb, msg)
-	if err != nil {
-		return emd.Result{}, err
-	}
-	res.Stats = w.Stats()
-	return res, nil
-}
-
-func digestGap(p gap.Params) uint64 {
-	m := hashx.MixerFromSeed(0x4a92)
-	h := m.Hash(uint64(p.Space.Delta))
-	h = m.Hash(h ^ uint64(p.Space.Dim))
-	h = m.Hash(h ^ uint64(p.Space.Norm))
-	h = m.Hash(h ^ uint64(p.N))
-	h = m.Hash(h ^ uint64(int64(p.R1*1000)))
-	h = m.Hash(h ^ uint64(int64(p.R2*1000)))
-	h = m.Hash(h ^ uint64(p.HFactor))
-	h = m.Hash(h ^ uint64(p.EntryBits))
-	h = m.Hash(h ^ p.Seed)
-	return h
+	return h.Result, nil
 }
 
 // GapAlice runs Alice's side of the Theorem 4.2 protocol over a byte
 // stream.
 func GapAlice(rw io.ReadWriter, p gap.Params, sa metric.PointSet) (gap.AliceReport, error) {
-	w := NewWire(rw)
-	if err := handshake(w, digestGap(p)); err != nil {
+	h := NewGapSender(p, sa)
+	if _, err := RunInitiator(rw, h); err != nil {
 		return gap.AliceReport{}, err
 	}
-	return gap.RunAlice(p, w, sa)
+	return h.Report, nil
 }
 
 // GapBob runs Bob's side; the returned Result carries this endpoint's
 // traffic stats.
 func GapBob(rw io.ReadWriter, p gap.Params, sb metric.PointSet) (gap.Result, error) {
-	w := NewWire(rw)
-	if err := handshake(w, digestGap(p)); err != nil {
+	h := NewGapReceiver(p, sb)
+	if _, err := RunResponder(rw, h); err != nil {
 		return gap.Result{}, err
 	}
-	res, err := gap.RunBob(p, w, sb)
-	if err != nil {
-		return gap.Result{}, err
-	}
-	res.Stats = w.Stats()
-	return res, nil
+	return h.Result, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -117,6 +64,10 @@ type SyncParams struct {
 	StrataCells int
 	// MaxRetries bounds the doubling rounds (default 6).
 	MaxRetries int
+	// Workers shards local IBLT construction (0 = GOMAXPROCS, 1 =
+	// sequential). Purely local: it never changes wire bytes, so the
+	// parties need not agree on it and it is not part of the digest.
+	Workers int
 }
 
 func (p *SyncParams) applyDefaults() {
@@ -128,26 +79,43 @@ func (p *SyncParams) applyDefaults() {
 	}
 }
 
-// SyncInitiator reconciles its ID set against a responder: afterwards
+// SyncInitiatorFunc reconciles its ID set against a responder: afterwards
 // both sides know the full symmetric difference. theirsOnly holds IDs
 // only the responder has; minesOnly those only the initiator has.
+func SyncInitiatorFunc(rw io.ReadWriter, p SyncParams, ids []uint64) (theirsOnly, minesOnly []uint64, err error) {
+	h := NewSyncInitiator(p, ids)
+	if _, err := RunInitiator(rw, h); err != nil {
+		return nil, nil, err
+	}
+	return h.TheirsOnly, h.MinesOnly, nil
+}
+
+// SyncResponderFunc is the peer of SyncInitiatorFunc. It returns the IDs
+// only the initiator has (learned in the repair round); the initiator
+// symmetrically learns this side's exclusive IDs from the IBLT.
+func SyncResponderFunc(rw io.ReadWriter, p SyncParams, ids []uint64) (theirsOnly []uint64, err error) {
+	h := NewSyncResponder(p, ids)
+	if _, err := RunResponder(rw, h); err != nil {
+		return nil, err
+	}
+	return h.TheirsOnly, nil
+}
+
+// runSyncInitiator is the initiator state machine, driven by the session
+// engine over any transport.Conn.
 //
 // Wire: [strata] → ; ← [IBLT, attempt i] ; [ack + minesOnly] → (repeat
 // on nack with doubled size).
-func SyncInitiator(rw io.ReadWriter, p SyncParams, ids []uint64) (theirsOnly, minesOnly []uint64, err error) {
+func runSyncInitiator(conn transport.Conn, p SyncParams, ids []uint64) (theirsOnly, minesOnly []uint64, err error) {
 	p.applyDefaults()
-	w := NewWire(rw)
-	st := iblt.NewStrata(p.StrataCells, p.Seed)
-	for _, id := range ids {
-		st.Insert(id)
-	}
+	st := iblt.NewStrataFromKeys(p.StrataCells, p.Seed, ids, p.Workers)
 	e := transport.NewEncoder()
 	st.Encode(e)
-	if err := w.Send(e); err != nil {
+	if err := conn.Send(e); err != nil {
 		return nil, nil, err
 	}
 	for attempt := 0; ; attempt++ {
-		d, err := w.Recv()
+		d, err := conn.Recv()
 		if err != nil {
 			return nil, nil, err
 		}
@@ -171,7 +139,7 @@ func SyncInitiator(rw io.ReadWriter, p SyncParams, ids []uint64) (theirsOnly, mi
 				e.WriteUint64(id)
 			}
 		}
-		if err := w.Send(e); err != nil {
+		if err := conn.Send(e); err != nil {
 			return nil, nil, err
 		}
 		if decErr == nil {
@@ -183,13 +151,10 @@ func SyncInitiator(rw io.ReadWriter, p SyncParams, ids []uint64) (theirsOnly, mi
 	}
 }
 
-// SyncResponder is the peer of SyncInitiator. It returns the IDs only
-// the initiator has (learned in the repair round); the initiator
-// symmetrically learns this side's exclusive IDs from the IBLT.
-func SyncResponder(rw io.ReadWriter, p SyncParams, ids []uint64) (theirsOnly []uint64, err error) {
+// runSyncResponder is the responder state machine.
+func runSyncResponder(conn transport.Conn, p SyncParams, ids []uint64) (theirsOnly []uint64, err error) {
 	p.applyDefaults()
-	w := NewWire(rw)
-	d, err := w.Recv()
+	d, err := conn.Recv()
 	if err != nil {
 		return nil, err
 	}
@@ -197,10 +162,7 @@ func SyncResponder(rw io.ReadWriter, p SyncParams, ids []uint64) (theirsOnly []u
 	if err != nil {
 		return nil, err
 	}
-	local := iblt.NewStrata(p.StrataCells, p.Seed)
-	for _, id := range ids {
-		local.Insert(id)
-	}
+	local := iblt.NewStrataFromKeys(p.StrataCells, p.Seed, ids, p.Workers)
 	est, err := local.Estimate(remote)
 	if err != nil {
 		return nil, err
@@ -208,17 +170,14 @@ func SyncResponder(rw io.ReadWriter, p SyncParams, ids []uint64) (theirsOnly []u
 	diffBound := est*2 + 8
 	for attempt := 0; ; attempt++ {
 		seed := p.Seed + 0x51ab + uint64(attempt)*0x9e37
-		tbl := iblt.New(iblt.CellsForDiff(diffBound, 3), 3, seed)
-		for _, id := range ids {
-			tbl.Insert(id)
-		}
+		tbl := iblt.NewFromKeys(iblt.CellsForDiff(diffBound, 3), 3, seed, ids, p.Workers)
 		e := transport.NewEncoder()
 		e.WriteUvarint(uint64(attempt))
 		tbl.Encode(e)
-		if err := w.Send(e); err != nil {
+		if err := conn.Send(e); err != nil {
 			return nil, err
 		}
-		d, err := w.Recv()
+		d, err := conn.Recv()
 		if err != nil {
 			return nil, err
 		}

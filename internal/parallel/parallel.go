@@ -1,0 +1,54 @@
+// Package parallel is the shared scaffold for sharded sketch
+// construction: resolve a worker-count knob against the machine and the
+// input size, and run a function over contiguous blocks. Every sharded
+// hot path (emd, gap, iblt) uses these two helpers, so the
+// block-assignment rules live in exactly one place.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count request: <= 0 means GOMAXPROCS, and
+// the count is capped so each worker gets at least minBlock of n items
+// (tiny inputs stay sequential — goroutine startup would dominate).
+func Workers(requested, n, minBlock int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if minBlock > 0 {
+		if mx := (n + minBlock - 1) / minBlock; w > mx {
+			w = mx
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Shard runs fn(b, lo, hi) over w contiguous blocks of n items, one
+// goroutine per non-empty block, and waits for all of them. Block b
+// covers [lo, hi); blocks partition [0, n) in order.
+func Shard(n, w int, fn func(b, lo, hi int)) {
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for b := 0; b < w; b++ {
+		lo := b * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			fn(b, lo, hi)
+		}(b, lo, hi)
+	}
+	wg.Wait()
+}

@@ -209,6 +209,34 @@ func (t *Table) update(key uint64, val metric.Point, dir int64) {
 	}
 }
 
+// Merge adds other's cells into t, as if every pair inserted (or
+// deleted) in other had been applied to t directly. The tables must
+// share one Config. Because every cell field is a sum, merging commutes
+// with insertion order: per-shard tables built over point blocks and
+// merged are field-identical — and therefore bit-identical on the wire —
+// to a sequentially built table. The combined item count still honors
+// MaxItems, so the overflow guarantees of Config.Validate hold.
+func (t *Table) Merge(other *Table) error {
+	if t.cfg != other.cfg {
+		return fmt.Errorf("riblt: merge config mismatch: %+v vs %+v", t.cfg, other.cfg)
+	}
+	if t.items+other.items > t.cfg.MaxItems {
+		return fmt.Errorf("riblt: merged %d items exceed MaxItems %d",
+			t.items+other.items, t.cfg.MaxItems)
+	}
+	t.items += other.items
+	for i := range t.cells {
+		dst, src := &t.cells[i], &other.cells[i]
+		dst.count += src.count
+		dst.keySum += src.keySum
+		dst.checkSum += src.checkSum
+		for d := range dst.valSum {
+			dst.valSum[d] += src.valSum[d]
+		}
+	}
+	return nil
+}
+
 // peelable reports whether the cell currently holds C net copies of one
 // key, returning that key and C. This is the §2.2 item 5 test: count
 // nonzero, key sum divisible by count, checksum sum equal to count times

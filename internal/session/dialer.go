@@ -1,0 +1,60 @@
+package session
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/netproto"
+	"repro/internal/transport"
+)
+
+// Dialer opens client sessions against a reconciliation server. The zero
+// value plus an Addr dials TCP with the documented defaults. A Dialer is
+// stateless and safe for concurrent use; each Do opens one connection,
+// runs one session, and closes it.
+type Dialer struct {
+	// Network is "tcp" or "unix" (default "tcp").
+	Network string
+	// Addr is the server address (host:port, or a socket path).
+	Addr string
+	// DialTimeout bounds connection establishment (default 10s).
+	DialTimeout time.Duration
+	// SessionTimeout is the absolute budget for the whole session
+	// (default 2 minutes; negative disables).
+	SessionTimeout time.Duration
+}
+
+// Do dials the server, negotiates a session for h, and runs its state
+// machine to completion. Typed results are read from h afterwards; the
+// returned stats are this endpoint's tally, header frames included.
+func (d Dialer) Do(h netproto.Handler) (transport.Stats, error) {
+	network := d.Network
+	if network == "" {
+		network = "tcp"
+	}
+	dialTimeout := d.DialTimeout
+	if dialTimeout == 0 {
+		dialTimeout = 10 * time.Second
+	}
+	sessionTimeout := d.SessionTimeout
+	if sessionTimeout == 0 {
+		sessionTimeout = 2 * time.Minute
+	}
+	conn, err := net.DialTimeout(network, d.Addr, dialTimeout)
+	if err != nil {
+		return transport.Stats{}, fmt.Errorf("session: dial %s %s: %w", network, d.Addr, err)
+	}
+	defer conn.Close()
+	if sessionTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(sessionTimeout)) //nolint:errcheck
+	}
+	w := netproto.NewWire(conn)
+	if err := netproto.Initiate(w, h); err != nil {
+		return w.Stats(), err
+	}
+	if err := h.Run(w); err != nil {
+		return w.Stats(), err
+	}
+	return w.Stats(), nil
+}

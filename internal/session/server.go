@@ -1,0 +1,345 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/netproto"
+	"repro/internal/transport"
+)
+
+// ErrServerClosed is returned by Serve and ListenAndServe after Close.
+var ErrServerClosed = errors.New("session: server closed")
+
+// Config tunes a Server. The zero value serves with the documented
+// defaults.
+type Config struct {
+	// MaxSessions caps concurrently running sessions (default 64).
+	// Excess connections wait for a slot rather than being rejected, so
+	// a burst of peers degrades to queueing, not failures.
+	MaxSessions int
+	// SessionTimeout is the absolute wall-clock budget for one session,
+	// enforced as a connection deadline covering negotiation and every
+	// protocol round (default 2 minutes; negative disables).
+	SessionTimeout time.Duration
+	// OnSession, when set, is called after each session completes
+	// (successfully or not), from the session's goroutine. Use it to
+	// harvest typed results from the session's Handler.
+	OnSession func(*Session)
+	// Logf, when set, receives one line per session and per accept
+	// error (e.g. log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Server accepts connections and runs each as a Session against a
+// registered handler factory. Handlers carry per-session state, so the
+// server is configured with factories: one fresh handler per peer.
+type Server struct {
+	cfg Config
+	sem chan struct{}
+
+	mu        sync.Mutex
+	factories map[factoryKey]func() netproto.Handler
+	listeners map[net.Listener]struct{}
+	closed    bool
+	serveErr  error // first terminal Serve failure
+
+	wg      sync.WaitGroup
+	done    chan struct{}
+	nextID  atomic.Uint64
+	active  atomic.Int64
+	served  atomic.Uint64
+	failed  atomic.Uint64
+	traffic transport.Collector
+}
+
+type factoryKey struct {
+	proto netproto.Proto
+	role  netproto.Role
+}
+
+// NewServer builds a server; register handlers with Handle before
+// serving.
+func NewServer(cfg Config) *Server {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 64
+	}
+	if cfg.SessionTimeout == 0 {
+		cfg.SessionTimeout = 2 * time.Minute
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Server{
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.MaxSessions),
+		factories: make(map[factoryKey]func() netproto.Handler),
+		listeners: make(map[net.Listener]struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// Handle registers a handler factory. The factory is probed once to
+// learn which (protocol, role) it serves; peers whose hello names the
+// complementary role are dispatched to it. Registering the same
+// (protocol, role) twice replaces the earlier factory.
+func (s *Server) Handle(factory func() netproto.Handler) {
+	probe := factory()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.factories[factoryKey{probe.Proto(), probe.Role()}] = factory
+}
+
+// factoryFor returns the factory whose handler complements the peer's
+// declared role.
+func (s *Server) factoryFor(proto netproto.Proto, peerRole netproto.Role) func() netproto.Handler {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.factories[factoryKey{proto, peerRole.Peer()}]
+}
+
+// servesProto reports whether any role of the protocol is registered.
+func (s *Server) servesProto(proto netproto.Proto) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k := range s.factories {
+		if k.proto == proto {
+			return true
+		}
+	}
+	return false
+}
+
+// Listen announces on the network (tcp/unix) address and serves in the
+// background, returning the bound listener (useful with ":0"). A
+// terminal Serve failure (other than Close) is retained and readable
+// via Err, as well as logged via Logf.
+func (s *Server) Listen(network, addr string) (net.Listener, error) {
+	l, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	go s.Serve(l) //nolint:errcheck // background serve; terminal errors surface via Err
+	return l, nil
+}
+
+// Err returns the first terminal Serve failure (nil while healthy, and
+// after an orderly Close). Callers running Serve in the background via
+// Listen should check it when clients start failing.
+func (s *Server) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.serveErr
+}
+
+// Serve accepts connections on l until Close, running each as a
+// session. It always returns a non-nil error; after Close the error is
+// ErrServerClosed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	var backoff time.Duration
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return ErrServerClosed
+			default:
+			}
+			// Transient failures (fd exhaustion under load, interrupted
+			// accept) must not permanently stop the listener while the
+			// daemon keeps running; retry with backoff, as net/http does.
+			// net.Error.Temporary is deprecated but remains the only
+			// signal that distinguishes EMFILE/ECONNABORTED from a dead
+			// listener — net/http's Serve loop still relies on it.
+			if ne, ok := err.(net.Error); ok && ne.Temporary() { //nolint:staticcheck
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				s.cfg.Logf("session: accept (retrying in %v): %v", backoff, err)
+				select {
+				case <-time.After(backoff):
+					continue
+				case <-s.done:
+					return ErrServerClosed
+				}
+			}
+			s.cfg.Logf("session: accept: %v", err)
+			s.mu.Lock()
+			if s.serveErr == nil {
+				s.serveErr = err
+			}
+			s.mu.Unlock()
+			return err
+		}
+		backoff = 0
+		// wg.Add must not race with Close's wg.Wait: both take s.mu, so
+		// either Close sees this session's Add and waits for it, or this
+		// path sees closed and drops the connection.
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// ListenAndServe announces on the network address and blocks serving it.
+func (s *Server) ListenAndServe(network, addr string) error {
+	l, err := net.Listen(network, addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// serveConn negotiates and runs one session.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+
+	// Concurrency slot: block (bounded by the connection deadline set
+	// below only after acquiring — a waiting peer is not yet billed).
+	// Check done first so a closing server sheds waiting peers instead
+	// of racing them against free slots; a session that does slip
+	// through is still covered by wg, so Close waits for it.
+	select {
+	case <-s.done:
+		return
+	default:
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-s.done:
+		return
+	}
+	defer func() { <-s.sem }()
+
+	if s.cfg.SessionTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(s.cfg.SessionTimeout)) //nolint:errcheck
+	}
+	w := netproto.NewWire(conn)
+	sess := &Session{
+		id:    s.nextID.Add(1),
+		peer:  conn.RemoteAddr().String(),
+		wire:  w,
+		start: time.Now(),
+	}
+	hello, err := netproto.ReadHello(w)
+	if err != nil {
+		// Route through finish so Failed(), Stats() and OnSession stay
+		// consistent; the Session has no negotiated proto or handler.
+		s.finish(sess, fmt.Errorf("session: bad hello: %w", err))
+		return
+	}
+	sess.proto = hello.Proto
+	factory := s.factoryFor(hello.Proto, hello.Role)
+	if factory == nil {
+		// Distinguish "protocol not served at all" from "protocol
+		// served, but not opposite the role the peer wants to play".
+		st := netproto.StatusUnknownProto
+		if s.servesProto(hello.Proto) {
+			st = netproto.StatusRoleUnavailable
+		}
+		netproto.SendAccept(w, st, 0) //nolint:errcheck
+		s.finish(sess, fmt.Errorf("session: no handler for %v as peer of %v: %v", hello.Proto, hello.Role, st))
+		return
+	}
+	h := factory()
+	sess.handler = h
+	sess.role = h.Role()
+	if h.Digest() != hello.Digest {
+		netproto.SendAccept(w, netproto.StatusDigestMismatch, h.Digest()) //nolint:errcheck
+		s.finish(sess, fmt.Errorf("session: %v digest mismatch (local %#x, peer %#x)",
+			hello.Proto, h.Digest(), hello.Digest))
+		return
+	}
+	if err := netproto.SendAccept(w, netproto.StatusOK, h.Digest()); err != nil {
+		s.finish(sess, err)
+		return
+	}
+	s.active.Add(1)
+	err = h.Run(w)
+	s.active.Add(-1)
+	s.finish(sess, err)
+}
+
+// finish closes out a session: accounting, callback, log line.
+func (s *Server) finish(sess *Session, err error) {
+	sess.dur = time.Since(sess.start)
+	sess.err = err
+	s.traffic.Add(sess.wire.Stats())
+	if err != nil {
+		s.failed.Add(1)
+	} else {
+		s.served.Add(1)
+	}
+	if s.cfg.OnSession != nil {
+		s.cfg.OnSession(sess)
+	}
+	st := sess.wire.Stats()
+	if err != nil {
+		s.cfg.Logf("session #%d %s proto=%v err=%v", sess.id, sess.peer, sess.proto, err)
+	} else {
+		s.cfg.Logf("session #%d %s proto=%v/%v %s in %v",
+			sess.id, sess.peer, sess.proto, sess.role, st, sess.dur.Round(time.Microsecond))
+	}
+}
+
+// Stats returns the aggregate traffic across all completed sessions and
+// how many sessions completed (successfully or not). Safe to call
+// concurrently with serving.
+func (s *Server) Stats() (transport.Stats, int) {
+	return s.traffic.Total()
+}
+
+// Served returns the number of sessions that completed successfully.
+func (s *Server) Served() uint64 { return s.served.Load() }
+
+// Failed returns the number of sessions that ended in an error,
+// including rejected negotiations.
+func (s *Server) Failed() uint64 { return s.failed.Load() }
+
+// Active returns the number of sessions currently mid-protocol.
+func (s *Server) Active() int64 { return s.active.Load() }
+
+// Close stops accepting, closes all listeners, and waits for running
+// sessions to finish (bounded by their connection deadlines).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	close(s.done)
+	for l := range s.listeners {
+		l.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}

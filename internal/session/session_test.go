@@ -1,0 +1,408 @@
+package session
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/emd"
+	"repro/internal/gap"
+	"repro/internal/metric"
+	"repro/internal/netproto"
+	"repro/internal/rng"
+	"repro/internal/setsets"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// testFixture bundles one deterministic workload per protocol, shared by
+// server and clients the way two real deployments share Params.
+type testFixture struct {
+	emdParams emd.Params
+	emdSA     metric.PointSet
+	emdSB     metric.PointSet
+
+	gapParams gap.Params
+	gapSA     metric.PointSet
+	gapSB     metric.PointSet
+	gapSpace  metric.Space
+
+	syncParams    netproto.SyncParams
+	serverIDs     []uint64
+	clientIDs     []uint64
+	wantTheirs    int // IDs only the server has
+	wantMine      int // IDs only the client has
+	ssParams      setsets.Params
+	serverKids    []setsets.Child
+	clientKids    []setsets.Child
+	wantKidsDelta int
+}
+
+func newFixture(t *testing.T) *testFixture {
+	t.Helper()
+	f := &testFixture{}
+
+	emdSpace := metric.HammingCube(64)
+	const n, k = 32, 3
+	einst := workload.NewEMDInstance(emdSpace, n, k, 2, 41)
+	f.emdParams = emd.DefaultParams(emdSpace, n, k, 42)
+	f.emdParams.D1, f.emdParams.D2 = 2, 64
+	f.emdSA, f.emdSB = einst.SA, einst.SB
+
+	f.gapSpace = metric.HammingCube(256)
+	ginst, err := workload.NewGapInstance(f.gapSpace, 24, 2, 1, 6, 64, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.gapParams = gap.Params{Space: f.gapSpace, N: 27, R1: 6, R2: 64, Seed: 44}
+	f.gapSA, f.gapSB = ginst.SA, ginst.SB
+
+	src := rng.New(45)
+	shared := make([]uint64, 2000)
+	for i := range shared {
+		shared[i] = src.Uint64()
+	}
+	f.syncParams = netproto.SyncParams{Seed: 46}
+	f.serverIDs = append(append([]uint64{}, shared...), 1, 2, 3, 4, 5, 6, 7)
+	f.clientIDs = append(append([]uint64{}, shared...), 100, 200, 300)
+	f.wantTheirs = 7
+	f.wantMine = 3
+
+	f.ssParams = setsets.Params{PayloadBytes: 8, Seed: 47}
+	mkChild := func(tag uint64) setsets.Child {
+		p := make([]byte, 8)
+		for i := range p {
+			p[i] = byte(tag >> (8 * i))
+		}
+		return setsets.Child{Payload: p}
+	}
+	for i := uint64(0); i < 60; i++ {
+		c := mkChild(i)
+		f.serverKids = append(f.serverKids, c)
+		f.clientKids = append(f.clientKids, c)
+	}
+	for i := uint64(0); i < 4; i++ {
+		f.serverKids = append(f.serverKids, mkChild(1000+i))
+		f.clientKids = append(f.clientKids, mkChild(2000+i))
+	}
+	f.wantKidsDelta = 4
+	return f
+}
+
+// newTestServer builds a server exposing all four protocols over the
+// fixture's data, mirroring what cmd/reconciled serves.
+func newTestServer(f *testFixture, cfg Config) *Server {
+	srv := NewServer(cfg)
+	srv.Handle(func() netproto.Handler { return netproto.NewEMDSender(f.emdParams, f.emdSA) })
+	srv.Handle(func() netproto.Handler { return netproto.NewGapSender(f.gapParams, f.gapSA) })
+	srv.Handle(func() netproto.Handler { return netproto.NewSyncResponder(f.syncParams, f.serverIDs) })
+	srv.Handle(func() netproto.Handler { return netproto.NewSetSetsResponder(f.ssParams, f.serverKids) })
+	return srv
+}
+
+// TestServerConcurrentSessions is the acceptance test for the session
+// engine: one server, 12 simultaneous client sessions across all four
+// protocols over real TCP sockets, all results verified, aggregate
+// stats consistent. Run with -race in CI.
+func TestServerConcurrentSessions(t *testing.T) {
+	f := newFixture(t)
+	srv := newTestServer(f, Config{MaxSessions: 16})
+	l, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	d := Dialer{Addr: l.Addr().String()}
+
+	type job func() error
+	emdJob := func() error {
+		h := netproto.NewEMDReceiver(f.emdParams, f.emdSB)
+		if _, err := d.Do(h); err != nil {
+			return err
+		}
+		if h.Result.Failed {
+			return nil // Algorithm 1 may report failure; not a transport bug
+		}
+		if len(h.Result.SPrime) != len(f.emdSB) {
+			return fmt.Errorf("emd: |S'B| = %d, want %d", len(h.Result.SPrime), len(f.emdSB))
+		}
+		if h.Result.Stats.BitsBtoA == 0 {
+			return fmt.Errorf("emd: no inbound traffic recorded")
+		}
+		return nil
+	}
+	gapJob := func() error {
+		h := netproto.NewGapReceiver(f.gapParams, f.gapSB)
+		if _, err := d.Do(h); err != nil {
+			return err
+		}
+		for _, pt := range f.gapSA {
+			if dist, _ := h.Result.SPrime.MinDistanceTo(f.gapSpace, pt); dist > f.gapParams.R2 {
+				return fmt.Errorf("gap: uncovered point at distance %v", dist)
+			}
+		}
+		return nil
+	}
+	syncJob := func() error {
+		h := netproto.NewSyncInitiator(f.syncParams, f.clientIDs)
+		if _, err := d.Do(h); err != nil {
+			return err
+		}
+		if len(h.TheirsOnly) != f.wantTheirs || len(h.MinesOnly) != f.wantMine {
+			return fmt.Errorf("sync: got %d/%d, want %d/%d",
+				len(h.TheirsOnly), len(h.MinesOnly), f.wantTheirs, f.wantMine)
+		}
+		return nil
+	}
+	ssJob := func() error {
+		h := netproto.NewSetSetsInitiator(f.ssParams, f.clientKids)
+		if _, err := d.Do(h); err != nil {
+			return err
+		}
+		if len(h.Result.BobOnly) != f.wantKidsDelta || len(h.Result.AliceOnly) != f.wantKidsDelta {
+			return fmt.Errorf("setsets: got %d/%d differing children, want %d/%d",
+				len(h.Result.BobOnly), len(h.Result.AliceOnly), f.wantKidsDelta, f.wantKidsDelta)
+		}
+		return nil
+	}
+
+	jobs := []job{emdJob, gapJob, syncJob, ssJob, emdJob, gapJob, syncJob, ssJob, emdJob, gapJob, syncJob, ssJob}
+	if len(jobs) < 8 {
+		t.Fatal("need at least 8 simultaneous sessions")
+	}
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			errs[i] = j()
+		}(i, j)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("session %d: %v", i, err)
+		}
+	}
+
+	// A client can drain the last protocol message before the server-side
+	// goroutine finishes accounting; Close waits for every session.
+	srv.Close()
+	if got := srv.Served(); got != uint64(len(jobs)) {
+		t.Errorf("served = %d, want %d (failed = %d)", got, len(jobs), srv.Failed())
+	}
+	if srv.Active() != 0 {
+		t.Errorf("active = %d after all sessions done", srv.Active())
+	}
+	total, n := srv.Stats()
+	if n != len(jobs) {
+		t.Errorf("aggregate folded %d sessions, want %d", n, len(jobs))
+	}
+	if total.TotalBits() == 0 || total.Rounds == 0 {
+		t.Errorf("aggregate stats empty: %v", total)
+	}
+}
+
+// TestServerSessionLimit runs more concurrent clients than MaxSessions
+// allows: excess sessions must queue and still succeed.
+func TestServerSessionLimit(t *testing.T) {
+	f := newFixture(t)
+	srv := newTestServer(f, Config{MaxSessions: 2})
+	l, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	d := Dialer{Addr: l.Addr().String()}
+
+	const clients = 6
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := netproto.NewSyncInitiator(f.syncParams, f.clientIDs)
+			_, errs[i] = d.Do(h)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("client %d: %v", i, err)
+		}
+	}
+	srv.Close() // wait for server-side accounting before asserting
+	if got := srv.Served(); got != clients {
+		t.Errorf("served = %d, want %d", got, clients)
+	}
+}
+
+// TestServerUnixSocket exercises the unix-domain listener path.
+func TestServerUnixSocket(t *testing.T) {
+	f := newFixture(t)
+	srv := newTestServer(f, Config{})
+	sock := filepath.Join(t.TempDir(), "reconciled.sock")
+	l, err := srv.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_ = l
+	d := Dialer{Network: "unix", Addr: sock}
+	h := netproto.NewEMDReceiver(f.emdParams, f.emdSB)
+	if _, err := d.Do(h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Result.Failed && len(h.Result.SPrime) != len(f.emdSB) {
+		t.Errorf("|S'B| = %d, want %d", len(h.Result.SPrime), len(f.emdSB))
+	}
+}
+
+// TestServerRejectsDigestMismatch: a client with different Params must
+// be refused before protocol traffic, with a status naming the reason.
+func TestServerRejectsDigestMismatch(t *testing.T) {
+	f := newFixture(t)
+	srv := newTestServer(f, Config{})
+	l, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	bad := f.syncParams
+	bad.Seed++
+	h := netproto.NewSyncInitiator(bad, f.clientIDs)
+	_, err = (Dialer{Addr: l.Addr().String()}).Do(h)
+	if err == nil || !strings.Contains(err.Error(), "digest") {
+		t.Fatalf("mismatched params accepted: %v", err)
+	}
+}
+
+// TestServerRejectsUnknownProto: an unregistered protocol ID gets a
+// clean rejection.
+func TestServerRejectsUnknownProto(t *testing.T) {
+	f := newFixture(t)
+	srv := newTestServer(f, Config{})
+	l, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_, err = (Dialer{Addr: l.Addr().String()}).Do(&bogusHandler{})
+	if err == nil || !strings.Contains(err.Error(), "unknown protocol") {
+		t.Fatalf("unknown protocol accepted: %v", err)
+	}
+}
+
+// TestServerRejectsRoleClash: the server plays EMD Alice; a client also
+// initiating as Alice must get "role unavailable", not "unknown
+// protocol".
+func TestServerRejectsRoleClash(t *testing.T) {
+	f := newFixture(t)
+	srv := newTestServer(f, Config{})
+	l, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	h := netproto.NewEMDSender(f.emdParams, f.emdSA)
+	_, err = (Dialer{Addr: l.Addr().String()}).Do(h)
+	if err == nil || !strings.Contains(err.Error(), "role unavailable") {
+		t.Fatalf("role clash not named: %v", err)
+	}
+}
+
+// TestServerAccountsBadHello: a connection that never speaks a valid
+// hello (port scanner, garbage frame) must show up consistently in
+// Failed(), the Stats() session count, and the OnSession callback.
+func TestServerAccountsBadHello(t *testing.T) {
+	f := newFixture(t)
+	var fired int
+	var mu sync.Mutex
+	srv := newTestServer(f, Config{OnSession: func(*Session) {
+		mu.Lock()
+		fired++
+		mu.Unlock()
+	}})
+	l, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A framed payload that is not a hello (bad magic).
+	conn.Write([]byte{0, 0, 0, 4, 'j', 'u', 'n', 'k'}) //nolint:errcheck
+	// Wait for the server to consume and reject the frame before closing:
+	// the rejection closes the connection, which surfaces here as EOF.
+	io.Copy(io.Discard, conn) //nolint:errcheck
+	conn.Close()
+	srv.Close()
+	if got := srv.Failed(); got != 1 {
+		t.Errorf("failed = %d, want 1", got)
+	}
+	if _, n := srv.Stats(); n != 1 {
+		t.Errorf("stats folded %d sessions, want 1", n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if fired != 1 {
+		t.Errorf("OnSession fired %d times, want 1", fired)
+	}
+}
+
+type bogusHandler struct{}
+
+func (*bogusHandler) Proto() netproto.Proto         { return netproto.Proto(99) }
+func (*bogusHandler) Role() netproto.Role           { return netproto.RoleAlice }
+func (*bogusHandler) Digest() uint64                { return 0xdead }
+func (*bogusHandler) Run(conn transport.Conn) error { return nil }
+
+// TestOnSessionCallback checks typed results are harvestable from the
+// server side via the Session abstraction.
+func TestOnSessionCallback(t *testing.T) {
+	f := newFixture(t)
+	var mu sync.Mutex
+	var seen []*Session
+	srv := newTestServer(f, Config{OnSession: func(s *Session) {
+		mu.Lock()
+		seen = append(seen, s)
+		mu.Unlock()
+	}})
+	l, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	h := netproto.NewGapReceiver(f.gapParams, f.gapSB)
+	if _, err := (Dialer{Addr: l.Addr().String()}).Do(h); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // wait for the server-side session to finish
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 1 {
+		t.Fatalf("OnSession fired %d times", len(seen))
+	}
+	s := seen[0]
+	if s.Proto() != netproto.ProtoGap || s.Err() != nil || s.ID() == 0 {
+		t.Errorf("session: proto=%v err=%v id=%d", s.Proto(), s.Err(), s.ID())
+	}
+	gs, ok := s.Handler().(*netproto.GapSender)
+	if !ok {
+		t.Fatalf("handler type %T", s.Handler())
+	}
+	if len(gs.Report.TA) != len(h.Result.TA) {
+		t.Errorf("server sent %d elements, client received %d", len(gs.Report.TA), len(h.Result.TA))
+	}
+	if s.Stats().TotalBits() == 0 {
+		t.Error("session stats empty")
+	}
+}

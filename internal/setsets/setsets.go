@@ -63,7 +63,10 @@ type Params struct {
 	SafetyFactor float64
 }
 
-func (p *Params) applyDefaults() {
+// ApplyDefaults fills zero fields with the documented defaults, so a
+// zero-value and an explicitly defaulted configuration behave — and
+// digest — identically.
+func (p *Params) ApplyDefaults() {
 	if p.StrataCells == 0 {
 		p.StrataCells = 80
 	}
@@ -137,7 +140,7 @@ func items(children []Child, fp hashx.Mixer, payloadBytes int) ([]uint64, [][]by
 // repeatedly receive Bob's table, try to decode, and ack or ask for a
 // bigger one. On success she holds the child-level difference.
 func RunAlice(p Params, conn transport.Conn, aliceChildren []Child) (Result, error) {
-	p.applyDefaults()
+	p.ApplyDefaults()
 	sh := deriveShared(p)
 	aKeys, aVals, err := items(aliceChildren, sh.fp, p.PayloadBytes)
 	if err != nil {
@@ -200,7 +203,7 @@ func RunAlice(p Params, conn transport.Conn, aliceChildren []Child) (Result, err
 // RunBob executes Bob's side: receive the sketch, estimate the
 // difference, and send tables (doubling on nack) until Alice acks.
 func RunBob(p Params, conn transport.Conn, bobChildren []Child) error {
-	p.applyDefaults()
+	p.ApplyDefaults()
 	sh := deriveShared(p)
 	bKeys, bVals, err := items(bobChildren, sh.fp, p.PayloadBytes)
 	if err != nil {

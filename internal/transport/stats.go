@@ -1,0 +1,43 @@
+package transport
+
+import "sync"
+
+// Add returns the component-wise sum of s and o. Per-session tallies
+// roll up into aggregate server totals with it; maxPayload combines by
+// maximum, since the largest single message across sessions is still the
+// largest single message of the aggregate.
+func (s Stats) Add(o Stats) Stats {
+	s.Rounds += o.Rounds
+	s.BitsAtoB += o.BitsAtoB
+	s.BitsBtoA += o.BitsBtoA
+	s.MsgsAtoB += o.MsgsAtoB
+	s.MsgsBtoA += o.MsgsBtoA
+	if o.maxPayload > s.maxPayload {
+		s.maxPayload = o.maxPayload
+	}
+	return s
+}
+
+// Collector accumulates Stats from concurrently completing sessions. The
+// zero value is ready to use; all methods are safe for concurrent use.
+type Collector struct {
+	mu    sync.Mutex
+	total Stats
+	n     int
+}
+
+// Add folds one session's tally into the aggregate.
+func (c *Collector) Add(s Stats) {
+	c.mu.Lock()
+	c.total = c.total.Add(s)
+	c.n++
+	c.mu.Unlock()
+}
+
+// Total returns the aggregate traffic and the number of tallies folded
+// in so far.
+func (c *Collector) Total() (Stats, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total, c.n
+}

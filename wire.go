@@ -6,16 +6,27 @@ import (
 	"repro/internal/emd"
 	"repro/internal/gap"
 	"repro/internal/netproto"
+	"repro/internal/session"
 )
 
 // Networked entry points: the same protocol state machines the
 // in-process helpers drive, carried over any byte stream (net.Conn,
-// pipes, tunnels) as length-prefixed frames. Both endpoints must
-// construct identical Params — a digest handshake verifies this before
-// any protocol traffic flows.
+// pipes, tunnels) as length-prefixed frames. Every session opens with a
+// negotiated header (protocol ID, role, parameter digest), so both
+// endpoints must construct identical Params — mismatches fail fast
+// before any protocol traffic flows.
+//
+// Two deployment shapes are exposed:
+//
+//   - Two-party: the Send/Receive function pairs below run one protocol
+//     over one byte stream, for symmetric peers.
+//   - Client/server: a Server accepts TCP or unix connections and runs
+//     many concurrent sessions against registered handlers; a Dialer is
+//     the matching client. Handlers bind a protocol side to parameters
+//     and local data, and carry the typed result after the session.
 
-// EMDSend runs Alice's side of the EMD protocol over rw: handshake plus
-// the single Algorithm 1 message.
+// EMDSend runs Alice's side of the EMD protocol over rw: the session
+// header plus the single Algorithm 1 message.
 func EMDSend(rw io.ReadWriter, p EMDParams, sa PointSet) error {
 	return netproto.EMDAlice(rw, p, sa)
 }
@@ -46,12 +57,85 @@ type SyncWireParams = netproto.SyncParams
 // SyncIDsInitiator reconciles an ID set against a remote responder; both
 // ends finish knowing the full symmetric difference.
 func SyncIDsInitiator(rw io.ReadWriter, p SyncWireParams, ids []uint64) (theirsOnly, minesOnly []uint64, err error) {
-	return netproto.SyncInitiator(rw, p, ids)
+	return netproto.SyncInitiatorFunc(rw, p, ids)
 }
 
 // SyncIDsResponder is the peer of SyncIDsInitiator.
 func SyncIDsResponder(rw io.ReadWriter, p SyncWireParams, ids []uint64) (theirsOnly []uint64, err error) {
-	return netproto.SyncResponder(rw, p, ids)
+	return netproto.SyncResponderFunc(rw, p, ids)
+}
+
+// ---------------------------------------------------------------------------
+// Session engine: the multi-peer server and client (internal/session),
+// re-exported for deployments that serve many concurrent peers.
+
+// Proto identifies a reconciliation protocol in the session header.
+type Proto = netproto.Proto
+
+// The negotiable protocols.
+const (
+	ProtoEMD     = netproto.ProtoEMD
+	ProtoGap     = netproto.ProtoGap
+	ProtoSync    = netproto.ProtoSync
+	ProtoSetSets = netproto.ProtoSetSets
+)
+
+// Role is the side of a protocol an endpoint plays.
+type Role = netproto.Role
+
+// SessionHandler is one party's protocol state machine bound to its
+// parameters and local data; construct with the New*Sender/Receiver and
+// New*Initiator/Responder helpers.
+type SessionHandler = netproto.Handler
+
+// Server accepts TCP or unix connections and runs many concurrent
+// reconciliation sessions against registered handler factories.
+type Server = session.Server
+
+// ServerConfig tunes a Server (session caps, deadlines, callbacks).
+type ServerConfig = session.Config
+
+// Session owns one served peer's negotiated protocol state machine.
+type Session = session.Session
+
+// Dialer opens client sessions against a Server.
+type Dialer = session.Dialer
+
+// NewServer builds a reconciliation server; register handler factories
+// with its Handle method, then Listen or Serve.
+func NewServer(cfg ServerConfig) *Server { return session.NewServer(cfg) }
+
+// NewEMDSender binds Alice's side of the EMD protocol to her point set.
+func NewEMDSender(p EMDParams, sa PointSet) SessionHandler { return netproto.NewEMDSender(p, sa) }
+
+// NewEMDReceiver binds Bob's side of the EMD protocol to his point set;
+// after the session, Result holds his reconciled set.
+func NewEMDReceiver(p EMDParams, sb PointSet) *netproto.EMDReceiver {
+	return netproto.NewEMDReceiver(p, sb)
+}
+
+// NewGapSender binds Alice's side of the Gap protocol; after the
+// session, Report holds what she transmitted.
+func NewGapSender(p GapParams, sa PointSet) *netproto.GapSender {
+	return netproto.NewGapSender(p, sa)
+}
+
+// NewGapReceiver binds Bob's side of the Gap protocol; after the
+// session, Result holds his covered set.
+func NewGapReceiver(p GapParams, sb PointSet) *netproto.GapReceiver {
+	return netproto.NewGapReceiver(p, sb)
+}
+
+// NewSyncInitiator binds the initiating side of exact ID
+// reconciliation; after the session, TheirsOnly and MinesOnly hold the
+// symmetric difference.
+func NewSyncInitiator(p SyncWireParams, ids []uint64) *netproto.SyncInitiator {
+	return netproto.NewSyncInitiator(p, ids)
+}
+
+// NewSyncResponder binds the answering side of exact ID reconciliation.
+func NewSyncResponder(p SyncWireParams, ids []uint64) *netproto.SyncResponder {
+	return netproto.NewSyncResponder(p, ids)
 }
 
 // Compile-time checks that the split-party APIs stay usable directly.
