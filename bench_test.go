@@ -152,6 +152,87 @@ func maxf(a, b float64) float64 {
 	return b
 }
 
+// BenchmarkLiveSetMutate measures one live point replacement (remove +
+// add): two MLSH key-vector evaluations plus O(q·levels) RIBLT cell
+// updates — the incremental cost that replaces a full O(n·s) sketch
+// rebuild per change.
+func BenchmarkLiveSetMutate(b *testing.B) {
+	space := HammingSpace(128)
+	const n, k = 64, 4
+	inst := workload.NewEMDInstance(space, n, k, 2, 9)
+	params := DefaultEMDParams(space, n, k, 77)
+	params.D1, params.D2 = 4, 256
+	ls, err := NewLiveSet(LiveConfig{EMD: &params}, inst.SA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := inst.SA.Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(pts)
+		old := pts[j]
+		fresh := old.Clone()
+		fresh[i%len(fresh)] ^= 1
+		if err := ls.ApplyBatch([]LiveOp{{Remove: true, Point: old}, {Point: fresh}}); err != nil {
+			b.Fatal(err)
+		}
+		pts[j] = fresh
+	}
+}
+
+// BenchmarkLiveDeltaSession measures a returning peer's live-emd
+// session over loopback TCP — announce epoch, receive churned cells,
+// patch, reconcile — against churn of one point replacement per
+// session. Compare with BenchmarkServerThroughput's full transfers.
+func BenchmarkLiveDeltaSession(b *testing.B) {
+	space := HammingSpace(128)
+	const n, k = 64, 4
+	inst := workload.NewEMDInstance(space, n, k, 2, 9)
+	params := DefaultEMDParams(space, n, k, 77)
+	params.D1, params.D2 = 4, 256
+	ls, err := NewLiveSet(LiveConfig{EMD: &params}, inst.SA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory, err := NewLiveEMDSenderFactory(ls)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := session.NewServer(session.Config{MaxSessions: 4})
+	srv.Handle(factory)
+	l, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	d := session.Dialer{Addr: l.Addr().String()}
+	cache := &EMDSketchCache{}
+	// Warm the cache with the initial full transfer.
+	if _, err := d.Do(NewLiveEMDReceiver(params, inst.SB, cache)); err != nil {
+		b.Fatal(err)
+	}
+	pts := inst.SA.Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(pts)
+		fresh := pts[j].Clone()
+		fresh[i%len(fresh)] ^= 1
+		if err := ls.ApplyBatch([]LiveOp{{Remove: true, Point: pts[j]}, {Point: fresh}}); err != nil {
+			b.Fatal(err)
+		}
+		pts[j] = fresh
+		h := NewLiveEMDReceiver(params, inst.SB, cache)
+		if _, err := d.Do(h); err != nil {
+			b.Fatal(err)
+		}
+		if !h.UsedDelta {
+			b.Fatal("expected delta path after warm-up")
+		}
+	}
+}
+
 // BenchmarkServerThroughput measures the session engine end to end:
 // sessions/sec and MB/s of a reconciled-style server completing full
 // EMD reconciliations over loopback TCP at 1, 4 and 16 concurrent

@@ -1,0 +1,198 @@
+// Command benchjson converts `go test -bench` output into a stable
+// JSON artifact and gates CI on benchmark regressions.
+//
+// Convert mode (default): parse benchmark lines from -in (or stdin)
+// and write a JSON array of {name, iterations, metrics} to -out (or
+// stdout). Benchmark name suffixes like -8 (GOMAXPROCS) are stripped so
+// artifacts diff cleanly across machines.
+//
+//	go test -bench . -benchtime 1x -run '^$' ./... | benchjson -out BENCH_PR2.json
+//
+// Check mode: compare a current artifact against a checked-in baseline
+// and exit nonzero when the geometric mean of a metric over the
+// benchmarks matching -pattern regressed more than -max-regress.
+//
+//	benchjson -check -baseline BENCH_baseline.json -current BENCH_PR2.json \
+//	    -pattern BenchmarkServerThroughput -metric ns/op -max-regress 0.25
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark result: the metric name → value pairs go test
+// reported (ns/op, B/op, allocs/op, and any ReportMetric extras).
+type Bench struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// benchLine matches "BenchmarkFoo/sub-8   	 5	 123.4 ns/op	...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parse(r io.Reader) ([]Bench, error) {
+	var out []Bench
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			continue
+		}
+		metrics := make(map[string]float64, len(fields)/2)
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			metrics[fields[i+1]] = v
+		}
+		if len(metrics) == 0 {
+			continue
+		}
+		out = append(out, Bench{Name: m[1], Iterations: iters, Metrics: metrics})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func load(path string) ([]Bench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Bench
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+// geomean returns the geometric mean of metric over the benches whose
+// name contains pattern, and how many matched.
+func geomean(bs []Bench, pattern, metric string) (float64, int) {
+	sum, n := 0.0, 0
+	for _, b := range bs {
+		if !strings.Contains(b.Name, pattern) {
+			continue
+		}
+		v, ok := b.Metrics[metric]
+		if !ok || v <= 0 {
+			continue
+		}
+		sum += math.Log(v)
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return math.Exp(sum / float64(n)), n
+}
+
+func check(baselinePath, currentPath, pattern, metric string, maxRegress float64) error {
+	baseline, err := load(baselinePath)
+	if err != nil {
+		return err
+	}
+	current, err := load(currentPath)
+	if err != nil {
+		return err
+	}
+	base, nb := geomean(baseline, pattern, metric)
+	cur, nc := geomean(current, pattern, metric)
+	if nb == 0 {
+		return fmt.Errorf("baseline has no %q benchmarks with metric %q", pattern, metric)
+	}
+	if nc == 0 {
+		return fmt.Errorf("current run has no %q benchmarks with metric %q — benchmark removed?", pattern, metric)
+	}
+	ratio := cur / base
+	fmt.Printf("benchjson: %s %s geomean baseline=%.0f (%d benches) current=%.0f (%d benches) ratio=%.3f (limit %.3f)\n",
+		pattern, metric, base, nb, cur, nc, ratio, 1+maxRegress)
+	if ratio > 1+maxRegress {
+		return fmt.Errorf("%s %s regressed %.1f%% (limit %.0f%%)",
+			pattern, metric, (ratio-1)*100, maxRegress*100)
+	}
+	return nil
+}
+
+func main() {
+	in := flag.String("in", "", "benchmark text input (default stdin)")
+	out := flag.String("out", "", "JSON output path (default stdout)")
+	doCheck := flag.Bool("check", false, "compare -current against -baseline instead of converting")
+	baseline := flag.String("baseline", "", "baseline JSON artifact (check mode)")
+	current := flag.String("current", "", "current JSON artifact (check mode)")
+	pattern := flag.String("pattern", "BenchmarkServerThroughput", "benchmark name substring to gate on (check mode)")
+	metric := flag.String("metric", "ns/op", "metric to gate on (check mode)")
+	maxRegress := flag.Float64("max-regress", 0.25, "maximum allowed fractional regression (check mode)")
+	flag.Parse()
+
+	if *doCheck {
+		if *baseline == "" || *current == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -check needs -baseline and -current")
+			os.Exit(2)
+		}
+		if err := check(*baseline, *current, *pattern, *metric, *maxRegress); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	benches, err := parse(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(benches, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data) //nolint:errcheck
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(benches), *out)
+}

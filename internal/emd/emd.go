@@ -295,12 +295,19 @@ func alice(pl *plan, sa metric.PointSet) (*transport.Encoder, error) {
 	if err != nil {
 		return nil, err
 	}
+	return encodeTables(pl.levels, tables), nil
+}
+
+// encodeTables serializes the level tables as the protocol's single
+// message; the incremental Sketch encodes through the same path, so an
+// incrementally maintained sketch is bit-identical on the wire.
+func encodeTables(levels int, tables []*riblt.Table) *transport.Encoder {
 	e := transport.NewEncoder()
-	e.WriteUvarint(uint64(pl.levels))
+	e.WriteUvarint(uint64(levels))
 	for _, t := range tables {
 		t.Encode(e)
 	}
-	return e, nil
+	return e
 }
 
 // bob receives the tables, deletes his pairs, finds i*, and assembles
@@ -323,6 +330,13 @@ func bob(pl *plan, sb metric.PointSet, ch *transport.Channel) (Result, error) {
 			return Result{}, err
 		}
 	}
+	return applyTables(pl, sb, tables)
+}
+
+// applyTables is Bob's core: delete his pairs from Alice's tables, find
+// i*, assemble S′B. It consumes tables (deletion and peeling mutate
+// them); callers holding a cached sketch clone first.
+func applyTables(pl *plan, sb metric.PointSet, tables []*riblt.Table) (Result, error) {
 	allKeys := pl.levelKeys(sb)
 	for j, b := range sb {
 		for i, key := range allKeys[j] {

@@ -1,0 +1,168 @@
+package emd
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/metric"
+	"repro/internal/rng"
+)
+
+func sketchTestParams() Params {
+	return Params{
+		Space: metric.HammingCube(64),
+		N:     32, K: 3, D1: 2, D2: 64,
+		Seed: 7, Workers: 1,
+	}
+}
+
+func randomPoint(space metric.Space, src *rng.Source) metric.Point {
+	pt := make(metric.Point, space.Dim)
+	for i := range pt {
+		pt[i] = int32(src.Uint64() % uint64(space.Delta+1))
+	}
+	return pt
+}
+
+// TestSketchIncrementalGolden: after any random Add/Remove sequence the
+// incrementally maintained sketch encodes bit-identically to a
+// from-scratch build over the same multiset, and — at full capacity —
+// to the BuildMessage wire path itself.
+func TestSketchIncrementalGolden(t *testing.T) {
+	p := sketchTestParams()
+	sk, err := NewSketch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(99)
+	var set metric.PointSet
+	for op := 0; op < 400; op++ {
+		if len(set) > 0 && (len(set) >= p.N || src.Uint64()%2 == 0) {
+			i := int(src.Uint64() % uint64(len(set)))
+			sk.Remove(set[i])
+			set[i] = set[len(set)-1]
+			set = set[:len(set)-1]
+		} else {
+			pt := randomPoint(p.Space, src)
+			sk.Add(pt)
+			set = append(set, pt)
+		}
+		if op%100 != 99 {
+			continue
+		}
+		ref, err := BuildSketch(p, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sk.Encode(), ref.Encode()) {
+			t.Fatalf("op %d (size %d): incremental sketch differs from from-scratch build", op, len(set))
+		}
+	}
+	// Top up to exactly N and compare against the protocol's own
+	// message builder.
+	for len(set) < p.N {
+		pt := randomPoint(p.Space, src)
+		sk.Add(pt)
+		set = append(set, pt)
+	}
+	msg, err := BuildMessage(p, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sk.Encode(), msg) {
+		t.Fatal("incremental sketch differs from BuildMessage wire bytes")
+	}
+
+	// The full sketch must reconcile: Bob applies it the same way
+	// ApplyMessage does, with identical (seeded) rounding randomness.
+	direct, err := ApplyMessage(p, set, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSketch, err := sk.Apply(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Failed != viaSketch.Failed || direct.Level != viaSketch.Level {
+		t.Fatalf("Apply diverges from ApplyMessage: %+v vs %+v", direct.Failed, viaSketch.Failed)
+	}
+}
+
+// TestSketchDeltaPatch: encoding only churned cells and patching them
+// into a stale clone reproduces the mutated sketch exactly.
+func TestSketchDeltaPatch(t *testing.T) {
+	p := sketchTestParams()
+	src := rng.New(5)
+	var set metric.PointSet
+	for i := 0; i < p.N; i++ {
+		set = append(set, randomPoint(p.Space, src))
+	}
+	sk, err := BuildSketch(p, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := sk.Clone()
+
+	var refs []CellRef
+	for i := 0; i < 5; i++ {
+		refs = append(refs, sk.Remove(set[i])...)
+		pt := randomPoint(p.Space, src)
+		refs = append(refs, sk.Add(pt)...)
+	}
+	patch := sk.EncodeCells(SortCellRefs(refs))
+	if len(patch) >= len(sk.Encode()) {
+		t.Logf("delta (%d bytes) not smaller than full (%d bytes) at this churn", len(patch), len(sk.Encode()))
+	}
+	if err := stale.ApplyCells(patch); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stale.Encode(), sk.Encode()) {
+		t.Fatal("patched sketch differs from mutated sketch")
+	}
+	if stale.Fingerprint() != sk.Fingerprint() {
+		t.Fatal("fingerprint mismatch after patch")
+	}
+
+	// A decoded wire sketch patches identically.
+	wire, err := DecodeSketch(p, stale.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire.Fingerprint() != sk.Fingerprint() {
+		t.Fatal("decoded sketch fingerprint differs")
+	}
+}
+
+// TestSketchApplyMatchesReconcile: serving a sketch to Bob produces the
+// same reconciliation a one-shot ApplyMessage run does.
+func TestSketchApplyMatchesReconcile(t *testing.T) {
+	p := sketchTestParams()
+	src := rng.New(11)
+	var sa, sb metric.PointSet
+	for i := 0; i < p.N; i++ {
+		pt := randomPoint(p.Space, src)
+		sa = append(sa, pt)
+		sb = append(sb, pt.Clone())
+	}
+	// Perturb a couple of Bob's points.
+	sb[0][0] ^= 1
+	sb[1][1] ^= 1
+
+	sk, err := BuildSketch(p, sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sk.Apply(sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ApplyMessage(p, sb, sk.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != want.Failed || res.Level != want.Level ||
+		len(res.SPrime) != len(want.SPrime) {
+		t.Fatalf("sketch apply (failed=%v level=%d |S'|=%d) != message apply (failed=%v level=%d |S'|=%d)",
+			res.Failed, res.Level, len(res.SPrime), want.Failed, want.Level, len(want.SPrime))
+	}
+}

@@ -299,11 +299,19 @@ type AliceReport struct {
 // runAlice executes Alice's side: key construction, sets-of-sets (she is
 // the setsets Alice), far-key classification, and the element round.
 func runAlice(pl *plan, conn transport.Conn, sa metric.PointSet) (AliceReport, error) {
-	p := pl.params
-	if len(sa) > p.N {
-		return AliceReport{}, fmt.Errorf("gap: |SA|=%d exceeds N=%d", len(sa), p.N)
+	if len(sa) > pl.params.N {
+		return AliceReport{}, fmt.Errorf("gap: |SA|=%d exceeds N=%d", len(sa), pl.params.N)
 	}
 	aliceKeys := pl.keyBatch(sa)
+	return runAliceKeyed(pl, conn, sa, aliceKeys)
+}
+
+// runAliceKeyed is runAlice past key construction, for callers that
+// maintain per-element keys incrementally (live sets): the h·m LSH
+// evaluations per element — the dominant cost of Alice's side — are
+// skipped.
+func runAliceKeyed(pl *plan, conn transport.Conn, sa metric.PointSet, aliceKeys [][]uint64) (AliceReport, error) {
+	p := pl.params
 	aliceChildren := make([]setsets.Child, len(sa))
 	for i := range sa {
 		aliceChildren[i] = setsets.Child{Payload: encodeKey(aliceKeys[i], p.EntryBits)}

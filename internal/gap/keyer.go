@@ -1,0 +1,66 @@
+package gap
+
+import (
+	"fmt"
+
+	"repro/internal/metric"
+	"repro/internal/transport"
+)
+
+// Keyer exposes the per-element key construction of the Gap protocol
+// for incremental maintenance: each element's key vector depends only
+// on the element and the shared public coins, so a live set can compute
+// a point's key payload once at insertion and serve any number of
+// sessions from the cache. The Keyer is immutable after construction
+// and safe for concurrent use.
+type Keyer struct {
+	pl *plan
+}
+
+// NewKeyer derives the shared plan for the general (Theorem 4.2)
+// protocol. The params must equal the params every session is run with,
+// digest included.
+func NewKeyer(p Params) (*Keyer, error) {
+	pl, err := newPlan(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Keyer{pl: pl}, nil
+}
+
+// Payload computes one element's encoded key — the setsets child
+// payload that goes on the wire (h·m LSH evaluations plus h pairwise
+// hashes, the per-mutation cost of live maintenance).
+func (k *Keyer) Payload(pt metric.Point) []byte {
+	return encodeKey(k.pl.ky.key(pt), k.pl.params.EntryBits)
+}
+
+// Payloads computes every element's payload, sharding the LSH
+// evaluation across Params.Workers (the from-scratch path live sets use
+// at construction).
+func (k *Keyer) Payloads(pts metric.PointSet) [][]byte {
+	keys := k.pl.keyBatch(pts)
+	out := make([][]byte, len(pts))
+	for i := range keys {
+		out[i] = encodeKey(keys[i], k.pl.params.EntryBits)
+	}
+	return out
+}
+
+// RunAlice executes Alice's side of the protocol over conn using cached
+// payloads (aligned with sa) instead of recomputing keys — the live
+// serving path. Payloads must have been produced by this Keyer.
+func (k *Keyer) RunAlice(conn transport.Conn, sa metric.PointSet, payloads [][]byte) (AliceReport, error) {
+	p := k.pl.params
+	if len(sa) != len(payloads) {
+		return AliceReport{}, fmt.Errorf("gap: %d elements, %d cached payloads", len(sa), len(payloads))
+	}
+	if len(sa) > p.N {
+		return AliceReport{}, fmt.Errorf("gap: |SA|=%d exceeds N=%d", len(sa), p.N)
+	}
+	keys := make([][]uint64, len(payloads))
+	for i, pay := range payloads {
+		keys[i] = decodeKey(pay, k.pl.h, p.EntryBits)
+	}
+	return runAliceKeyed(k.pl, conn, sa, keys)
+}

@@ -48,6 +48,26 @@ func (s *Strata) Insert(key uint64) {
 	s.levels[lvl].Insert(key)
 }
 
+// Delete removes a key from its stratum. Because stratum assignment is a
+// pure function of the key and every cell field combines by XOR or
+// addition, deleting a previously inserted key restores the estimator
+// exactly — a live set can therefore maintain one estimator under churn
+// instead of rebuilding it per session.
+func (s *Strata) Delete(key uint64) {
+	lvl := bits.TrailingZeros64(s.assign.Hash(key) | 1<<(StrataLevels-1))
+	s.levels[lvl].Delete(key)
+}
+
+// Clone deep-copies the estimator, for serving a consistent snapshot
+// while the original keeps mutating.
+func (s *Strata) Clone() *Strata {
+	c := &Strata{levels: make([]*Table, len(s.levels)), assign: s.assign, perLvl: s.perLvl}
+	for i, t := range s.levels {
+		c.levels[i] = t.Clone()
+	}
+	return c
+}
+
 // Estimate subtracts other from a copy of s and returns an estimate of
 // |difference| (keys on either side). Peeling proceeds from the deepest
 // stratum; the first stratum that fails to decode determines the scaling

@@ -1,0 +1,67 @@
+package iblt
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/transport"
+)
+
+func encodeStrata(s *Strata) []byte {
+	e := transport.NewEncoder()
+	s.Encode(e)
+	data, _ := e.Pack()
+	return data
+}
+
+// TestStrataDeleteRestores: deleting inserted keys restores the
+// estimator exactly — the live-set invariant that lets one estimator
+// survive churn instead of being rebuilt per session.
+func TestStrataDeleteRestores(t *testing.T) {
+	const seed = 6
+	live := NewStrata(80, seed)
+	ref := NewStrata(80, seed)
+	src := rng.New(2)
+	for i := 0; i < 2000; i++ {
+		k := src.Uint64()
+		live.Insert(k)
+		if i%4 == 0 {
+			ref.Insert(k)
+		} else {
+			live.Delete(k)
+		}
+	}
+	if !bytes.Equal(encodeStrata(live), encodeStrata(ref)) {
+		t.Fatal("churned estimator differs from reference over surviving keys")
+	}
+}
+
+// TestStrataCloneIsDeep: a clone estimates independently of later
+// mutations to the original.
+func TestStrataCloneIsDeep(t *testing.T) {
+	s := NewStrata(80, 3)
+	for i := uint64(0); i < 100; i++ {
+		s.Insert(i * 0x9e3779b97f4a7c15)
+	}
+	c := s.Clone()
+	before := encodeStrata(c)
+	s.Insert(0xdead)
+	del := uint64(42)
+	s.Delete(del * 0x9e3779b97f4a7c15)
+	if !bytes.Equal(encodeStrata(c), before) {
+		t.Fatal("clone shares table state with original")
+	}
+	// The clone still estimates against a peer.
+	peer := NewStrata(80, 3)
+	for i := uint64(0); i < 90; i++ {
+		peer.Insert(i * 0x9e3779b97f4a7c15)
+	}
+	est, err := c.Estimate(peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 5 || est > 40 {
+		t.Fatalf("estimate %d implausible for true difference 10", est)
+	}
+}

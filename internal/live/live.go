@@ -1,0 +1,489 @@
+// Package live maintains mutable reconciliation state: a Set wraps a
+// point multiset with Add/Remove/ApplyBatch and keeps every enabled
+// protocol structure incrementally up to date — the EMD sketch (RIBLT
+// cells are sums, so a point mutation is one MLSH evaluation plus
+// O(q·levels) cell updates), the Gap protocol's per-element key
+// payloads (each depends only on its point and the public coins), and
+// the exact-ID state (a strata estimator over point fingerprints, whose
+// cells XOR and therefore delete exactly).
+//
+// Every mutation bumps an epoch. Snapshot returns an immutable view of
+// the current epoch, cached until the next mutation, so a session that
+// started mid-churn serves one consistent generation while new sessions
+// see the latest. A bounded journal records which EMD cells each epoch
+// churned; DeltaCells answers "what changed since epoch e" for the
+// delta-sync fast path in internal/netproto, falling back to a full
+// transfer when e has aged out of the journal.
+package live
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/emd"
+	"repro/internal/gap"
+	"repro/internal/hashx"
+	"repro/internal/iblt"
+	"repro/internal/metric"
+)
+
+// SyncConfig enables exact-ID reconciliation state over point
+// fingerprints. The fields must match the netproto.SyncParams every
+// session is served with (the strata estimator is part of the wire
+// protocol).
+type SyncConfig struct {
+	// StrataCells sizes the estimator (default 80, as in SyncParams).
+	StrataCells int
+	// Seed is the shared public-coin seed; point fingerprints derive
+	// from it too, so both parties map equal points to equal IDs.
+	Seed uint64
+}
+
+// Config selects which protocol structures a Set maintains. At least
+// one of EMD, Gap or Sync must be set.
+type Config struct {
+	// EMD, when set, maintains the Algorithm 1 sketch. Params.N is the
+	// capacity bound: the live multiset may never exceed N points.
+	EMD *emd.Params
+	// Gap, when set, maintains per-element Gap key payloads. Params.N
+	// bounds the set size.
+	Gap *gap.Params
+	// Sync, when set, maintains the ID list and strata estimator.
+	Sync *SyncConfig
+	// JournalEpochs bounds how many epochs of churned-cell history are
+	// retained for delta sync (default 256). A peer whose last synced
+	// epoch has aged out receives a full transfer.
+	JournalEpochs int
+}
+
+// Op is one batch mutation.
+type Op struct {
+	Remove bool
+	Point  metric.Point
+}
+
+// entry is one distinct point's live state.
+type entry struct {
+	pt      metric.Point
+	count   int    // multiset multiplicity
+	payload []byte // gap key payload (nil when Gap disabled)
+	id      uint64 // point fingerprint (Sync)
+	pos     int    // index in Set.entries
+}
+
+// Set is the mutable reconciliation state. All methods are safe for
+// concurrent use; mutations serialize, and Snapshot is cheap once the
+// per-epoch cache is built.
+type Set struct {
+	cfg    Config
+	emdP   emd.Params // defaulted copy (valid when cfg.EMD != nil)
+	gapP   gap.Params
+	keyer  *gap.Keyer
+	idMix  hashx.Mixer
+	sketch *emd.Sketch
+	strata *iblt.Strata
+
+	mu      sync.Mutex
+	byKey   map[string]*entry
+	entries []*entry
+	size    int // multiset cardinality
+	epoch   uint64
+	journal map[uint64][]emd.CellRef // epoch → EMD cells churned by it
+	snap    *Snapshot                // cache for the current epoch
+}
+
+// Snapshot is one epoch's immutable serving state. Sessions hold the
+// pointer for their lifetime; nothing in it is mutated after
+// construction.
+type Snapshot struct {
+	// Epoch tags the generation this snapshot serves.
+	Epoch uint64
+	// Points is the multiset at this epoch.
+	Points metric.PointSet
+	// EMD is the sketch (nil when disabled); treat as read-only.
+	EMD *emd.Sketch
+	// EMDMessage is the encoded full protocol message.
+	EMDMessage []byte
+	// EMDFingerprint hashes EMDMessage for divergence detection.
+	EMDFingerprint uint64
+	// GapPayloads are the cached key payloads, aligned with Points.
+	GapPayloads [][]byte
+	// IDs are the distinct points' fingerprints.
+	IDs []uint64
+	// Strata is the estimator over IDs (nil when Sync disabled);
+	// treat as read-only (Estimate clones internally).
+	Strata *iblt.Strata
+}
+
+// NewSet builds a live set over the initial points, using the sharded
+// from-scratch constructions for the enabled structures.
+func NewSet(cfg Config, initial metric.PointSet) (*Set, error) {
+	if cfg.EMD == nil && cfg.Gap == nil && cfg.Sync == nil {
+		return nil, fmt.Errorf("live: config enables no protocol structure")
+	}
+	if cfg.JournalEpochs <= 0 {
+		cfg.JournalEpochs = 256
+	}
+	s := &Set{
+		cfg:     cfg,
+		byKey:   make(map[string]*entry, len(initial)),
+		journal: make(map[uint64][]emd.CellRef),
+		epoch:   1,
+	}
+	if cfg.EMD != nil {
+		s.emdP = *cfg.EMD
+		s.emdP.ApplyDefaults()
+		sk, err := emd.BuildSketch(s.emdP, initial)
+		if err != nil {
+			return nil, err
+		}
+		s.sketch = sk
+	}
+	if cfg.Gap != nil {
+		s.gapP = *cfg.Gap
+		s.gapP.ApplyDefaults()
+		ky, err := gap.NewKeyer(s.gapP)
+		if err != nil {
+			return nil, err
+		}
+		s.keyer = ky
+	}
+	if cfg.Sync != nil {
+		sync := *cfg.Sync // defensive copy, like the EMD/Gap params
+		if sync.StrataCells == 0 {
+			sync.StrataCells = 80
+		}
+		s.cfg.Sync = &sync
+		s.strata = iblt.NewStrata(sync.StrataCells, sync.Seed)
+		s.idMix = idMixer(sync.Seed)
+	}
+	if limit, ok := s.capacity(); ok && len(initial) > limit {
+		return nil, fmt.Errorf("live: %d initial points exceed capacity %d", len(initial), limit)
+	}
+	// Gap payloads for the initial points in one sharded batch; the
+	// EMD sketch was already built sharded above.
+	var payloads [][]byte
+	if s.keyer != nil {
+		payloads = s.keyer.Payloads(initial)
+	}
+	for i, pt := range initial {
+		k := pointKey(pt)
+		e := s.byKey[k]
+		if e == nil {
+			e = &entry{pt: pt.Clone(), pos: len(s.entries)}
+			if payloads != nil {
+				e.payload = payloads[i]
+			}
+			if s.strata != nil {
+				e.id = s.pointID(pt)
+				s.strata.Insert(e.id)
+			}
+			s.byKey[k] = e
+			s.entries = append(s.entries, e)
+		}
+		e.count++
+		s.size++
+	}
+	return s, nil
+}
+
+// capacity returns the tightest enabled size bound.
+func (s *Set) capacity() (int, bool) {
+	c, ok := 0, false
+	if s.cfg.EMD != nil {
+		c, ok = s.emdP.N, true
+	}
+	if s.cfg.Gap != nil && (!ok || s.gapP.N < c) {
+		c, ok = s.gapP.N, true
+	}
+	return c, ok
+}
+
+// EMDParams returns the (defaulted) EMD params when enabled.
+func (s *Set) EMDParams() (emd.Params, bool) {
+	if s.cfg.EMD == nil {
+		return emd.Params{}, false
+	}
+	return s.emdP, true
+}
+
+// GapParams returns the (defaulted) Gap params when enabled.
+func (s *Set) GapParams() (gap.Params, bool) {
+	if s.cfg.Gap == nil {
+		return gap.Params{}, false
+	}
+	return s.gapP, true
+}
+
+// GapKeyer returns the keyer live Gap sessions serve through.
+func (s *Set) GapKeyer() (*gap.Keyer, bool) { return s.keyer, s.keyer != nil }
+
+// SyncConfig returns the exact-ID configuration when enabled.
+func (s *Set) SyncConfig() (SyncConfig, bool) {
+	if s.cfg.Sync == nil {
+		return SyncConfig{}, false
+	}
+	return *s.cfg.Sync, true
+}
+
+// Epoch returns the current generation (1 is the initial state).
+func (s *Set) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Size returns the multiset cardinality.
+func (s *Set) Size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Add inserts one point and bumps the epoch.
+func (s *Set) Add(pt metric.Point) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkAdd(1); err != nil {
+		return err
+	}
+	refs := s.add(pt)
+	s.bump(refs)
+	return nil
+}
+
+// Remove deletes one copy of the point and bumps the epoch. It fails
+// without mutating anything if the point is not in the set.
+func (s *Set) Remove(pt metric.Point) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.byKey[pointKey(pt)] == nil {
+		return fmt.Errorf("live: remove of absent point %v", pt)
+	}
+	refs := s.remove(pt)
+	s.bump(refs)
+	return nil
+}
+
+// ApplyBatch applies the ops in order as one epoch. It validates the
+// whole batch first (capacity and membership, tracked through the
+// batch's own effects) and applies nothing on error.
+func (s *Set) ApplyBatch(ops []Op) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	size := s.size
+	limit, bounded := s.capacity()
+	counts := make(map[string]int)
+	for i, op := range ops {
+		k := pointKey(op.Point)
+		have := counts[k]
+		if e := s.byKey[k]; e != nil {
+			have += e.count
+		}
+		if op.Remove {
+			if have <= 0 {
+				return fmt.Errorf("live: batch op %d removes absent point %v", i, op.Point)
+			}
+			counts[k]--
+			size--
+		} else {
+			if bounded && size >= limit {
+				return fmt.Errorf("live: batch op %d exceeds capacity %d", i, limit)
+			}
+			counts[k]++
+			size++
+		}
+	}
+	var refs []emd.CellRef
+	for _, op := range ops {
+		if op.Remove {
+			refs = append(refs, s.remove(op.Point)...)
+		} else {
+			refs = append(refs, s.add(op.Point)...)
+		}
+	}
+	s.bump(refs)
+	return nil
+}
+
+func (s *Set) checkAdd(n int) error {
+	if limit, ok := s.capacity(); ok && s.size+n > limit {
+		return fmt.Errorf("live: %d points would exceed capacity %d", s.size+n, limit)
+	}
+	return nil
+}
+
+// add applies one insertion (lock held, preconditions checked).
+func (s *Set) add(pt metric.Point) []emd.CellRef {
+	k := pointKey(pt)
+	e := s.byKey[k]
+	if e == nil {
+		e = &entry{pt: pt.Clone(), pos: len(s.entries)}
+		if s.keyer != nil {
+			e.payload = s.keyer.Payload(e.pt)
+		}
+		if s.strata != nil {
+			e.id = s.pointID(e.pt)
+			s.strata.Insert(e.id)
+		}
+		s.byKey[k] = e
+		s.entries = append(s.entries, e)
+	}
+	e.count++
+	s.size++
+	if s.sketch != nil {
+		return s.sketch.Add(e.pt)
+	}
+	return nil
+}
+
+// remove applies one deletion (lock held, membership checked).
+func (s *Set) remove(pt metric.Point) []emd.CellRef {
+	k := pointKey(pt)
+	e := s.byKey[k]
+	e.count--
+	s.size--
+	var refs []emd.CellRef
+	if s.sketch != nil {
+		refs = s.sketch.Remove(e.pt)
+	}
+	if e.count == 0 {
+		if s.strata != nil {
+			s.strata.Delete(e.id)
+		}
+		last := len(s.entries) - 1
+		s.entries[e.pos] = s.entries[last]
+		s.entries[e.pos].pos = e.pos
+		s.entries = s.entries[:last]
+		delete(s.byKey, k)
+	}
+	return refs
+}
+
+// bump closes the current mutation into a new epoch: journal the
+// churned cells, prune history past the horizon, invalidate the
+// snapshot cache.
+func (s *Set) bump(refs []emd.CellRef) {
+	s.epoch++
+	if s.sketch != nil {
+		s.journal[s.epoch] = emd.SortCellRefs(refs)
+	}
+	if old := s.epoch - uint64(s.cfg.JournalEpochs); old > 0 {
+		delete(s.journal, old)
+	}
+	s.snap = nil
+}
+
+// Snapshot returns the current epoch's immutable serving state, built
+// at most once per epoch.
+func (s *Set) Snapshot() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snap != nil {
+		return s.snap
+	}
+	snap := &Snapshot{Epoch: s.epoch}
+	snap.Points = make(metric.PointSet, 0, s.size)
+	if s.keyer != nil {
+		snap.GapPayloads = make([][]byte, 0, s.size)
+	}
+	for _, e := range s.entries {
+		for i := 0; i < e.count; i++ {
+			snap.Points = append(snap.Points, e.pt)
+			if s.keyer != nil {
+				snap.GapPayloads = append(snap.GapPayloads, e.payload)
+			}
+		}
+	}
+	if s.sketch != nil {
+		snap.EMD = s.sketch.Clone()
+		snap.EMDMessage = snap.EMD.Encode()
+		snap.EMDFingerprint = emd.FingerprintMessage(snap.EMDMessage)
+	}
+	if s.strata != nil {
+		snap.IDs = make([]uint64, 0, len(s.entries))
+		for _, e := range s.entries {
+			snap.IDs = append(snap.IDs, e.id)
+		}
+		snap.Strata = s.strata.Clone()
+	}
+	s.snap = snap
+	return snap
+}
+
+// DeltaCells reports which EMD cells changed between epochs from and
+// to (exclusive/inclusive), sorted and deduplicated. ok is false when
+// the range is empty of history — from older than the journal horizon,
+// from > to, or EMD disabled — in which case the caller sends a full
+// transfer.
+func (s *Set) DeltaCells(from, to uint64) ([]emd.CellRef, bool) {
+	if s.sketch == nil || from > to {
+		return nil, false
+	}
+	if from == to {
+		return nil, true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var refs []emd.CellRef
+	for e := from + 1; e <= to; e++ {
+		r, ok := s.journal[e]
+		if !ok {
+			return nil, false
+		}
+		refs = append(refs, r...)
+	}
+	return emd.SortCellRefs(refs), true
+}
+
+// pointKey is the membership-map key: the raw little-endian coordinate
+// bytes.
+func pointKey(pt metric.Point) string {
+	b := make([]byte, 4*len(pt))
+	for i, c := range pt {
+		b[4*i] = byte(c)
+		b[4*i+1] = byte(c >> 8)
+		b[4*i+2] = byte(c >> 16)
+		b[4*i+3] = byte(c >> 24)
+	}
+	return string(b)
+}
+
+// idMixer derives the fingerprint mixer from the sync seed; both
+// parties of an exact-ID session must use the same derivation, which
+// IDsOf provides for the client side.
+func idMixer(seed uint64) hashx.Mixer {
+	return hashx.MixerFromSeed(seed ^ 0x11dfeed)
+}
+
+func (s *Set) pointID(pt metric.Point) uint64 { return pointIDWith(s.idMix, pt) }
+
+func pointIDWith(m hashx.Mixer, pt metric.Point) uint64 {
+	h := m.Hash(uint64(len(pt)))
+	for _, c := range pt {
+		h = m.Hash(h ^ uint64(uint32(c)))
+	}
+	return h
+}
+
+// PointID is the fingerprint a Set with SyncConfig.Seed == seed assigns
+// to pt; clients derive their own ID lists with it.
+func PointID(seed uint64, pt metric.Point) uint64 {
+	return pointIDWith(idMixer(seed), pt)
+}
+
+// IDsOf fingerprints every distinct point of pts (duplicates collapse,
+// as exact-ID reconciliation is over sets).
+func IDsOf(seed uint64, pts metric.PointSet) []uint64 {
+	m := idMixer(seed)
+	seen := make(map[uint64]bool, len(pts))
+	out := make([]uint64, 0, len(pts))
+	for _, pt := range pts {
+		id := pointIDWith(m, pt)
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}

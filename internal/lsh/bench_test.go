@@ -1,0 +1,31 @@
+package lsh
+
+import (
+	"testing"
+
+	"repro/internal/metric"
+	"repro/internal/rng"
+)
+
+// BenchmarkVectorHashPrefixInto measures one full MLSH key-vector
+// evaluation — the per-mutation cost a live set pays on every
+// Add/Remove (internal/live maintains the EMD sketch by evaluating all
+// s drawn functions once per churned point). Kept in the CI bench
+// artifact so regressions in the mutation hot path are visible.
+func BenchmarkVectorHashPrefixInto(b *testing.B) {
+	space := metric.HammingCube(128)
+	m := HammingMLSH(space, float64(space.Dim))
+	src := rng.New(3)
+	const s = 96 // typical draw count for the demo parameterization
+	v := DrawVector(m.Family, src, s)
+	pt := make(metric.Point, space.Dim)
+	for i := range pt {
+		pt[i] = int32(src.Uint64() % 2)
+	}
+	scratch := make([]uint64, s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.HashPrefixInto(scratch, pt, s)
+	}
+}

@@ -154,6 +154,17 @@ func runSyncInitiator(conn transport.Conn, p SyncParams, ids []uint64) (theirsOn
 // runSyncResponder is the responder state machine.
 func runSyncResponder(conn transport.Conn, p SyncParams, ids []uint64) (theirsOnly []uint64, err error) {
 	p.applyDefaults()
+	return runSyncResponderWith(conn, p, ids,
+		iblt.NewStrataFromKeys(p.StrataCells, p.Seed, ids, p.Workers))
+}
+
+// runSyncResponderWith is runSyncResponder with the local strata
+// estimator supplied by the caller — the live serving path, where a Set
+// maintains the estimator incrementally instead of rebuilding it from
+// every ID each session. local must cover exactly ids with geometry
+// (p.StrataCells, p.Seed); it is only read (Estimate clones). p must
+// already be defaulted.
+func runSyncResponderWith(conn transport.Conn, p SyncParams, ids []uint64, local *iblt.Strata) (theirsOnly []uint64, err error) {
 	d, err := conn.Recv()
 	if err != nil {
 		return nil, err
@@ -162,7 +173,6 @@ func runSyncResponder(conn transport.Conn, p SyncParams, ids []uint64) (theirsOn
 	if err != nil {
 		return nil, err
 	}
-	local := iblt.NewStrataFromKeys(p.StrataCells, p.Seed, ids, p.Workers)
 	est, err := local.Estimate(remote)
 	if err != nil {
 		return nil, err

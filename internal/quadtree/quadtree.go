@@ -137,21 +137,36 @@ func occurrenceKeys(cells []uint64, keyBits uint, mix hashx.Mixer) []uint64 {
 	occ := map[uint64]uint64{}
 	for _, i := range order {
 		c := cells[i]
-		n := occ[c]
-		occ[c] = n + 1
-		out[i] = mix.Hash(c^(n+1)*0x9e3779b97f4a7c15) & (1<<keyBits - 1)
+		n := occ[c] + 1
+		occ[c] = n
+		out[i] = occurrenceKey(mix, keyBits, c, n)
 	}
 	return out
 }
 
-// Reconcile runs the baseline protocol in-process.
-func Reconcile(p Params, sa, sb metric.PointSet) (Result, error) {
+// occurrenceKey is the table key of the occ-th point (1-based) of cell
+// c. A cell's key multiset depends only on its population count, and
+// every point of a cell carries the same value (the cell center), which
+// is what makes incremental Add/Remove exact: the Sketch below removes
+// the top occurrence key of the departing point's cell.
+func occurrenceKey(mix hashx.Mixer, keyBits uint, c, occ uint64) uint64 {
+	return mix.Hash(c^occ*0x9e3779b97f4a7c15) & (1<<keyBits - 1)
+}
+
+// plan is the seed-derived state shared by both parties: the offset
+// grids, the occurrence-key mixer and the per-level table configs.
+type plan struct {
+	params Params
+	widths []float64
+	grids  []grid
+	occMix hashx.Mixer
+	cfgs   []riblt.Config
+}
+
+func newPlan(p Params) (*plan, error) {
 	p.applyDefaults()
 	if err := p.Validate(); err != nil {
-		return Result{}, err
-	}
-	if len(sa) != p.N || len(sb) != p.N {
-		return Result{}, fmt.Errorf("quadtree: |SA|=%d |SB|=%d, N=%d", len(sa), len(sb), p.N)
+		return nil, err
 	}
 	widths := levelWidths(p.Space)
 	src := rng.New(p.Seed)
@@ -167,26 +182,44 @@ func Reconcile(p Params, sa, sb metric.PointSet) (Result, error) {
 			KeyBits: p.KeyBits, MaxItems: 2*p.N + 2, Seed: src.Uint64(),
 		}
 	}
+	return &plan{params: p, widths: widths, grids: grids, occMix: occMix, cfgs: cfgs}, nil
+}
 
-	// Alice: build and send all levels.
-	var ch transport.Channel
+// aliceEncode builds Alice's message: every level's table over sa.
+func (pl *plan) aliceEncode(sa metric.PointSet) *transport.Encoder {
+	p := pl.params
 	e := transport.NewEncoder()
-	e.WriteUvarint(uint64(len(widths)))
-	aliceCenters := make([]metric.PointSet, len(widths))
-	for lvl := range widths {
-		tbl := riblt.New(cfgs[lvl])
+	e.WriteUvarint(uint64(len(pl.widths)))
+	for lvl := range pl.widths {
+		tbl := riblt.New(pl.cfgs[lvl])
 		cells := make([]uint64, len(sa))
 		centers := make(metric.PointSet, len(sa))
 		for i, a := range sa {
-			cells[i], centers[i] = grids[lvl].cellAndCenter(a)
+			cells[i], centers[i] = pl.grids[lvl].cellAndCenter(a)
 		}
-		aliceCenters[lvl] = centers
-		for i, key := range occurrenceKeys(cells, p.KeyBits, occMix) {
+		for i, key := range occurrenceKeys(cells, p.KeyBits, pl.occMix) {
 			tbl.Insert(key, centers[i])
 		}
 		tbl.Encode(e)
 	}
-	ch.Send(transport.AliceToBob, e)
+	return e
+}
+
+// Reconcile runs the baseline protocol in-process.
+func Reconcile(p Params, sa, sb metric.PointSet) (Result, error) {
+	pl, err := newPlan(p)
+	if err != nil {
+		return Result{}, err
+	}
+	p = pl.params
+	if len(sa) != p.N || len(sb) != p.N {
+		return Result{}, fmt.Errorf("quadtree: |SA|=%d |SB|=%d, N=%d", len(sa), len(sb), p.N)
+	}
+	widths, grids, cfgs := pl.widths, pl.grids, pl.cfgs
+
+	// Alice: build and send all levels.
+	var ch transport.Channel
+	ch.Send(transport.AliceToBob, pl.aliceEncode(sa))
 
 	// Bob: delete his rounded points, decode finest feasible level.
 	d, err := ch.Recv(transport.AliceToBob)
@@ -212,7 +245,7 @@ func Reconcile(p Params, sa, sb metric.PointSet) (Result, error) {
 		for i, b := range sb {
 			cells[i], centers[i] = grids[lvl].cellAndCenter(b)
 		}
-		for i, key := range occurrenceKeys(cells, p.KeyBits, occMix) {
+		for i, key := range occurrenceKeys(cells, p.KeyBits, pl.occMix) {
 			tables[lvl].Delete(key, centers[i])
 		}
 	}
@@ -240,6 +273,110 @@ func Reconcile(p Params, sa, sb metric.PointSet) (Result, error) {
 		}, nil
 	}
 	return Result{Failed: true, Stats: ch.Stats(), Levels: len(widths)}, nil
+}
+
+// Sketch is Alice's quadtree message state maintained incrementally
+// under churn, mirroring emd.Sketch for the baseline protocol. Each
+// level keeps a cell-population map; adding a point inserts occurrence
+// key count+1 of its cell, removing one retracts occurrence key count —
+// exact, because every point of a cell carries the same value (the cell
+// center). Encode is bit-identical to the from-scratch Alice build over
+// the same multiset.
+type Sketch struct {
+	pl     *plan
+	tables []*riblt.Table
+	counts []map[uint64]uint64 // per level: cell id → live population
+}
+
+// NewSketch builds an empty sketch; Params.N bounds the live set size.
+func NewSketch(p Params) (*Sketch, error) {
+	pl, err := newPlan(p)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sketch{
+		pl:     pl,
+		tables: make([]*riblt.Table, len(pl.widths)),
+		counts: make([]map[uint64]uint64, len(pl.widths)),
+	}
+	for i := range s.tables {
+		s.tables[i] = riblt.New(pl.cfgs[i])
+		s.counts[i] = make(map[uint64]uint64)
+	}
+	return s, nil
+}
+
+// BuildSketch builds a sketch over pts.
+func BuildSketch(p Params, pts metric.PointSet) (*Sketch, error) {
+	s, err := NewSketch(p)
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range pts {
+		s.Add(pt)
+	}
+	return s, nil
+}
+
+// Add inserts one point (one grid rounding plus q cell updates per
+// level).
+func (s *Sketch) Add(pt metric.Point) {
+	kb := s.pl.params.KeyBits
+	for lvl := range s.tables {
+		c, center := s.pl.grids[lvl].cellAndCenter(pt)
+		n := s.counts[lvl][c] + 1
+		s.counts[lvl][c] = n
+		s.tables[lvl].Insert(occurrenceKey(s.pl.occMix, kb, c, n), center)
+	}
+}
+
+// Remove retracts one point previously added. It returns an error —
+// without mutating any level — if the point's cell is empty at some
+// level (the point was never added).
+func (s *Sketch) Remove(pt metric.Point) error {
+	kb := s.pl.params.KeyBits
+	cells := make([]uint64, len(s.tables))
+	centers := make(metric.PointSet, len(s.tables))
+	for lvl := range s.tables {
+		cells[lvl], centers[lvl] = s.pl.grids[lvl].cellAndCenter(pt)
+		if s.counts[lvl][cells[lvl]] == 0 {
+			return fmt.Errorf("quadtree: remove from empty cell at level %d", lvl)
+		}
+	}
+	for lvl := range s.tables {
+		c := cells[lvl]
+		n := s.counts[lvl][c]
+		s.tables[lvl].Retract(occurrenceKey(s.pl.occMix, kb, c, n), centers[lvl])
+		if n == 1 {
+			delete(s.counts[lvl], c)
+		} else {
+			s.counts[lvl][c] = n - 1
+		}
+	}
+	return nil
+}
+
+// Encode serializes the sketch as Alice's protocol message.
+func (s *Sketch) Encode() []byte {
+	e := transport.NewEncoder()
+	e.WriteUvarint(uint64(len(s.tables)))
+	for _, t := range s.tables {
+		t.Encode(e)
+	}
+	data, _ := e.Pack()
+	return data
+}
+
+// EncodeReference builds the from-scratch Alice message over pts with
+// identical params — the golden reference incremental maintenance is
+// tested against.
+func EncodeReference(p Params, pts metric.PointSet) ([]byte, error) {
+	pl, err := newPlan(p)
+	if err != nil {
+		return nil, err
+	}
+	data, _ := pl.aliceEncode(pts).Pack()
+	return data, nil
 }
 
 // assemble mirrors the Algorithm 1 output step: S′B = (SB \ YB) ∪ XA with

@@ -1,0 +1,77 @@
+package quadtree
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/metric"
+	"repro/internal/rng"
+)
+
+func randSketchPoint(space metric.Space, src *rng.Source) metric.Point {
+	pt := make(metric.Point, space.Dim)
+	for i := range pt {
+		pt[i] = int32(src.Uint64() % uint64(space.Delta+1))
+	}
+	return pt
+}
+
+// TestSketchIncrementalGolden: the incrementally maintained quadtree
+// sketch stays bit-identical on the wire to the from-scratch Alice
+// build after any random Add/Remove sequence — the occurrence-key
+// multiset of a cell depends only on its population, and every point of
+// a cell carries the same center value.
+func TestSketchIncrementalGolden(t *testing.T) {
+	p := Params{Space: metric.Grid(63, 4, metric.L1), N: 32, K: 3, Seed: 21}
+	sk, err := NewSketch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(77)
+	var set metric.PointSet
+	for op := 0; op < 300; op++ {
+		if len(set) > 0 && (len(set) >= p.N || src.Uint64()%2 == 0) {
+			i := int(src.Uint64() % uint64(len(set)))
+			if err := sk.Remove(set[i]); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			set[i] = set[len(set)-1]
+			set = set[:len(set)-1]
+		} else {
+			pt := randSketchPoint(p.Space, src)
+			sk.Add(pt)
+			set = append(set, pt)
+		}
+		if op%100 != 99 {
+			continue
+		}
+		want, err := EncodeReference(p, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sk.Encode(), want) {
+			t.Fatalf("op %d (size %d): incremental quadtree sketch differs from from-scratch build", op, len(set))
+		}
+	}
+}
+
+// TestSketchRemoveAbsent: removing a point whose cell is empty fails
+// without corrupting the sketch.
+func TestSketchRemoveAbsent(t *testing.T) {
+	p := Params{Space: metric.Grid(15, 2, metric.L1), N: 8, K: 2, Seed: 3}
+	sk, err := NewSketch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sk.Remove(metric.Point{1, 2}); err == nil {
+		t.Fatal("remove from empty sketch must fail")
+	}
+	sk.Add(metric.Point{1, 2})
+	want, err := EncodeReference(p, metric.PointSet{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sk.Encode(), want) {
+		t.Fatal("sketch corrupted by rejected remove")
+	}
+}

@@ -1,0 +1,96 @@
+package riblt
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/transport"
+)
+
+func liveTestConfig() Config {
+	return Config{
+		Cells: 60, Q: 3, Dim: 4, Delta: 15,
+		KeyBits: 20, MaxItems: 64, Seed: 9,
+	}
+}
+
+func encodeTable(t *Table) []byte {
+	e := transport.NewEncoder()
+	t.Encode(e)
+	data, _ := e.Pack()
+	return data
+}
+
+// TestRetractRestoresTable: Insert then Retract leaves the table
+// field-identical to one that never saw the pair, and item accounting
+// tracks live contents so long mutation histories never trip the
+// overflow guard.
+func TestRetractRestoresTable(t *testing.T) {
+	cfg := liveTestConfig()
+	tbl := New(cfg)
+	ref := New(cfg)
+	src := rng.New(4)
+	kept := make([]Pair, 0, 8)
+	for i := 0; i < 500; i++ { // far more mutations than MaxItems
+		key := src.Uint64() & (1<<cfg.KeyBits - 1)
+		val := metric.Point{int32(i % 16), 1, 2, 3}
+		tbl.Insert(key, val)
+		if i%3 == 0 && len(kept) < 8 {
+			ref.Insert(key, val)
+			kept = append(kept, Pair{Key: key, Value: val})
+		} else {
+			tbl.Retract(key, val)
+		}
+	}
+	if tbl.Items() != len(kept) {
+		t.Fatalf("items = %d, want %d", tbl.Items(), len(kept))
+	}
+	if !bytes.Equal(encodeTable(tbl), encodeTable(ref)) {
+		t.Fatal("retract left residue: mutated table differs from reference")
+	}
+}
+
+// TestCloneIsDeep: mutating a clone leaves the original untouched.
+func TestCloneIsDeep(t *testing.T) {
+	tbl := New(liveTestConfig())
+	tbl.Insert(5, metric.Point{1, 2, 3, 4})
+	before := encodeTable(tbl)
+	c := tbl.Clone()
+	c.Insert(9, metric.Point{4, 3, 2, 1})
+	if !bytes.Equal(encodeTable(tbl), before) {
+		t.Fatal("clone shares cell state with original")
+	}
+}
+
+// TestCellPatchRoundTrip: EncodeCellAt → PatchCellAt transplants cells
+// exactly, and CellIndices names precisely the cells a mutation
+// touches.
+func TestCellPatchRoundTrip(t *testing.T) {
+	cfg := liveTestConfig()
+	a := New(cfg)
+	b := New(cfg)
+	a.Insert(7, metric.Point{1, 2, 3, 4})
+	touched := a.CellIndices(7, nil)
+	if len(touched) != cfg.Q {
+		t.Fatalf("CellIndices returned %d cells, want %d", len(touched), cfg.Q)
+	}
+	e := transport.NewEncoder()
+	for _, i := range touched {
+		a.EncodeCellAt(i, e)
+	}
+	data, _ := e.Pack()
+	d := transport.NewDecoder(data)
+	for _, i := range touched {
+		if err := b.PatchCellAt(i, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(encodeTable(a), encodeTable(b)) {
+		t.Fatal("patching the touched cells did not reproduce the table")
+	}
+	if err := b.PatchCellAt(len(b.cells), transport.NewDecoder(nil)); err == nil {
+		t.Fatal("out-of-range patch index accepted")
+	}
+}

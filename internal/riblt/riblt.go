@@ -209,6 +209,51 @@ func (t *Table) update(key uint64, val metric.Point, dir int64) {
 	}
 }
 
+// Retract cancels one previous Insert of the same (key, value) pair:
+// the cell updates are exactly Delete's, but the item accounting credits
+// the pair back, so a long-lived incrementally maintained table (insert,
+// retract, insert, …) is bounded by its *live* contents rather than its
+// mutation history. After Retract the cells are field-identical to a
+// table that never saw the pair — this is what makes incremental sketch
+// maintenance bit-identical on the wire to a from-scratch build.
+func (t *Table) Retract(key uint64, val metric.Point) {
+	if t.items < 1 {
+		panic("riblt: Retract on table with no items")
+	}
+	// Pre-credit both the original insert and this cancellation before
+	// update's items++ so the MaxItems guard never sees a transient
+	// overshoot at full capacity.
+	t.items -= 2
+	t.update(key, val, -1)
+}
+
+// Items returns the table's net item accounting (inserts plus deletes,
+// minus retracted pairs).
+func (t *Table) Items() int { return t.items }
+
+// CellIndices appends to buf the q cell indices key maps to and returns
+// the extended slice. The indices are the ones Insert/Delete/Retract
+// touch, in hash order — incremental maintainers use them to journal
+// churned cells for delta synchronization.
+func (t *Table) CellIndices(key uint64, buf []int) []int {
+	for j := 0; j < t.cfg.Q; j++ {
+		buf = append(buf, t.cellOf(key, j))
+	}
+	return buf
+}
+
+// Clone deep-copies the table, including value sums.
+func (t *Table) Clone() *Table {
+	c := *t
+	c.cells = make([]cell, len(t.cells))
+	for i := range t.cells {
+		c.cells[i] = t.cells[i]
+		c.cells[i].valSum = append([]int64(nil), t.cells[i].valSum...)
+	}
+	c.idx = append([]hashx.Mixer(nil), t.idx...)
+	return &c
+}
+
 // Merge adds other's cells into t, as if every pair inserted (or
 // deleted) in other had been applied to t directly. The tables must
 // share one Config. Because every cell field is a sum, merging commutes
@@ -434,4 +479,45 @@ func DecodeFrom(d *transport.Decoder, cfg Config) (*Table, error) {
 		}
 	}
 	return t, nil
+}
+
+// EncodeCellAt serializes cell i alone (same varint layout as Encode
+// uses per cell). Delta synchronization ships only churned cells this
+// way: absolute field values, so applying a patch is idempotent and
+// independent of how many mutations produced it.
+func (t *Table) EncodeCellAt(i int, e *transport.Encoder) {
+	c := &t.cells[i]
+	e.WriteVarint(c.count)
+	e.WriteVarint(c.keySum)
+	e.WriteVarint(c.checkSum)
+	for _, v := range c.valSum {
+		e.WriteVarint(v)
+	}
+}
+
+// PatchCellAt overwrites cell i with fields read from d (the inverse of
+// EncodeCellAt). The caller is responsible for item accounting: a
+// patched table is a mirror of a remote table's cells, not a locally
+// maintained one, so items is left untouched.
+func (t *Table) PatchCellAt(i int, d *transport.Decoder) error {
+	if i < 0 || i >= len(t.cells) {
+		return fmt.Errorf("riblt: patch index %d out of %d cells", i, len(t.cells))
+	}
+	c := &t.cells[i]
+	var err error
+	if c.count, err = d.ReadVarint(); err != nil {
+		return err
+	}
+	if c.keySum, err = d.ReadVarint(); err != nil {
+		return err
+	}
+	if c.checkSum, err = d.ReadVarint(); err != nil {
+		return err
+	}
+	for j := range c.valSum {
+		if c.valSum[j], err = d.ReadVarint(); err != nil {
+			return err
+		}
+	}
+	return nil
 }

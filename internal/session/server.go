@@ -117,8 +117,17 @@ func (s *Server) servesProto(proto netproto.Proto) bool {
 // Listen announces on the network (tcp/unix) address and serves in the
 // background, returning the bound listener (useful with ":0"). A
 // terminal Serve failure (other than Close) is retained and readable
-// via Err, as well as logged via Logf.
+// via Err, as well as logged via Logf. After Close, Listen fails with
+// ErrServerClosed instead of binding a socket whose background Serve
+// goroutine would exit immediately — the caller would otherwise hold a
+// listener that looks live but serves nothing.
 func (s *Server) Listen(network, addr string) (net.Listener, error) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, ErrServerClosed
+	}
 	l, err := net.Listen(network, addr)
 	if err != nil {
 		return nil, err

@@ -358,6 +358,58 @@ func TestServerAccountsBadHello(t *testing.T) {
 	}
 }
 
+// closeTrackingListener records whether the server released it.
+type closeTrackingListener struct {
+	net.Listener
+	mu     sync.Mutex
+	closed bool
+}
+
+func (l *closeTrackingListener) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	return l.Listener.Close()
+}
+
+func (l *closeTrackingListener) wasClosed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}
+
+// TestServeAfterCloseReturnsNamedError is the regression test for the
+// post-Close lifecycle: Serve on a closed server must return
+// ErrServerClosed immediately AND close the listener it was handed, so
+// neither a goroutine nor a socket outlives the server.
+func TestServeAfterCloseReturnsNamedError(t *testing.T) {
+	srv := NewServer(Config{})
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &closeTrackingListener{Listener: inner}
+	if err := srv.Serve(l); err != ErrServerClosed {
+		t.Fatalf("Serve after Close = %v, want ErrServerClosed", err)
+	}
+	if !l.wasClosed() {
+		t.Error("Serve after Close leaked the listener")
+	}
+	// Listen after Close must fail fast instead of binding a socket
+	// whose background Serve goroutine exits immediately — before the
+	// fix the caller got a live-looking listener serving nothing.
+	if _, err := srv.Listen("tcp", "127.0.0.1:0"); err != ErrServerClosed {
+		t.Fatalf("Listen after Close = %v, want ErrServerClosed", err)
+	}
+	// And an orderly post-Close state reports no terminal failure.
+	if err := srv.Err(); err != nil {
+		t.Errorf("Err after orderly Close = %v", err)
+	}
+}
+
 type bogusHandler struct{}
 
 func (*bogusHandler) Proto() netproto.Proto         { return netproto.Proto(99) }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/emd"
 	"repro/internal/gap"
+	"repro/internal/live"
 	"repro/internal/netproto"
 	"repro/internal/session"
 )
@@ -136,6 +137,78 @@ func NewSyncInitiator(p SyncWireParams, ids []uint64) *netproto.SyncInitiator {
 // NewSyncResponder binds the answering side of exact ID reconciliation.
 func NewSyncResponder(p SyncWireParams, ids []uint64) *netproto.SyncResponder {
 	return netproto.NewSyncResponder(p, ids)
+}
+
+// ---------------------------------------------------------------------------
+// Live sets: mutable reconciliation state with epoch-tagged snapshots
+// and delta synchronization (internal/live), for deployments whose sets
+// churn while they serve.
+
+// LiveSet wraps a point multiset with Add/Remove/ApplyBatch and
+// incrementally maintains the enabled protocol structures: the EMD
+// sketch (O(hashes) cell updates per mutation, wire-bit-identical to a
+// from-scratch build), cached Gap key payloads, and exact-ID
+// fingerprint state. Every mutation bumps an epoch; sessions serve
+// consistent snapshots.
+type LiveSet = live.Set
+
+// LiveConfig selects which protocol structures a LiveSet maintains.
+type LiveConfig = live.Config
+
+// LiveSyncConfig enables exact-ID state over point fingerprints.
+type LiveSyncConfig = live.SyncConfig
+
+// LiveOp is one LiveSet batch mutation.
+type LiveOp = live.Op
+
+// LiveSnapshot is one epoch's immutable serving state.
+type LiveSnapshot = live.Snapshot
+
+// NewLiveSet builds a live set over the initial points using the
+// sharded from-scratch constructions.
+func NewLiveSet(cfg LiveConfig, initial PointSet) (*LiveSet, error) {
+	return live.NewSet(cfg, initial)
+}
+
+// LivePointIDs fingerprints every distinct point the way a LiveSet with
+// LiveSyncConfig.Seed == seed does; sync clients derive their ID lists
+// with it.
+func LivePointIDs(seed uint64, pts PointSet) []uint64 { return live.IDsOf(seed, pts) }
+
+// ProtoLiveEMD is the epoch-tagged EMD protocol with a delta-sync fast
+// path for returning peers.
+const ProtoLiveEMD = netproto.ProtoLiveEMD
+
+// EMDSketchCache is a client's sketch cache across live EMD sessions;
+// share one per (server, params) pair so returning sessions take the
+// delta path.
+type EMDSketchCache = netproto.EMDCache
+
+// NewLiveEMDSenderFactory registers the live EMD protocol: each session
+// serves the set's current epoch, shipping only churned cells to peers
+// that announce a journal-covered epoch.
+func NewLiveEMDSenderFactory(ls *LiveSet) (func() SessionHandler, error) {
+	return netproto.NewLiveEMDSenderFactory(ls)
+}
+
+// NewLiveEMDReceiver binds Bob's side of the live EMD protocol; after
+// the session, Result holds his reconciled set and the cache is
+// advanced to the served epoch.
+func NewLiveEMDReceiver(p EMDParams, sb PointSet, cache *EMDSketchCache) *netproto.LiveEMDReceiver {
+	return netproto.NewLiveEMDReceiver(p, sb, cache)
+}
+
+// NewLiveGapSenderFactory serves ordinary Gap sessions from the set's
+// cached key payloads (any GapReceiver can be the peer).
+func NewLiveGapSenderFactory(ls *LiveSet) (func() SessionHandler, error) {
+	return netproto.NewLiveGapSenderFactory(ls)
+}
+
+// NewLiveSyncResponderFactory serves ordinary exact-ID sync sessions
+// from the set's fingerprint state; p must agree with the set's
+// LiveSyncConfig.
+func NewLiveSyncResponderFactory(p SyncWireParams, ls *LiveSet) (func() SessionHandler, error) {
+	return netproto.NewLiveSyncResponderFactory(p, ls)
 }
 
 // Compile-time checks that the split-party APIs stay usable directly.
