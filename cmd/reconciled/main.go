@@ -31,6 +31,24 @@
 //	                                              # mutations, second wave
 //	                                              # takes the delta path
 //
+// With -cluster the daemon becomes an anti-entropy mesh member: a
+// multi-tenant store of named sets (-sets), served under RSYN v2
+// namespaces, converging continuously with the listed peers via
+// power-of-two-choices probing and escalating repair (see
+// internal/cluster). Every member must run the same workload flags and
+// the same -sets list; each member's sets start with divergent extra
+// points derived from its own -listen address, so a fresh mesh visibly
+// converges. The default namespace stays a plain Sync set, so v1
+// clients (-connect ... -proto sync) interoperate unchanged.
+//
+//	reconciled -listen :7441 -cluster :7442,:7443 -sets alpha,beta
+//	reconciled -cluster-demo 3                    # in-process 3-node mesh:
+//	                                              # diverge, churn, converge
+//
+// On SIGINT/SIGTERM every serving mode stops accepting, drains
+// in-flight sessions for up to -drain, force-closes stragglers, and
+// prints final stats before exiting.
+//
 // Workload flags (-d, -n, -k, -noise, -r1, -r2, -diff, -seed, and
 // whether -mutate is zero) must match between server and client;
 // -workers, -max-sessions and timeouts are local tuning.
@@ -39,13 +57,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/emd"
 	"repro/internal/gap"
 	"repro/internal/live"
@@ -54,6 +76,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/session"
 	"repro/internal/setsets"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -233,6 +256,11 @@ func main() {
 	connect := flag.String("connect", "", "run one client session against this address")
 	proto := flag.String("proto", "emd", "client protocol: emd | gap | sync | setsets | live-emd (with -mutate)")
 	demo := flag.Int("demo", 0, "in-process demo: serve and run N concurrent mixed clients")
+	clusterPeers := flag.String("cluster", "", "comma-separated peer addresses: join an anti-entropy mesh (needs -listen)")
+	clusterDemo := flag.Int("cluster-demo", 0, "in-process anti-entropy demo: N nodes diverge, churn, converge")
+	setNames := flag.String("sets", "alpha,beta", "named sets hosted in cluster mode (comma-separated)")
+	interval := flag.Duration("interval", time.Second, "anti-entropy round period (cluster mode)")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
 
 	d := flag.Int("d", 128, "EMD dimension (gap uses 4d)")
 	n := flag.Int("n", 64, "points / children per party")
@@ -263,8 +291,12 @@ func main() {
 	}
 
 	switch {
+	case *clusterDemo > 0:
+		runClusterDemo(cfg, f, *clusterDemo, *setNames, *drain)
+	case *listen != "" && *clusterPeers != "":
+		runCluster(cfg, f, *listen, *clusterPeers, *setNames, *interval, *drain)
 	case *listen != "":
-		runServer(cfg, f, *listen)
+		runServer(cfg, f, *listen, *drain)
 	case *connect != "":
 		network, host := splitAddr(*connect)
 		if err := runClient(cfg, f, network, host, *proto, true); err != nil {
@@ -273,7 +305,7 @@ func main() {
 	case *demo > 0:
 		runDemo(cfg, f, *demo)
 	default:
-		fmt.Fprintln(os.Stderr, "reconciled: need -listen, -connect or -demo (see -help)")
+		fmt.Fprintln(os.Stderr, "reconciled: need -listen, -connect, -demo or -cluster-demo (see -help)")
 		os.Exit(2)
 	}
 }
@@ -331,7 +363,27 @@ func splitAddr(addr string) (network, host string) {
 	return "tcp", addr
 }
 
-func runServer(cfg config, f *fixture, addr string) {
+// signalChan subscribes to SIGINT/SIGTERM.
+func signalChan() <-chan os.Signal {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	return ch
+}
+
+// shutdown drains the server gracefully and prints the final tallies —
+// the daemon's answer to SIGINT/SIGTERM in every serving mode, instead
+// of dying mid-frame.
+func shutdown(srv *session.Server, drain time.Duration, logger *log.Logger) {
+	logger.Printf("shutting down: draining in-flight sessions (up to %v)", drain)
+	if err := srv.Shutdown(drain); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+	total, _ := srv.Stats()
+	logger.Printf("final: %d sessions ok, %d failed; %s (%.2f MB)",
+		srv.Served(), srv.Failed(), total, float64(total.TotalBytes())/1e6)
+}
+
+func runServer(cfg config, f *fixture, addr string, drain time.Duration) {
 	logger := log.New(os.Stderr, "reconciled: ", log.LstdFlags|log.Lmicroseconds)
 	srv, st := newServer(cfg, f, logger.Printf)
 	network, host := splitAddr(addr)
@@ -356,9 +408,303 @@ func runServer(cfg config, f *fixture, addr string) {
 		logger.Printf("serving emd, gap, sync, setsets on %s %s (max %d sessions)",
 			network, l.Addr(), cfg.maxSessions)
 	}
-	if err := srv.Serve(l); err != session.ErrServerClosed {
-		fail("serve: %v", err)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	select {
+	case err := <-serveErr:
+		if err != session.ErrServerClosed {
+			fail("serve: %v", err)
+		}
+	case sig := <-signalChan():
+		logger.Printf("received %v", sig)
+		shutdown(srv, drain, logger)
 	}
+}
+
+// hashAddr derives a node-unique seed from its advertised address, so
+// cluster members launched with identical workload flags still start
+// with visibly divergent named sets.
+func hashAddr(addr string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(addr)) //nolint:errcheck
+	return h.Sum64()
+}
+
+// clusterPoints draws deterministic points for cluster-set content.
+func clusterPoints(space metric.Space, n int, seed uint64) metric.PointSet {
+	src := rng.New(seed)
+	out := make(metric.PointSet, n)
+	for i := range out {
+		out[i] = randomPoint(space, src)
+	}
+	return out
+}
+
+// churnBudget is the bounded number of churn adds per set a cluster
+// member may apply (ticker mode and the in-process demo both stay
+// within it); newClusterStore's capacity formula reserves this headroom
+// for every member.
+func churnBudget(cfg config) int {
+	m := cfg.mutate
+	if m < 2 {
+		m = 2
+	}
+	return 4 * m
+}
+
+// newClusterStore builds one member's multi-tenant store: the default
+// set (plain Sync over the fixture's canonical EMD points — the v1
+// surface), and each named set with shared base content plus
+// nodeTag-derived divergent extras. All parameters derive from the
+// shared flags, so every member computes identical digests; the first
+// named set also maintains an EMD sketch to exercise the live-emd tier.
+func newClusterStore(cfg config, f *fixture, names []string, nodes int, nodeTag uint64) (*store.Store, error) {
+	st := store.New()
+	sync := &live.SyncConfig{Seed: f.syncParams.Seed}
+	if _, err := st.Create("", live.Config{Sync: sync}, f.emdSA); err != nil {
+		return nil, err
+	}
+	space := metric.HammingCube(cfg.d)
+	// Capacity must absorb the union: shared base + every member's
+	// extras + every member's bounded churn budget (see churnBudget).
+	// All terms are flag-derived, so members agree (capacity is
+	// digest-relevant via emd.Params.N).
+	capacity := cfg.n + nodes*(cfg.diff+churnBudget(cfg)) + 64
+	for i, name := range names {
+		c := live.Config{Sync: sync}
+		if i == 0 {
+			p := emd.DefaultParams(space, capacity, cfg.k, cfg.seed+9)
+			p.Workers = cfg.workers
+			c.EMD = &p
+		}
+		base := clusterPoints(space, cfg.n, cfg.seed+uint64(i)*31+101)
+		extras := clusterPoints(space, cfg.diff, nodeTag+uint64(i)*17+1)
+		if _, err := st.Create(name, c, append(base, extras...)); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func parseSets(csv string) []string {
+	var names []string
+	for _, s := range strings.Split(csv, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			names = append(names, s)
+		}
+	}
+	return names
+}
+
+func runCluster(cfg config, f *fixture, addr, peersCSV, setsCSV string, interval, drain time.Duration) {
+	logger := log.New(os.Stderr, "reconciled: ", log.LstdFlags|log.Lmicroseconds)
+	peers := parseSets(peersCSV)
+	names := parseSets(setsCSV)
+	if len(names) == 0 {
+		fail("-cluster needs at least one set in -sets")
+	}
+	network, host := splitAddr(addr)
+	st, err := newClusterStore(cfg, f, names, len(peers)+1, hashAddr(addr))
+	if err != nil {
+		fail("cluster store: %v", err)
+	}
+	node, err := cluster.New(cluster.Config{
+		Store:    st,
+		Peers:    peers,
+		Network:  network,
+		Interval: interval,
+		Seed:     cfg.seed ^ hashAddr(addr),
+		Logf:     logger.Printf,
+		Session: session.Config{
+			MaxSessions:    cfg.maxSessions,
+			SessionTimeout: cfg.timeout,
+			Logf:           logger.Printf,
+		},
+		SessionTimeout: cfg.timeout,
+	})
+	if err != nil {
+		fail("cluster: %v", err)
+	}
+	l, err := node.Start(host)
+	if err != nil {
+		fail("cluster listen: %v", err)
+	}
+	logger.Printf("cluster member on %s %s: %d peers, sets %v + default, round every %v; %s",
+		network, l.Addr(), len(peers), names, interval, st.Stats())
+	if cfg.mutate > 0 {
+		go func() {
+			tick := time.NewTicker(time.Second / time.Duration(cfg.mutate))
+			defer tick.Stop()
+			src := rng.New(cfg.seed ^ hashAddr(addr) ^ 0xc4a12)
+			space := metric.HammingCube(cfg.d)
+			// Anti-entropy convergence is add-wins: every add spreads to
+			// the whole mesh and nothing un-spreads, so unbounded churn
+			// would grow every member past the (digest-relevant, hence
+			// fixed) EMD capacity and poison repairs mesh-wide. Each
+			// member therefore churns a bounded budget the shared
+			// capacity formula accounts for.
+			budget := churnBudget(cfg)
+			for range tick.C {
+				if budget <= 0 {
+					logger.Printf("churn budget exhausted (%d adds per set); store %s", churnBudget(cfg), st.Stats())
+					return
+				}
+				budget--
+				for _, name := range names {
+					ls, ok := st.Get(name)
+					if !ok {
+						continue
+					}
+					fresh := randomPoint(space, src)
+					if err := ls.Add(fresh); err != nil {
+						logger.Printf("churn %q: %v", name, err)
+					}
+				}
+			}
+		}()
+	}
+	sig := <-signalChan()
+	logger.Printf("received %v", sig)
+	logger.Printf("closing cluster node (drain %v)", drain)
+	if err := node.Close(drain); err != nil {
+		logger.Printf("close: %v", err)
+	}
+	for name, m := range node.Metrics() {
+		if name == "" {
+			name = "<default>"
+		}
+		logger.Printf("set %s: %v", name, m)
+	}
+	total, _ := node.Server().Stats()
+	logger.Printf("final: %d sessions ok, %d failed; %s; store %s",
+		node.Server().Served(), node.Server().Failed(), total, st.Stats())
+}
+
+// runClusterDemo is the in-process mesh: count nodes with divergent
+// stores, a churn phase racing anti-entropy, then settle rounds until
+// every set is fingerprint-identical on every node — plus one v1 client
+// session against the default namespace to prove interop survived the
+// multi-tenant refactor. Exit status reports convergence.
+func runClusterDemo(cfg config, f *fixture, count int, setsCSV string, drain time.Duration) {
+	names := parseSets(setsCSV)
+	if len(names) == 0 {
+		fail("-cluster-demo needs at least one set in -sets")
+	}
+	if count < 2 {
+		fail("-cluster-demo needs at least 2 nodes")
+	}
+	nodes := make([]*cluster.Node, count)
+	stores := make([]*store.Store, count)
+	addrs := make([]string, count)
+	for i := range nodes {
+		st, err := newClusterStore(cfg, f, names, count, uint64(i+1)*0x9e3779b9)
+		if err != nil {
+			fail("cluster store %d: %v", i, err)
+		}
+		stores[i] = st
+		node, err := cluster.New(cluster.Config{
+			Store:    st,
+			Interval: -1, // demo drives rounds manually
+			Seed:     cfg.seed + uint64(i),
+		})
+		if err != nil {
+			fail("cluster node %d: %v", i, err)
+		}
+		l, err := node.Start("127.0.0.1:0")
+		if err != nil {
+			fail("cluster listen %d: %v", i, err)
+		}
+		nodes[i] = node
+		addrs[i] = l.Addr().String()
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close(drain) //nolint:errcheck
+		}
+	}()
+	for i, n := range nodes {
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		n.SetPeers(peers)
+	}
+	fmt.Printf("cluster-demo: %d nodes, sets %v, %d divergent points each\n", count, names, cfg.diff)
+
+	converged := func() bool {
+		for _, name := range names {
+			var fp uint64
+			for i, st := range stores {
+				ls, _ := st.Get(name)
+				if i == 0 {
+					fp = ls.IDFingerprint()
+				} else if ls.IDFingerprint() != fp {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	start := time.Now()
+	space := metric.HammingCube(cfg.d)
+	churn := cfg.mutate
+	if churn == 0 {
+		churn = 2
+	}
+	// Phase 1: churn races anti-entropy.
+	for round := 0; round < 3; round++ {
+		for i, n := range nodes {
+			src := rng.New(cfg.seed + uint64(round*100+i))
+			for _, name := range names {
+				ls, _ := stores[i].Get(name)
+				for c := 0; c < churn; c++ {
+					if err := ls.Add(randomPoint(space, src)); err != nil {
+						fail("churn: %v", err)
+					}
+				}
+			}
+			if _, err := n.ReconcileOnce(); err != nil {
+				fail("round %d node %d: %v", round, i, err)
+			}
+		}
+	}
+	// Phase 2: settle.
+	const maxRounds = 30
+	rounds := -1
+	for round := 0; round < maxRounds; round++ {
+		for i, n := range nodes {
+			if _, err := n.ReconcileOnce(); err != nil {
+				fail("settle round %d node %d: %v", round, i, err)
+			}
+		}
+		if converged() {
+			rounds = round + 1
+			break
+		}
+	}
+	for i, n := range nodes {
+		for _, name := range names {
+			m := n.Metrics()[name]
+			fmt.Printf("cluster-demo: node %d set %s: %v\n", i, name, m)
+		}
+	}
+	if rounds < 0 {
+		fmt.Fprintf(os.Stderr, "cluster-demo: NOT converged after %d settle rounds\n", maxRounds)
+		os.Exit(1)
+	}
+	// v1 interop: a plain (v1 hello) sync session against node 0's
+	// default namespace.
+	ids := live.IDsOf(f.syncParams.Seed, f.emdSB)
+	h := netproto.NewSyncInitiator(f.syncParams, ids)
+	if _, err := (session.Dialer{Addr: addrs[0]}).Do(h); err != nil {
+		fail("v1 default-namespace sync: %v", err)
+	}
+	fmt.Printf("cluster-demo: v1 client vs default namespace: %d server-only / %d client-only IDs\n",
+		len(h.TheirsOnly), len(h.MinesOnly))
+	fmt.Printf("cluster-demo: converged in %d settle rounds, %v total\n",
+		rounds, time.Since(start).Round(time.Millisecond))
 }
 
 // runClient runs one session of the named protocol and reports the

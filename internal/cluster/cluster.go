@@ -1,0 +1,530 @@
+// Package cluster is the anti-entropy mesh: a Node wraps a multi-tenant
+// store and a session server, and a reconciler loop keeps every hosted
+// set converging with the other members of a static cluster — not per
+// client request, but continuously.
+//
+// Peer selection uses the power-of-choices trick (cf. Walzer, "What if
+// we tried Less Power?", arXiv:2307.00644): each round, for each set,
+// the node probes d (default 2) random peers with the cheap divergence
+// exchange (ProtoProbe: epoch, distinct count, ID fingerprint, EMD
+// fingerprint, strata estimator) and reconciles with the MORE divergent
+// one. Probing two and repairing the worse concentrates repair where
+// drift is largest for almost no extra probing cost; repairing a random
+// single peer instead wastes whole sessions on already-converged pairs.
+//
+// Each reconciliation runs the cheapest sufficient protocol:
+//
+//	fingerprints match          → no-op (the common steady-state round)
+//	diverged, EMD maintained    → live-emd pull first: a returning node
+//	                              announces the epoch it last saw, so an
+//	                              unchanged peer ships only churned
+//	                              cells (delta) rather than the full
+//	                              sketch — divergence telemetry and a
+//	                              warm sketch cache for nearly free
+//	diverged                    → exact repair (ProtoRepair): strata-
+//	                              hinted IBLT ID sync plus point payload
+//	                              exchange; both sides converge to the
+//	                              union of their distinct points
+//
+// The probe's strata estimate is passed to repair as a sizing hint, so
+// the repair session skips its own strata round. Failures back off
+// per (set, peer-independent) with exponential round-skipping, capped,
+// so one dead member cannot absorb a node's whole anti-entropy budget.
+//
+// Convergence is add-wins: points flow toward the union; removals are
+// local until every member has removed (no tombstones — the semantics a
+// grow-set anti-entropy mesh provides). The metrics expose per-set
+// round counters, protocol-tier counts, payload totals, and the
+// consecutive-converged streak operators alert on.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/live"
+	"repro/internal/netproto"
+	"repro/internal/rng"
+	"repro/internal/session"
+	"repro/internal/store"
+)
+
+// Config tunes a Node. Store is required; everything else defaults.
+type Config struct {
+	// Store holds the sets this node serves and reconciles.
+	Store *store.Store
+	// Peers are the other members' addresses. May be empty at New and
+	// installed later with SetPeers (the listen-then-exchange-addresses
+	// bootstrap).
+	Peers []string
+	// Network is "tcp" or "unix" (default "tcp").
+	Network string
+	// Interval is the anti-entropy round period (zero defaults to 1s).
+	// Negative disables the background loop — rounds then run only via
+	// ReconcileOnce, which tests and single-shot tools drive directly.
+	Interval time.Duration
+	// Choices is the d of power-of-d-choices probing (default 2,
+	// clamped to the peer count).
+	Choices int
+	// MaxBackoff caps the exponential per-set failure backoff, in
+	// skipped rounds (default 8).
+	MaxBackoff int
+	// Seed feeds the peer-selection RNG (default 1).
+	Seed uint64
+	// Session configures the embedded server (MaxSessions, timeouts,
+	// Logf). Its Resolver is overwritten with this node's store
+	// resolver.
+	Session session.Config
+	// DialTimeout / SessionTimeout bound outbound reconciliation
+	// sessions (defaults as in session.Dialer).
+	DialTimeout    time.Duration
+	SessionTimeout time.Duration
+	// Logf, when set, receives reconciler progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Tier labels which protocol a reconciliation round ran.
+type Tier int
+
+const (
+	// TierNoop: fingerprints matched, nothing exchanged.
+	TierNoop Tier = iota
+	// TierDelta: live-emd pull took the churned-cells fast path.
+	TierDelta
+	// TierFull: live-emd pull shipped the full sketch.
+	TierFull
+	// TierRepair: exact repair ran (always follows TierDelta/TierFull
+	// when EMD is maintained; alone otherwise).
+	TierRepair
+)
+
+// SetMetrics counts one hosted set's anti-entropy activity on one node.
+type SetMetrics struct {
+	// Rounds is how many reconciliation rounds considered the set
+	// (including rounds skipped by backoff).
+	Rounds uint64
+	// Skipped counts rounds the failure backoff suppressed.
+	Skipped uint64
+	// Probes / ProbeFailures count outbound probe sessions.
+	Probes        uint64
+	ProbeFailures uint64
+	// Noops counts rounds where every probed peer matched.
+	Noops uint64
+	// Deltas / Fulls count live-emd pulls by transfer mode.
+	Deltas uint64
+	Fulls  uint64
+	// Repairs / RepairFailures count exact repair sessions.
+	Repairs        uint64
+	RepairFailures uint64
+	// PointsSent / PointsReceived total the repair payload traffic.
+	PointsSent     uint64
+	PointsReceived uint64
+	// LastEstimate is the most recent probe divergence estimate against
+	// the reconciled peer (-1 before any).
+	LastEstimate int
+	// Streak is the consecutive all-matched rounds ending now; it
+	// resets on any divergence, probe failure, or backoff skip.
+	Streak uint64
+	// Backoff is the rounds still to skip after a failure.
+	Backoff int
+	backoff int // last applied backoff, for doubling
+}
+
+// Node is one cluster member. Construct with New, bind with Start, and
+// stop with Close; ReconcileOnce drives rounds manually when the
+// background loop is disabled.
+type Node struct {
+	cfg   Config
+	store *store.Store
+	srv   *session.Server
+
+	mu      sync.Mutex
+	peers   []string
+	src     *rng.Source
+	metrics map[string]*SetMetrics
+	caches  map[string]map[string]*netproto.EMDCache // set → peer addr → sketch cache
+
+	loopCancel chan struct{}
+	loopDone   chan struct{}
+	started    bool
+}
+
+// New builds a node over the store. The embedded server serves every
+// store set under its namespace (probe, repair, and the set's live
+// protocols), with the default set answering v1 peers.
+func New(cfg Config) (*Node, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("cluster: Config.Store is required")
+	}
+	if cfg.Network == "" {
+		cfg.Network = "tcp"
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Choices <= 0 {
+		cfg.Choices = 2
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 8
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	cfg.Session.Resolver = netproto.StoreResolver(cfg.Store)
+	n := &Node{
+		cfg:     cfg,
+		store:   cfg.Store,
+		srv:     session.NewServer(cfg.Session),
+		peers:   append([]string(nil), cfg.Peers...),
+		src:     rng.New(cfg.Seed),
+		metrics: make(map[string]*SetMetrics),
+		caches:  make(map[string]map[string]*netproto.EMDCache),
+	}
+	return n, nil
+}
+
+// Server exposes the embedded session server (stats, extra Handle
+// registrations).
+func (n *Node) Server() *session.Server { return n.srv }
+
+// SetPeers replaces the member list (bootstrap: listen on every node
+// first, then install the exchanged addresses).
+func (n *Node) SetPeers(peers []string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers = append([]string(nil), peers...)
+}
+
+// Peers returns a copy of the member list.
+func (n *Node) Peers() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]string(nil), n.peers...)
+}
+
+// Start binds the server to addr and, when Interval > 0, starts the
+// background reconciler loop. The returned listener reports the bound
+// address (useful with ":0").
+func (n *Node) Start(addr string) (net.Listener, error) {
+	l, err := n.srv.Listen(n.cfg.Network, addr)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		l.Close()
+		return nil, errors.New("cluster: node already started")
+	}
+	n.started = true
+	if n.cfg.Interval > 0 {
+		n.loopCancel = make(chan struct{})
+		n.loopDone = make(chan struct{})
+		go n.loop()
+	}
+	return l, nil
+}
+
+func (n *Node) loop() {
+	defer close(n.loopDone)
+	tick := time.NewTicker(n.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.loopCancel:
+			return
+		case <-tick.C:
+			n.ReconcileOnce()
+		}
+	}
+}
+
+// Close stops the reconciler loop and shuts the server down, draining
+// in-flight sessions for up to drain before force-closing them.
+func (n *Node) Close(drain time.Duration) error {
+	n.mu.Lock()
+	cancel, done := n.loopCancel, n.loopDone
+	n.loopCancel, n.loopDone = nil, nil
+	n.mu.Unlock()
+	if cancel != nil {
+		close(cancel)
+		<-done
+	}
+	return n.srv.Shutdown(drain)
+}
+
+// Metrics returns a copy of the per-set metrics, keyed by set name.
+func (n *Node) Metrics() map[string]SetMetrics {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]SetMetrics, len(n.metrics))
+	for name, m := range n.metrics {
+		out[name] = *m
+	}
+	return out
+}
+
+// Converged reports whether every hosted set's last round found all
+// probed peers fingerprint-identical, sustained for at least streak
+// consecutive rounds. Sets that have not completed a round yet report
+// false.
+func (n *Node) Converged(streak uint64) bool {
+	names := n.store.Names()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, name := range names {
+		m := n.metrics[name]
+		if m == nil || m.Streak < streak {
+			return false
+		}
+	}
+	return len(names) > 0
+}
+
+// ReconcileOnce runs one full anti-entropy round: every hosted set
+// probes Choices random peers and reconciles with the most divergent
+// non-matching one. It returns the number of sets that exchanged state
+// (0 when the whole mesh round was no-ops) and the first error
+// encountered (the round still visits every set).
+func (n *Node) ReconcileOnce() (repaired int, err error) {
+	for _, name := range n.store.Names() {
+		ls, ok := n.store.Get(name)
+		if !ok {
+			continue // dropped mid-round
+		}
+		m := n.metricsFor(name)
+		n.mu.Lock()
+		m.Rounds++
+		skip := m.Backoff > 0
+		if skip {
+			m.Backoff--
+			m.Skipped++
+			m.Streak = 0
+		}
+		peers := n.pickPeersLocked(n.cfg.Choices)
+		n.mu.Unlock()
+		if skip || len(peers) == 0 {
+			continue
+		}
+
+		// Probe phase: cheap divergence estimate per candidate peer.
+		type candidate struct {
+			addr  string
+			probe *netproto.ProbeInitiator
+		}
+		var (
+			worst      *candidate
+			worstScore = -1
+			failures   int
+		)
+		for _, addr := range peers {
+			probe := netproto.NewProbeInitiator(ls)
+			_, perr := n.dialer(addr, name).Do(probe)
+			n.mu.Lock()
+			m.Probes++
+			if perr != nil {
+				m.ProbeFailures++
+				failures++
+				n.mu.Unlock()
+				n.cfg.Logf("cluster: set %q probe %s: %v", name, addr, perr)
+				if err == nil {
+					err = perr
+				}
+				continue
+			}
+			n.mu.Unlock()
+			if probe.Matched {
+				continue
+			}
+			score := probe.Estimate
+			if score < 1 {
+				// Fingerprints differ but the estimator sees nothing (or
+				// is absent): still divergent, minimally scored.
+				score = 1
+			}
+			if score > worstScore {
+				worstScore = score
+				worst = &candidate{addr: addr, probe: probe}
+			}
+		}
+
+		n.mu.Lock()
+		if failures == len(peers) {
+			// Every candidate unreachable: back off this set.
+			m.applyBackoff(n.cfg.MaxBackoff)
+			n.mu.Unlock()
+			continue
+		}
+		if worst == nil {
+			// All reachable peers matched. The streak only advances when
+			// every probed peer answered — an unreachable member is not
+			// evidence of convergence, and Converged() must not report a
+			// clean mesh while one (see SetMetrics.Streak).
+			m.Noops++
+			if failures == 0 {
+				m.Streak++
+			} else {
+				m.Streak = 0
+			}
+			m.backoff = 0
+			n.mu.Unlock()
+			continue
+		}
+		m.Streak = 0
+		m.LastEstimate = worst.probe.Estimate
+		n.mu.Unlock()
+
+		if rerr := n.reconcile(name, ls, m, worst.addr, worst.probe); rerr != nil {
+			n.mu.Lock()
+			m.RepairFailures++
+			m.applyBackoff(n.cfg.MaxBackoff)
+			n.mu.Unlock()
+			n.cfg.Logf("cluster: set %q repair %s: %v", name, worst.addr, rerr)
+			if err == nil {
+				err = rerr
+			}
+			continue
+		}
+		n.mu.Lock()
+		m.backoff = 0
+		n.mu.Unlock()
+		repaired++
+	}
+	return repaired, err
+}
+
+// applyBackoff doubles (capped) and arms the skip counter. Caller holds
+// n.mu.
+func (m *SetMetrics) applyBackoff(maxRounds int) {
+	next := m.backoff * 2
+	if next == 0 {
+		next = 1
+	}
+	if next > maxRounds {
+		next = maxRounds
+	}
+	m.backoff = next
+	m.Backoff = next
+	m.Streak = 0
+}
+
+// reconcile runs the escalation against one diverged peer: live-emd
+// pull when the set maintains an EMD sketch (delta for returning nodes,
+// full otherwise — refreshing telemetry and the sketch cache), then the
+// exact repair that actually converges state, hinted with the probe's
+// estimate.
+func (n *Node) reconcile(name string, ls *live.Set, m *SetMetrics, addr string, probe *netproto.ProbeInitiator) error {
+	if p, ok := ls.EMDParams(); ok {
+		cache := n.cacheFor(name, addr)
+		recv := netproto.NewLiveEMDReceiver(p, ls.Snapshot().Points, cache)
+		if _, err := n.dialer(addr, name).Do(recv); err != nil {
+			// The pull is telemetry + cache warming; repair below is what
+			// converges. Log and continue.
+			n.cfg.Logf("cluster: set %q live-emd %s: %v", name, addr, err)
+		} else {
+			n.mu.Lock()
+			if recv.UsedDelta {
+				m.Deltas++
+			} else {
+				m.Fulls++
+			}
+			n.mu.Unlock()
+		}
+	}
+	hint := probe.Estimate
+	if hint < 0 {
+		hint = 0
+	}
+	init, err := netproto.NewRepairInitiator(ls, hint)
+	if err != nil {
+		return err
+	}
+	if _, err := n.dialer(addr, name).Do(init); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	m.Repairs++
+	m.PointsSent += uint64(init.Sent)
+	m.PointsReceived += uint64(init.Received)
+	n.mu.Unlock()
+	return nil
+}
+
+func (n *Node) dialer(addr, set string) session.Dialer {
+	return session.Dialer{
+		Network:        n.cfg.Network,
+		Addr:           addr,
+		Set:            set,
+		DialTimeout:    n.cfg.DialTimeout,
+		SessionTimeout: n.cfg.SessionTimeout,
+	}
+}
+
+// metricsFor returns (creating if needed) the set's metrics struct.
+func (n *Node) metricsFor(name string) *SetMetrics {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m := n.metrics[name]
+	if m == nil {
+		m = &SetMetrics{LastEstimate: -1}
+		n.metrics[name] = m
+	}
+	return m
+}
+
+// cacheFor returns (creating if needed) the per-(set, peer) EMD sketch
+// cache.
+func (n *Node) cacheFor(set, addr string) *netproto.EMDCache {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	byPeer := n.caches[set]
+	if byPeer == nil {
+		byPeer = make(map[string]*netproto.EMDCache)
+		n.caches[set] = byPeer
+	}
+	c := byPeer[addr]
+	if c == nil {
+		c = &netproto.EMDCache{}
+		byPeer[addr] = c
+	}
+	return c
+}
+
+// pickPeersLocked draws up to d distinct random peers. Caller holds
+// n.mu.
+func (n *Node) pickPeersLocked(d int) []string {
+	if len(n.peers) == 0 {
+		return nil
+	}
+	if d >= len(n.peers) {
+		out := append([]string(nil), n.peers...)
+		sort.Strings(out)
+		return out
+	}
+	idx := make(map[int]bool, d)
+	out := make([]string, 0, d)
+	for len(out) < d {
+		i := n.src.Intn(len(n.peers))
+		if idx[i] {
+			continue
+		}
+		idx[i] = true
+		out = append(out, n.peers[i])
+	}
+	return out
+}
+
+// String formats a metrics snapshot for log lines.
+func (m SetMetrics) String() string {
+	return fmt.Sprintf("rounds=%d noops=%d repairs=%d (fail=%d) delta/full=%d/%d pts=%d↑/%d↓ streak=%d",
+		m.Rounds, m.Noops, m.Repairs, m.RepairFailures, m.Deltas, m.Fulls,
+		m.PointsSent, m.PointsReceived, m.Streak)
+}

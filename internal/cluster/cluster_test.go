@@ -1,0 +1,350 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/emd"
+	"repro/internal/live"
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/store"
+)
+
+const (
+	testSyncSeed = 42
+	testDim      = 64
+	testCapacity = 256
+)
+
+func testPoints(n int, seed uint64) metric.PointSet {
+	space := metric.HammingCube(testDim)
+	src := rng.New(seed)
+	out := make(metric.PointSet, n)
+	for i := range out {
+		pt := make(metric.Point, space.Dim)
+		for j := range pt {
+			pt[j] = int32(src.Uint64() % uint64(space.Delta+1))
+		}
+		out[i] = pt
+	}
+	return out
+}
+
+// testStore hosts three sets with identical cross-node configs but
+// node-specific extra points: "alpha" maintains EMD+Sync (exercising
+// the live-emd tier), "beta" and the default set Sync only.
+func testStore(t *testing.T, node int) *store.Store {
+	t.Helper()
+	st := store.New()
+	space := metric.HammingCube(testDim)
+	for i, name := range []string{"", "alpha", "beta"} {
+		base := testPoints(20, uint64(i+1))
+		extras := testPoints(5, uint64(100+10*node+i))
+		cfg := live.Config{Sync: &live.SyncConfig{Seed: testSyncSeed}}
+		if name == "alpha" {
+			p := emd.DefaultParams(space, testCapacity, 4, 7)
+			cfg.EMD = &p
+		}
+		if _, err := st.Create(name, cfg, append(base.Clone(), extras...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// startMesh builds and starts n manual-round nodes and installs the
+// full peer mesh.
+func startMesh(t *testing.T, count int) []*Node {
+	t.Helper()
+	nodes := make([]*Node, count)
+	addrs := make([]string, count)
+	for i := range nodes {
+		n, err := New(Config{
+			Store:    testStore(t, i),
+			Interval: -1, // manual rounds
+			Seed:     uint64(1000 + i),
+			Logf:     t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := n.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		addrs[i] = l.Addr().String()
+	}
+	for i, n := range nodes {
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		n.SetPeers(peers)
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Close(time.Second) //nolint:errcheck
+		}
+	})
+	return nodes
+}
+
+// meshConverged reports whether every set is fingerprint-identical
+// across all nodes.
+func meshConverged(t *testing.T, nodes []*Node) bool {
+	t.Helper()
+	for _, name := range []string{"", "alpha", "beta"} {
+		var fp uint64
+		for i, n := range nodes {
+			ls, ok := n.store.Get(name)
+			if !ok {
+				t.Fatalf("node %d lost set %q", i, name)
+			}
+			f := ls.IDFingerprint()
+			if i == 0 {
+				fp = f
+			} else if f != fp {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// churn applies one batch per set on the node: two fresh points in, one
+// of them straight back out — exercising batched add+remove under
+// concurrent anti-entropy without ever removing a point a peer may
+// already have replicated (anti-entropy is add-wins; such a removal
+// would legitimately resurrect).
+func churn(t *testing.T, n *Node, seed uint64) {
+	t.Helper()
+	for i, name := range []string{"", "alpha", "beta"} {
+		ls, _ := n.store.Get(name)
+		fresh := testPoints(2, seed+uint64(i)*1000)
+		err := ls.ApplyBatch([]live.Op{
+			{Point: fresh[0]},
+			{Point: fresh[1]},
+			{Remove: true, Point: fresh[0]},
+		})
+		if err != nil {
+			t.Fatalf("churn on set %q: %v", name, err)
+		}
+	}
+}
+
+// TestClusterConvergenceUnderChurn is the acceptance test: 3 nodes with
+// divergent stores, concurrent ApplyBatch churn during the first
+// rounds, then convergence to fingerprint-identical state for every
+// named set within a bounded number of anti-entropy rounds.
+func TestClusterConvergenceUnderChurn(t *testing.T) {
+	nodes := startMesh(t, 3)
+
+	// Phase 1: anti-entropy racing churn.
+	for round := 0; round < 3; round++ {
+		for i, n := range nodes {
+			churn(t, n, uint64(500+round*100+i*10))
+			if _, err := n.ReconcileOnce(); err != nil {
+				t.Fatalf("round %d node %d: %v", round, i, err)
+			}
+		}
+	}
+
+	// Phase 2: churn stops; the mesh must converge within a bounded
+	// number of rounds. 2 choices of 2 peers probe everyone, so each
+	// round strictly propagates the union; 10 rounds is generous.
+	const maxRounds = 10
+	converged := -1
+	for round := 0; round < maxRounds; round++ {
+		for i, n := range nodes {
+			if _, err := n.ReconcileOnce(); err != nil {
+				t.Fatalf("settle round %d node %d: %v", round, i, err)
+			}
+		}
+		if meshConverged(t, nodes) {
+			converged = round
+			break
+		}
+	}
+	if converged < 0 {
+		for i, n := range nodes {
+			for name, m := range n.Metrics() {
+				t.Logf("node %d set %q: %v", i, name, m)
+			}
+		}
+		t.Fatalf("mesh not converged after %d settle rounds", maxRounds)
+	}
+	t.Logf("converged after %d settle rounds", converged+1)
+
+	// One more round: every node must now see all-matched probes, and
+	// the live-emd tier must have been exercised on the EMD set.
+	var deltas, fulls, repairs uint64
+	for i, n := range nodes {
+		if _, err := n.ReconcileOnce(); err != nil {
+			t.Fatalf("final round node %d: %v", i, err)
+		}
+		if !n.Converged(1) {
+			t.Fatalf("node %d does not report convergence: %v", i, n.Metrics())
+		}
+		for _, m := range n.Metrics() {
+			repairs += m.Repairs
+		}
+		alpha := n.Metrics()["alpha"]
+		deltas += alpha.Deltas
+		fulls += alpha.Fulls
+	}
+	if repairs == 0 {
+		t.Fatal("mesh converged without a single repair session")
+	}
+	if deltas+fulls == 0 {
+		t.Fatal("EMD set converged without a single live-emd pull")
+	}
+}
+
+// TestClusterPartitionRejoin: one node leaves, the survivors keep
+// churning and converge among themselves; the node rejoins (fresh
+// address, same store) and catches up.
+func TestClusterPartitionRejoin(t *testing.T) {
+	nodes := startMesh(t, 3)
+	a, b, c := nodes[0], nodes[1], nodes[2]
+
+	// C leaves the mesh.
+	if err := c.Close(time.Second); err != nil {
+		t.Fatalf("close c: %v", err)
+	}
+	// Survivors churn and converge; probes of the dead member fail, so
+	// rounds report errors and back off — but a and b still reconcile
+	// with each other.
+	for round := 0; round < 12; round++ {
+		churn(t, a, uint64(900+round))
+		a.ReconcileOnce() //nolint:errcheck // c is down; errors expected
+		b.ReconcileOnce() //nolint:errcheck
+		if pairConverged(a, b) {
+			break
+		}
+	}
+	if !pairConverged(a, b) {
+		t.Fatal("survivors did not converge during the partition")
+	}
+
+	// C rejoins: same store, fresh node and address; the member lists
+	// update (a membership change, as a real rejoin would deliver).
+	c2, err := New(Config{Store: c.store, Interval: -1, Seed: 77, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := c2.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c2.Close(time.Second) }) //nolint:errcheck
+	cAddr := l.Addr().String()
+	aL, bL := a.Peers(), b.Peers()
+	a.SetPeers([]string{aL[0], cAddr})
+	b.SetPeers([]string{bL[0], cAddr})
+	c2.SetPeers([]string{aL[0], bL[0]})
+
+	all := []*Node{a, b, c2}
+	for round := 0; round < 12; round++ {
+		for i, n := range all {
+			if _, err := n.ReconcileOnce(); err != nil {
+				// Backoff from the partition may still be draining;
+				// tolerate errors for a few rounds.
+				t.Logf("rejoin round %d node %d: %v", round, i, err)
+			}
+		}
+		if meshConverged(t, all) {
+			t.Logf("rejoined after %d rounds", round+1)
+			return
+		}
+	}
+	t.Fatal("rejoined node did not catch up within 12 rounds")
+}
+
+func pairConverged(a, b *Node) bool {
+	for _, name := range []string{"", "alpha", "beta"} {
+		la, _ := a.store.Get(name)
+		lb, _ := b.store.Get(name)
+		if la.IDFingerprint() != lb.IDFingerprint() {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBackoffAfterDeadPeer: with every peer unreachable, the set backs
+// off exponentially instead of hammering the dead address each round.
+func TestBackoffAfterDeadPeer(t *testing.T) {
+	st := testStore(t, 0)
+	n, err := New(Config{
+		Store:       st,
+		Interval:    -1,
+		DialTimeout: 50 * time.Millisecond,
+		Peers:       []string{"127.0.0.1:1"}, // nothing listens here
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := n.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close(time.Second) //nolint:errcheck
+	_ = l
+	for i := 0; i < 8; i++ {
+		n.ReconcileOnce() //nolint:errcheck
+	}
+	m := n.Metrics()["alpha"]
+	if m.ProbeFailures == 0 {
+		t.Fatal("no probe failures against a dead peer")
+	}
+	if m.Skipped == 0 {
+		t.Fatalf("no backoff skips after repeated failures: %+v", m)
+	}
+	if m.Probes >= 8 {
+		t.Fatalf("backoff did not reduce probing: %d probes in 8 rounds", m.Probes)
+	}
+	if n.Converged(1) {
+		t.Fatal("node reports convergence with all peers dead")
+	}
+}
+
+// TestReconcileRespectsDroppedSets: dropping a set mid-life stops its
+// reconciliation without disturbing the others.
+func TestReconcileRespectsDroppedSets(t *testing.T) {
+	nodes := startMesh(t, 2)
+	a, b := nodes[0], nodes[1]
+	if !a.store.Drop("beta") {
+		t.Fatal("drop failed")
+	}
+	var lastErr error
+	for i := 0; i < 10; i++ {
+		_, errA := a.ReconcileOnce()
+		_, errB := b.ReconcileOnce()
+		if errA != nil {
+			lastErr = errA
+		}
+		if errB != nil {
+			lastErr = errB
+		}
+	}
+	// b still hosts beta and probes a for it; a rejects with unknown
+	// set — that error must not prevent alpha/default convergence.
+	for _, name := range []string{"", "alpha"} {
+		la, _ := a.store.Get(name)
+		lb, _ := b.store.Get(name)
+		if la.IDFingerprint() != lb.IDFingerprint() {
+			t.Fatalf("set %q did not converge (last err: %v)", name, lastErr)
+		}
+	}
+	if lastErr == nil {
+		t.Fatal("expected unknown-set probe errors for the dropped set")
+	}
+	if fmt.Sprint(lastErr) == "" {
+		t.Fatal("empty error")
+	}
+}

@@ -72,8 +72,10 @@ type entry struct {
 }
 
 // Set is the mutable reconciliation state. All methods are safe for
-// concurrent use; mutations serialize, and Snapshot is cheap once the
-// per-epoch cache is built.
+// concurrent use; mutations serialize under the write lock, while the
+// read paths a busy server hits per session — Epoch, Size, DeltaCells,
+// and Snapshot once the per-epoch cache is built — share a read lock,
+// so many concurrent sessions never queue behind each other.
 type Set struct {
 	cfg    Config
 	emdP   emd.Params // defaulted copy (valid when cfg.EMD != nil)
@@ -83,8 +85,10 @@ type Set struct {
 	sketch *emd.Sketch
 	strata *iblt.Strata
 
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	byKey   map[string]*entry
+	byID    map[uint64]*entry // fingerprint → entry (Sync only)
+	idFP    uint64            // XOR of mixed distinct-point fingerprints
 	entries []*entry
 	size    int // multiset cardinality
 	epoch   uint64
@@ -110,6 +114,12 @@ type Snapshot struct {
 	GapPayloads [][]byte
 	// IDs are the distinct points' fingerprints.
 	IDs []uint64
+	// IDFingerprint is an order-independent fold (XOR of mixed
+	// fingerprints) over IDs: two sets with equal distinct points have
+	// equal values, and it is maintained O(1) per mutation, so cluster
+	// probes compare whole sets without shipping them. Zero when Sync is
+	// disabled (or the set is empty).
+	IDFingerprint uint64
 	// Strata is the estimator over IDs (nil when Sync disabled);
 	// treat as read-only (Estimate clones internally).
 	Strata *iblt.Strata
@@ -156,6 +166,7 @@ func NewSet(cfg Config, initial metric.PointSet) (*Set, error) {
 		s.cfg.Sync = &sync
 		s.strata = iblt.NewStrata(sync.StrataCells, sync.Seed)
 		s.idMix = idMixer(sync.Seed)
+		s.byID = make(map[uint64]*entry, len(initial))
 	}
 	if limit, ok := s.capacity(); ok && len(initial) > limit {
 		return nil, fmt.Errorf("live: %d initial points exceed capacity %d", len(initial), limit)
@@ -177,6 +188,8 @@ func NewSet(cfg Config, initial metric.PointSet) (*Set, error) {
 			if s.strata != nil {
 				e.id = s.pointID(pt)
 				s.strata.Insert(e.id)
+				s.byID[e.id] = e
+				s.idFP ^= s.idMix.Hash(e.id)
 			}
 			s.byKey[k] = e
 			s.entries = append(s.entries, e)
@@ -228,16 +241,23 @@ func (s *Set) SyncConfig() (SyncConfig, bool) {
 
 // Epoch returns the current generation (1 is the initial state).
 func (s *Set) Epoch() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.epoch
 }
 
 // Size returns the multiset cardinality.
 func (s *Set) Size() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.size
+}
+
+// Distinct returns the number of distinct points.
+func (s *Set) Distinct() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
 }
 
 // Add inserts one point and bumps the epoch.
@@ -325,6 +345,8 @@ func (s *Set) add(pt metric.Point) []emd.CellRef {
 		if s.strata != nil {
 			e.id = s.pointID(e.pt)
 			s.strata.Insert(e.id)
+			s.byID[e.id] = e
+			s.idFP ^= s.idMix.Hash(e.id)
 		}
 		s.byKey[k] = e
 		s.entries = append(s.entries, e)
@@ -350,6 +372,8 @@ func (s *Set) remove(pt metric.Point) []emd.CellRef {
 	if e.count == 0 {
 		if s.strata != nil {
 			s.strata.Delete(e.id)
+			delete(s.byID, e.id)
+			s.idFP ^= s.idMix.Hash(e.id)
 		}
 		last := len(s.entries) - 1
 		s.entries[e.pos] = s.entries[last]
@@ -375,14 +399,21 @@ func (s *Set) bump(refs []emd.CellRef) {
 }
 
 // Snapshot returns the current epoch's immutable serving state, built
-// at most once per epoch.
+// at most once per epoch. The cached path takes only the read lock, so
+// sessions serving a stable epoch never contend.
 func (s *Set) Snapshot() *Snapshot {
+	s.mu.RLock()
+	snap := s.snap
+	s.mu.RUnlock()
+	if snap != nil {
+		return snap
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.snap != nil {
 		return s.snap
 	}
-	snap := &Snapshot{Epoch: s.epoch}
+	snap = &Snapshot{Epoch: s.epoch}
 	snap.Points = make(metric.PointSet, 0, s.size)
 	if s.keyer != nil {
 		snap.GapPayloads = make([][]byte, 0, s.size)
@@ -406,6 +437,7 @@ func (s *Set) Snapshot() *Snapshot {
 			snap.IDs = append(snap.IDs, e.id)
 		}
 		snap.Strata = s.strata.Clone()
+		snap.IDFingerprint = s.idFP
 	}
 	s.snap = snap
 	return snap
@@ -423,8 +455,8 @@ func (s *Set) DeltaCells(from, to uint64) ([]emd.CellRef, bool) {
 	if from == to {
 		return nil, true
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var refs []emd.CellRef
 	for e := from + 1; e <= to; e++ {
 		r, ok := s.journal[e]
@@ -434,6 +466,70 @@ func (s *Set) DeltaCells(from, to uint64) ([]emd.CellRef, bool) {
 		refs = append(refs, r...)
 	}
 	return emd.SortCellRefs(refs), true
+}
+
+// IDFingerprint returns the order-independent fold over the distinct
+// points' fingerprints (see Snapshot.IDFingerprint). Zero when Sync is
+// disabled.
+func (s *Set) IDFingerprint() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idFP
+}
+
+// PointsForIDs maps fingerprints back to the points that carry them,
+// returning clones of the found points and the fingerprints this set
+// does not (or no longer) hold. It requires Sync state; without it every
+// ID is missing. The repair protocol uses it to turn a reconciled ID
+// difference into shippable payloads.
+func (s *Set) PointsForIDs(ids []uint64) (metric.PointSet, []uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var (
+		found   metric.PointSet
+		missing []uint64
+	)
+	for _, id := range ids {
+		if e := s.byID[id]; e != nil {
+			found = append(found, e.pt.Clone())
+		} else {
+			missing = append(missing, id)
+		}
+	}
+	return found, missing
+}
+
+// MergeAbsent adds, as one epoch, every point of pts that is not already
+// in the set (the distinct-point union — anti-entropy's add-wins merge).
+// Points already present are skipped rather than gaining multiplicity,
+// so applying a peer's repair payload is idempotent under churn races.
+// It validates capacity over the points actually missing and applies
+// nothing on error; the count of points added is returned.
+func (s *Set) MergeAbsent(pts metric.PointSet) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fresh := make(metric.PointSet, 0, len(pts))
+	seen := make(map[string]bool, len(pts))
+	for _, pt := range pts {
+		k := pointKey(pt)
+		if s.byKey[k] != nil || seen[k] {
+			continue
+		}
+		seen[k] = true
+		fresh = append(fresh, pt)
+	}
+	if len(fresh) == 0 {
+		return 0, nil
+	}
+	if err := s.checkAdd(len(fresh)); err != nil {
+		return 0, err
+	}
+	var refs []emd.CellRef
+	for _, pt := range fresh {
+		refs = append(refs, s.add(pt)...)
+	}
+	s.bump(refs)
+	return len(fresh), nil
 }
 
 // pointKey is the membership-map key: the raw little-endian coordinate

@@ -1,0 +1,556 @@
+package netproto
+
+import (
+	"fmt"
+
+	"repro/internal/hashx"
+	"repro/internal/iblt"
+	"repro/internal/live"
+	"repro/internal/metric"
+	"repro/internal/transport"
+)
+
+// Cluster anti-entropy protocols. Both bind to a live.Set on each end
+// and exist for the mesh in internal/cluster, though they are ordinary
+// registered protocols any peer may speak.
+//
+// Probe (ProtoProbe) is the cheap divergence estimate behind
+// power-of-two-choices peer selection: one frame each way carrying the
+// set's epoch, distinct-point count, order-independent ID fingerprint,
+// EMD sketch fingerprint (when maintained), and strata estimator (when
+// maintained). Each side can then decide locally whether the sets are
+// fingerprint-identical and, if not, estimate the difference size —
+// without shipping a single point.
+//
+//	initiator → peer: summary
+//	peer → initiator: summary
+//
+// Repair (ProtoRepair) converges the sets exactly: classic strata+IBLT
+// ID reconciliation followed by a point-payload exchange, after which
+// both sides hold the union of distinct points (add-wins anti-entropy
+// merge; MergeAbsent makes application idempotent). A probe's estimate
+// can be passed as a hint, skipping the strata round entirely —
+// power-of-two-choices probing already paid for it.
+//
+//	initiator → peer: uvarint hint (0 = none; strata follows when 0)
+//	peer → initiator: uvarint attempt, IBLT of peer's IDs   ─┐ repeat on
+//	initiator → peer: ok bool; on ok: wanted IDs + points   ─┘ decode fail
+//	peer → initiator: points for the wanted IDs
+const (
+	// ProtoProbe is the divergence-estimate exchange.
+	ProtoProbe Proto = 6
+	// ProtoRepair is exact set convergence (ID sync + point payloads).
+	ProtoRepair Proto = 7
+)
+
+func init() {
+	RegisterProto(ProtoProbe, "probe")
+	RegisterProto(ProtoRepair, "repair")
+}
+
+// DigestLiveSet folds the wire-relevant configuration of a live set:
+// which structures it maintains and their parameter digests. Two nodes
+// hosting one named set must configure it identically for probe
+// fingerprints and repair IDs to be comparable; this digest is what the
+// session header checks.
+func DigestLiveSet(ls *live.Set) uint64 {
+	m := hashx.MixerFromSeed(0x9306e)
+	h := m.Hash(0x1)
+	if p, ok := ls.EMDParams(); ok {
+		h = m.Hash(h ^ DigestEMD(p))
+	}
+	if p, ok := ls.GapParams(); ok {
+		h = m.Hash(h ^ DigestGap(p))
+	}
+	if sc, ok := ls.SyncConfig(); ok {
+		h = m.Hash(h ^ sc.Seed)
+		h = m.Hash(h ^ uint64(sc.StrataCells))
+	}
+	return h
+}
+
+// ProbeSummary is one side's divergence summary.
+type ProbeSummary struct {
+	// Epoch is the set's local generation counter. Epochs are per-node
+	// (not comparable across nodes); a peer that remembers the epoch it
+	// last saw from this node can tell "nothing changed here" cheaply.
+	Epoch uint64
+	// Distinct is the distinct-point count.
+	Distinct int
+	// IDFingerprint is live.Snapshot.IDFingerprint (0 when Sync is off).
+	IDFingerprint uint64
+	// EMDFingerprint hashes the full EMD message (0 when EMD is off).
+	EMDFingerprint uint64
+	// Strata is the ID-difference estimator (nil when Sync is off).
+	Strata *iblt.Strata
+}
+
+func summaryOf(snap *live.Snapshot) ProbeSummary {
+	return ProbeSummary{
+		Epoch:          snap.Epoch,
+		Distinct:       len(snap.IDs),
+		IDFingerprint:  snap.IDFingerprint,
+		EMDFingerprint: snap.EMDFingerprint,
+		Strata:         snap.Strata,
+	}
+}
+
+func encodeSummary(e *transport.Encoder, s ProbeSummary) {
+	e.WriteUvarint(s.Epoch)
+	e.WriteUvarint(uint64(s.Distinct))
+	e.WriteUint64(s.IDFingerprint)
+	e.WriteUint64(s.EMDFingerprint)
+	e.WriteBool(s.Strata != nil)
+	if s.Strata != nil {
+		s.Strata.Encode(e)
+	}
+}
+
+func decodeSummary(d *transport.Decoder, strataSeed uint64) (ProbeSummary, error) {
+	var s ProbeSummary
+	var err error
+	if s.Epoch, err = d.ReadUvarint(); err != nil {
+		return s, err
+	}
+	distinct, err := d.ReadUvarint()
+	if err != nil {
+		return s, err
+	}
+	if distinct > uint64(maxFrame) {
+		return s, fmt.Errorf("netproto: implausible distinct count %d in probe", distinct)
+	}
+	s.Distinct = int(distinct)
+	if s.IDFingerprint, err = d.ReadUint64(); err != nil {
+		return s, err
+	}
+	if s.EMDFingerprint, err = d.ReadUint64(); err != nil {
+		return s, err
+	}
+	hasStrata, err := d.ReadBool()
+	if err != nil {
+		return s, err
+	}
+	if hasStrata {
+		if s.Strata, err = iblt.DecodeStrata(d, strataSeed); err != nil {
+			return s, err
+		}
+	}
+	return s, nil
+}
+
+// Match reports whether the summaries describe provably-converged sets:
+// equal ID fingerprints and counts when both maintain Sync state, equal
+// EMD fingerprints otherwise. Summaries with no comparable structure
+// never match.
+func (s ProbeSummary) Match(o ProbeSummary) bool {
+	if s.Strata != nil && o.Strata != nil {
+		return s.IDFingerprint == o.IDFingerprint && s.Distinct == o.Distinct
+	}
+	if s.EMDFingerprint != 0 && o.EMDFingerprint != 0 {
+		return s.EMDFingerprint == o.EMDFingerprint
+	}
+	return false
+}
+
+// ProbeInitiator dials one probe session for a live set; after Run,
+// Local and Remote hold the two summaries, Estimate the strata estimate
+// of the ID difference (-1 when either side lacks an estimator), and
+// Matched whether the sets are fingerprint-identical.
+type ProbeInitiator struct {
+	set *live.Set
+
+	Local    ProbeSummary
+	Remote   ProbeSummary
+	Estimate int
+	Matched  bool
+}
+
+// NewProbeInitiator binds the probing side to its live set.
+func NewProbeInitiator(ls *live.Set) *ProbeInitiator { return &ProbeInitiator{set: ls} }
+
+// Proto implements Handler.
+func (h *ProbeInitiator) Proto() Proto { return ProtoProbe }
+
+// Role implements Handler.
+func (h *ProbeInitiator) Role() Role { return RoleAlice }
+
+// Digest implements Handler.
+func (h *ProbeInitiator) Digest() uint64 { return DigestLiveSet(h.set) }
+
+// Run implements Handler.
+func (h *ProbeInitiator) Run(conn transport.Conn) error {
+	snap := h.set.Snapshot()
+	h.Local = summaryOf(snap)
+	e := transport.NewEncoder()
+	encodeSummary(e, h.Local)
+	if err := conn.Send(e); err != nil {
+		return err
+	}
+	d, err := conn.Recv()
+	if err != nil {
+		return err
+	}
+	seed := h.strataSeed()
+	if h.Remote, err = decodeSummary(d, seed); err != nil {
+		return err
+	}
+	h.Matched = h.Local.Match(h.Remote)
+	h.Estimate = -1
+	if h.Local.Strata != nil && h.Remote.Strata != nil {
+		est, err := h.Local.Strata.Estimate(h.Remote.Strata)
+		if err != nil {
+			return fmt.Errorf("netproto: probe estimate: %w", err)
+		}
+		h.Estimate = est
+	}
+	return nil
+}
+
+func (h *ProbeInitiator) strataSeed() uint64 {
+	sc, _ := h.set.SyncConfig()
+	return sc.Seed
+}
+
+// ProbeResponder answers probe sessions from a live set's snapshot.
+type ProbeResponder struct {
+	set *live.Set
+
+	// Served is the summary shipped to the prober.
+	Served ProbeSummary
+}
+
+// NewProbeResponderFactory returns a server-registerable factory
+// answering probes for the set.
+func NewProbeResponderFactory(ls *live.Set) func() Handler {
+	return func() Handler { return &ProbeResponder{set: ls} }
+}
+
+// Proto implements Handler.
+func (h *ProbeResponder) Proto() Proto { return ProtoProbe }
+
+// Role implements Handler.
+func (h *ProbeResponder) Role() Role { return RoleBob }
+
+// Digest implements Handler.
+func (h *ProbeResponder) Digest() uint64 { return DigestLiveSet(h.set) }
+
+// Run implements Handler: read the prober's summary (it is not used
+// server-side, but must be drained), answer with our own.
+func (h *ProbeResponder) Run(conn transport.Conn) error {
+	d, err := conn.Recv()
+	if err != nil {
+		return err
+	}
+	sc, _ := h.set.SyncConfig()
+	if _, err := decodeSummary(d, sc.Seed); err != nil {
+		return err
+	}
+	h.Served = summaryOf(h.set.Snapshot())
+	e := transport.NewEncoder()
+	encodeSummary(e, h.Served)
+	return conn.Send(e)
+}
+
+// ---------------------------------------------------------------------------
+// Repair: exact convergence.
+
+// repairMaxRetries bounds the IBLT doubling rounds.
+const repairMaxRetries = 6
+
+// repairMaxDiff bounds the difference size a repair session will size
+// an IBLT for, whether the bound arrives as a peer-supplied hint or
+// grows by doubling. Without it a single hostile uvarint (or a runaway
+// retry loop) could demand a multi-gigabyte table before any payload
+// flows; with it the worst-case table stays tens of megabytes.
+const repairMaxDiff = 1 << 20
+
+// writePointList writes a self-describing point list: uvarint count, then
+// per point a uvarint dimension and varint coordinates. Self-describing
+// keeps the repair protocol independent of any one space definition — a
+// sync-only live set has no declared space at all.
+func writePointList(e *transport.Encoder, pts metric.PointSet) {
+	e.WriteUvarint(uint64(len(pts)))
+	for _, pt := range pts {
+		e.WriteUvarint(uint64(len(pt)))
+		for _, c := range pt {
+			e.WriteVarint(int64(c))
+		}
+	}
+}
+
+// readPointList reads what writePointList wrote, guarding both counts.
+func readPointList(d *transport.Decoder) (metric.PointSet, error) {
+	n, err := d.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(maxFrame/2) {
+		return nil, fmt.Errorf("netproto: implausible point count %d in repair", n)
+	}
+	// Preallocation is capped: the count is peer-supplied, and a tiny
+	// frame claiming 2^27 points must not allocate gigabytes of slice
+	// headers before the first coordinate read fails.
+	preallocate := n
+	if preallocate > 1<<16 {
+		preallocate = 1 << 16
+	}
+	out := make(metric.PointSet, 0, preallocate)
+	for i := uint64(0); i < n; i++ {
+		dim, err := d.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if dim > 1<<20 {
+			return nil, fmt.Errorf("netproto: implausible point dimension %d in repair", dim)
+		}
+		pt := make(metric.Point, dim)
+		for j := range pt {
+			v, err := d.ReadVarint()
+			if err != nil {
+				return nil, err
+			}
+			pt[j] = int32(v)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func readIDList(d *transport.Decoder) ([]uint64, error) {
+	n, err := d.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(maxFrame/8) {
+		return nil, fmt.Errorf("netproto: implausible ID count %d in repair", n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		if out[i], err = d.ReadUint64(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RepairInitiator drives one repair session for a live set. Hint, when
+// positive, is a difference estimate already in hand (from a probe) and
+// elides the strata round. After Run both sides hold the union of their
+// distinct points; Sent/Received/Applied count the point payloads.
+type RepairInitiator struct {
+	set  *live.Set
+	Hint int
+
+	// Sent is how many points this side shipped to the peer.
+	Sent int
+	// Received is how many points the peer shipped back.
+	Received int
+	// Applied is how many received points were actually new.
+	Applied int
+}
+
+// NewRepairInitiator binds the initiating side to its live set; the set
+// must maintain Sync state.
+func NewRepairInitiator(ls *live.Set, hint int) (*RepairInitiator, error) {
+	if _, ok := ls.SyncConfig(); !ok {
+		return nil, fmt.Errorf("netproto: repair needs a live set with Sync state")
+	}
+	return &RepairInitiator{set: ls, Hint: hint}, nil
+}
+
+// Proto implements Handler.
+func (h *RepairInitiator) Proto() Proto { return ProtoRepair }
+
+// Role implements Handler.
+func (h *RepairInitiator) Role() Role { return RoleAlice }
+
+// Digest implements Handler.
+func (h *RepairInitiator) Digest() uint64 { return DigestLiveSet(h.set) }
+
+// Run implements Handler.
+func (h *RepairInitiator) Run(conn transport.Conn) error {
+	sc, _ := h.set.SyncConfig()
+	snap := h.set.Snapshot()
+	e := transport.NewEncoder()
+	if h.Hint > 0 && h.Hint <= repairMaxDiff {
+		e.WriteUvarint(uint64(h.Hint))
+	} else {
+		e.WriteUvarint(0)
+		snap.Strata.Encode(e)
+	}
+	if err := conn.Send(e); err != nil {
+		return err
+	}
+	var peerOnly, mineOnly []uint64
+	for attempt := 0; ; attempt++ {
+		d, err := conn.Recv()
+		if err != nil {
+			return err
+		}
+		if _, err := d.ReadUvarint(); err != nil {
+			return err
+		}
+		seed := sc.Seed + 0x4e9a + uint64(attempt)*0x9e37
+		tbl, err := iblt.DecodeFrom(d, seed)
+		if err != nil {
+			return err
+		}
+		for _, id := range snap.IDs {
+			tbl.Delete(id)
+		}
+		added, removed, decErr := tbl.Decode()
+		if decErr == nil {
+			peerOnly, mineOnly = added, removed
+			break
+		}
+		e := transport.NewEncoder()
+		e.WriteBool(false)
+		if err := conn.Send(e); err != nil {
+			return err
+		}
+		if attempt >= repairMaxRetries {
+			return fmt.Errorf("netproto: repair ID sync failed after %d attempts", attempt+1)
+		}
+	}
+	// Ack frame: the peer-only IDs whose points we want, plus the points
+	// for our exclusive IDs (the peer cannot name what it has never
+	// seen).
+	pts, _ := h.set.PointsForIDs(mineOnly)
+	ack := transport.NewEncoder()
+	ack.WriteBool(true)
+	ack.WriteUvarint(uint64(len(peerOnly)))
+	for _, id := range peerOnly {
+		ack.WriteUint64(id)
+	}
+	writePointList(ack, pts)
+	if err := conn.Send(ack); err != nil {
+		return err
+	}
+	h.Sent = len(pts)
+	d, err := conn.Recv()
+	if err != nil {
+		return err
+	}
+	theirPts, err := readPointList(d)
+	if err != nil {
+		return err
+	}
+	h.Received = len(theirPts)
+	applied, err := h.set.MergeAbsent(theirPts)
+	if err != nil {
+		return fmt.Errorf("netproto: repair merge: %w", err)
+	}
+	h.Applied = applied
+	return nil
+}
+
+// RepairResponder answers repair sessions for a live set.
+type RepairResponder struct {
+	set *live.Set
+
+	// Sent / Received / Applied mirror the initiator's counters.
+	Sent     int
+	Received int
+	Applied  int
+}
+
+// NewRepairResponderFactory returns a server-registerable factory
+// answering repairs for the set; the set must maintain Sync state.
+func NewRepairResponderFactory(ls *live.Set) (func() Handler, error) {
+	if _, ok := ls.SyncConfig(); !ok {
+		return nil, fmt.Errorf("netproto: repair needs a live set with Sync state")
+	}
+	return func() Handler { return &RepairResponder{set: ls} }, nil
+}
+
+// Proto implements Handler.
+func (h *RepairResponder) Proto() Proto { return ProtoRepair }
+
+// Role implements Handler.
+func (h *RepairResponder) Role() Role { return RoleBob }
+
+// Digest implements Handler.
+func (h *RepairResponder) Digest() uint64 { return DigestLiveSet(h.set) }
+
+// Run implements Handler.
+func (h *RepairResponder) Run(conn transport.Conn) error {
+	sc, _ := h.set.SyncConfig()
+	snap := h.set.Snapshot()
+	d, err := conn.Recv()
+	if err != nil {
+		return err
+	}
+	hint, err := d.ReadUvarint()
+	if err != nil {
+		return err
+	}
+	est := int(hint)
+	if hint == 0 {
+		remote, err := iblt.DecodeStrata(d, sc.Seed)
+		if err != nil {
+			return err
+		}
+		if est, err = snap.Strata.Estimate(remote); err != nil {
+			return err
+		}
+	} else if hint > repairMaxDiff {
+		return fmt.Errorf("netproto: repair hint %d exceeds limit %d", hint, repairMaxDiff)
+	}
+	if est > repairMaxDiff {
+		return fmt.Errorf("netproto: repair difference estimate %d exceeds limit %d", est, repairMaxDiff)
+	}
+	diffBound := est*2 + 8
+	var d2 *transport.Decoder
+	for attempt := 0; ; attempt++ {
+		if diffBound > repairMaxDiff {
+			return fmt.Errorf("netproto: repair IBLT bound %d exceeds limit %d", diffBound, repairMaxDiff)
+		}
+		seed := sc.Seed + 0x4e9a + uint64(attempt)*0x9e37
+		tbl := iblt.NewFromKeys(iblt.CellsForDiff(diffBound, 3), 3, seed, snap.IDs, 1)
+		e := transport.NewEncoder()
+		e.WriteUvarint(uint64(attempt))
+		tbl.Encode(e)
+		if err := conn.Send(e); err != nil {
+			return err
+		}
+		if d2, err = conn.Recv(); err != nil {
+			return err
+		}
+		ok, err := d2.ReadBool()
+		if err != nil {
+			return err
+		}
+		if ok {
+			break
+		}
+		if attempt >= repairMaxRetries {
+			return fmt.Errorf("netproto: repair ID sync failed after %d attempts", attempt+1)
+		}
+		diffBound *= 2
+	}
+	wanted, err := readIDList(d2)
+	if err != nil {
+		return err
+	}
+	theirPts, err := readPointList(d2)
+	if err != nil {
+		return err
+	}
+	h.Received = len(theirPts)
+	// Ship the points behind our exclusive IDs. Churn since the snapshot
+	// may have dropped some; the initiator's merge is a union, so a
+	// shorter list is safe.
+	pts, _ := h.set.PointsForIDs(wanted)
+	e := transport.NewEncoder()
+	writePointList(e, pts)
+	if err := conn.Send(e); err != nil {
+		return err
+	}
+	h.Sent = len(pts)
+	applied, err := h.set.MergeAbsent(theirPts)
+	if err != nil {
+		return fmt.Errorf("netproto: repair merge: %w", err)
+	}
+	h.Applied = applied
+	return nil
+}

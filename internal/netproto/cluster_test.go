@@ -1,0 +1,201 @@
+package netproto
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/emd"
+	"repro/internal/live"
+	"repro/internal/metric"
+	"repro/internal/rng"
+)
+
+func clusterPoints(space metric.Space, n int, seed uint64) metric.PointSet {
+	src := rng.New(seed)
+	out := make(metric.PointSet, n)
+	for i := range out {
+		pt := make(metric.Point, space.Dim)
+		for j := range pt {
+			pt[j] = int32(src.Uint64() % uint64(space.Delta+1))
+		}
+		out[i] = pt
+	}
+	return out
+}
+
+func newSyncSet(t *testing.T, space metric.Space, pts metric.PointSet, seed uint64) *live.Set {
+	t.Helper()
+	ls, err := live.NewSet(live.Config{Sync: &live.SyncConfig{Seed: seed}}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ls
+}
+
+// runPair drives an initiator/responder handler pair over a duplex pipe.
+func runPair(t *testing.T, init, resp Handler) {
+	t.Helper()
+	a, b := duplex()
+	defer a.Close()
+	defer b.Close()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := RunResponder(b, resp)
+		errc <- err
+	}()
+	if _, err := RunInitiator(a, init); err != nil {
+		t.Fatalf("initiator: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("responder: %v", err)
+	}
+}
+
+func idsOf(ls *live.Set) []uint64 {
+	ids := append([]uint64(nil), ls.Snapshot().IDs...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func TestProbeMatchAndEstimate(t *testing.T) {
+	space := metric.HammingCube(64)
+	shared := clusterPoints(space, 50, 1)
+	a := newSyncSet(t, space, shared, 9)
+	b := newSyncSet(t, space, shared, 9)
+
+	probe := NewProbeInitiator(a)
+	runPair(t, probe, NewProbeResponderFactory(b)())
+	if !probe.Matched {
+		t.Fatalf("identical sets did not match: local %+v remote %+v", probe.Local, probe.Remote)
+	}
+	if probe.Estimate != 0 {
+		t.Fatalf("identical sets estimate = %d, want 0", probe.Estimate)
+	}
+
+	// Diverge b by 12 points and probe again.
+	for _, pt := range clusterPoints(space, 12, 2) {
+		if err := b.Add(pt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe = NewProbeInitiator(a)
+	runPair(t, probe, NewProbeResponderFactory(b)())
+	if probe.Matched {
+		t.Fatal("diverged sets matched")
+	}
+	if probe.Estimate <= 0 {
+		t.Fatalf("diverged sets estimate = %d, want > 0", probe.Estimate)
+	}
+	if probe.Remote.Distinct != 62 {
+		t.Fatalf("remote distinct = %d, want 62", probe.Remote.Distinct)
+	}
+}
+
+func TestProbeDigestEnforcesSetConfig(t *testing.T) {
+	space := metric.HammingCube(32)
+	a := newSyncSet(t, space, clusterPoints(space, 10, 1), 9)
+	b := newSyncSet(t, space, clusterPoints(space, 10, 1), 10) // different seed
+
+	conn1, conn2 := duplex()
+	defer conn1.Close()
+	defer conn2.Close()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := RunResponder(conn2, NewProbeResponderFactory(b)())
+		errc <- err
+	}()
+	if _, err := RunInitiator(conn1, NewProbeInitiator(a)); err == nil {
+		t.Fatal("probe across mismatched sync seeds accepted")
+	}
+	if err := <-errc; err == nil {
+		t.Fatal("responder accepted mismatched digest")
+	}
+}
+
+func testRepairConverges(t *testing.T, hint int) {
+	space := metric.HammingCube(64)
+	shared := clusterPoints(space, 40, 1)
+	a := newSyncSet(t, space, append(shared.Clone(), clusterPoints(space, 7, 2)...), 9)
+	b := newSyncSet(t, space, append(shared.Clone(), clusterPoints(space, 5, 3)...), 9)
+
+	init, err := NewRepairInitiator(a, hint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respFactory, err := NewRepairResponderFactory(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := respFactory().(*RepairResponder)
+	runPair(t, init, resp)
+
+	if init.Sent != 7 || init.Received != 5 || init.Applied != 5 {
+		t.Fatalf("initiator sent/recv/applied = %d/%d/%d, want 7/5/5",
+			init.Sent, init.Received, init.Applied)
+	}
+	if resp.Sent != 5 || resp.Received != 7 || resp.Applied != 7 {
+		t.Fatalf("responder sent/recv/applied = %d/%d/%d, want 5/7/7",
+			resp.Sent, resp.Received, resp.Applied)
+	}
+	aIDs, bIDs := idsOf(a), idsOf(b)
+	if len(aIDs) != 52 || len(bIDs) != 52 {
+		t.Fatalf("post-repair sizes %d/%d, want 52/52", len(aIDs), len(bIDs))
+	}
+	for i := range aIDs {
+		if aIDs[i] != bIDs[i] {
+			t.Fatalf("ID sets diverge at %d: %#x vs %#x", i, aIDs[i], bIDs[i])
+		}
+	}
+	if a.IDFingerprint() != b.IDFingerprint() {
+		t.Fatalf("fingerprints diverge: %#x vs %#x", a.IDFingerprint(), b.IDFingerprint())
+	}
+}
+
+func TestRepairConvergesWithStrata(t *testing.T) { testRepairConverges(t, 0) }
+
+func TestRepairConvergesWithHint(t *testing.T) { testRepairConverges(t, 12) }
+
+// An absurd hint (beyond the IBLT sizing limit) must not be sent as-is:
+// the initiator falls back to the strata round and the session still
+// converges.
+func TestRepairConvergesWithOversizedHint(t *testing.T) { testRepairConverges(t, repairMaxDiff+1) }
+
+func TestRepairIdenticalSetsIsNoop(t *testing.T) {
+	space := metric.HammingCube(32)
+	shared := clusterPoints(space, 30, 4)
+	a := newSyncSet(t, space, shared, 9)
+	b := newSyncSet(t, space, shared, 9)
+	epochA, epochB := a.Epoch(), b.Epoch()
+
+	init, err := NewRepairInitiator(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewRepairResponderFactory(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runPair(t, init, f())
+	if init.Sent != 0 || init.Received != 0 || init.Applied != 0 {
+		t.Fatalf("no-op repair moved points: %+v", init)
+	}
+	// MergeAbsent of nothing must not burn an epoch.
+	if a.Epoch() != epochA || b.Epoch() != epochB {
+		t.Fatalf("no-op repair bumped epochs: %d→%d, %d→%d", epochA, a.Epoch(), epochB, b.Epoch())
+	}
+}
+
+func TestRepairRequiresSyncState(t *testing.T) {
+	space := metric.HammingCube(32)
+	p := emd.DefaultParams(space, 16, 2, 5)
+	ls, err := live.NewSet(live.Config{EMD: &p}, clusterPoints(space, 8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRepairInitiator(ls, 0); err == nil {
+		t.Fatal("repair initiator accepted a set without Sync state")
+	}
+	if _, err := NewRepairResponderFactory(ls); err == nil {
+		t.Fatal("repair responder accepted a set without Sync state")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/store"
 	"repro/internal/transport"
 )
 
@@ -16,18 +17,28 @@ import (
 // Hello frame (initiator → peer):
 //
 //	magic   32 bits  0x5253594E ("RSYN")
-//	version uvarint  wire format version (currently 1)
+//	version uvarint  wire format version (1 or 2)
 //	proto   uvarint  Proto ID
 //	role    uvarint  the initiator's Role
 //	digest  64 bits  parameter digest (per-protocol fold of Params)
+//	set     bytes    v2 only: set namespace (uvarint length + bytes)
 //
 // Accept frame (peer → initiator):
 //
 //	status  uvarint  Status code (0 = OK)
 //	digest  64 bits  the peer's own digest, echoed for diagnostics
+//
+// Version negotiation is by construction: a v1 frame IS a v2 frame for
+// the default (empty) namespace, and SendHello only emits version 2
+// when a non-default set is named. A v1 peer therefore interoperates
+// unchanged — it serves and dials the default set and never sees a v2
+// frame unless the operator explicitly asks for a named set, in which
+// case it fails fast with an unsupported-version error instead of
+// silently reconciling against the wrong tenant.
 const (
-	helloMagic  = 0x5253_594E // "RSYN"
-	wireVersion = 1
+	helloMagic   = 0x5253_594E // "RSYN"
+	wireVersion  = 1
+	wireVersion2 = 2
 )
 
 // Status is the peer's verdict on a session hello.
@@ -42,6 +53,9 @@ const (
 	StatusRoleUnavailable Status = 2
 	// StatusDigestMismatch rejects disagreeing parameter digests.
 	StatusDigestMismatch Status = 3
+	// StatusUnknownSet rejects a v2 hello naming a set namespace the
+	// peer does not host.
+	StatusUnknownSet Status = 4
 )
 
 // String names the status for errors and logs.
@@ -55,6 +69,8 @@ func (s Status) String() string {
 		return "role unavailable"
 	case StatusDigestMismatch:
 		return "parameter digest mismatch"
+	case StatusUnknownSet:
+		return "unknown set"
 	}
 	return fmt.Sprintf("status(%d)", uint8(s))
 }
@@ -64,16 +80,37 @@ type Hello struct {
 	Proto  Proto
 	Role   Role // the initiator's role
 	Digest uint64
+	// Set is the named-set namespace (RSYN v2). Empty is the default
+	// set — the only namespace a v1 peer can address.
+	Set string
 }
 
-// SendHello writes the session header frame.
+// ValidSetName reports whether s may be carried in a v2 hello. The rule
+// is the registry's (store.ValidName: at most 255 bytes, no control
+// characters), so a name that can be created can be addressed and vice
+// versa. The empty name is valid — it is the default namespace and
+// travels as a v1 frame.
+func ValidSetName(s string) bool { return store.ValidName(s) }
+
+// SendHello writes the session header frame: a v1 frame for the default
+// set, a v2 frame carrying the namespace otherwise.
 func SendHello(w *Wire, h Hello) error {
+	if !ValidSetName(h.Set) {
+		return fmt.Errorf("netproto: invalid set name %q in hello", h.Set)
+	}
 	e := transport.NewEncoder()
 	e.WriteBits(helloMagic, 32)
-	e.WriteUvarint(wireVersion)
+	if h.Set == "" {
+		e.WriteUvarint(wireVersion)
+	} else {
+		e.WriteUvarint(wireVersion2)
+	}
 	e.WriteUvarint(uint64(h.Proto))
 	e.WriteUvarint(uint64(h.Role))
 	e.WriteUint64(h.Digest)
+	if h.Set != "" {
+		e.WriteBytes([]byte(h.Set))
+	}
 	return w.Send(e)
 }
 
@@ -94,7 +131,7 @@ func ReadHello(w *Wire) (Hello, error) {
 	if err != nil {
 		return Hello{}, err
 	}
-	if ver != wireVersion {
+	if ver != wireVersion && ver != wireVersion2 {
 		return Hello{}, fmt.Errorf("netproto: unsupported wire version %d", ver)
 	}
 	proto, err := d.ReadUvarint()
@@ -116,7 +153,20 @@ func ReadHello(w *Wire) (Hello, error) {
 	if err != nil {
 		return Hello{}, err
 	}
-	return Hello{Proto: Proto(proto), Role: Role(role), Digest: digest}, nil
+	h := Hello{Proto: Proto(proto), Role: Role(role), Digest: digest}
+	if ver == wireVersion2 {
+		set, err := d.ReadBytes()
+		if err != nil {
+			return Hello{}, err
+		}
+		h.Set = string(set)
+		if h.Set == "" || !ValidSetName(h.Set) {
+			// An empty v2 namespace must travel as a v1 frame — allowing
+			// both would give the default set two wire spellings.
+			return Hello{}, fmt.Errorf("netproto: bad set name %q in v2 hello", h.Set)
+		}
+	}
+	return h, nil
 }
 
 // SendAccept writes the accept frame answering a hello.
@@ -149,10 +199,19 @@ func ReadAccept(w *Wire) (Status, uint64, error) {
 	return Status(st), digest, nil
 }
 
-// Initiate opens a session for h: it sends the hello and waits for the
-// peer's accept. On return with nil error the wire is ready for h.Run.
+// Initiate opens a session for h against the peer's default set: it
+// sends the hello and waits for the peer's accept. On return with nil
+// error the wire is ready for h.Run.
 func Initiate(w *Wire, h Handler) error {
-	if err := SendHello(w, Hello{Proto: h.Proto(), Role: h.Role(), Digest: h.Digest()}); err != nil {
+	return InitiateSet(w, h, "")
+}
+
+// InitiateSet opens a session for h against the named set on the peer
+// (empty = default). Naming a set emits an RSYN v2 hello; a v1 peer
+// rejects it with an unsupported-version failure rather than serving
+// the wrong tenant.
+func InitiateSet(w *Wire, h Handler, set string) error {
+	if err := SendHello(w, Hello{Proto: h.Proto(), Role: h.Role(), Digest: h.Digest(), Set: set}); err != nil {
 		return err
 	}
 	st, peerDigest, err := ReadAccept(w)
@@ -176,6 +235,12 @@ func Accept(w *Wire, h Handler) error {
 	hello, err := ReadHello(w)
 	if err != nil {
 		return err
+	}
+	if hello.Set != "" {
+		// The two-party path serves exactly one handler and no named
+		// sets; multi-tenant serving is session.Server's job.
+		SendAccept(w, StatusUnknownSet, h.Digest())
+		return fmt.Errorf("netproto: peer wants set %q, two-party handler serves only the default set", hello.Set)
 	}
 	if hello.Proto != h.Proto() {
 		SendAccept(w, StatusUnknownProto, h.Digest())

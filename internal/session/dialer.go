@@ -18,6 +18,10 @@ type Dialer struct {
 	Network string
 	// Addr is the server address (host:port, or a socket path).
 	Addr string
+	// Set names the server-side set namespace to reconcile against
+	// (RSYN v2). Empty dials the default set with a v1 hello, so a zero
+	// Dialer interoperates with v1 servers.
+	Set string
 	// DialTimeout bounds connection establishment (default 10s).
 	DialTimeout time.Duration
 	// SessionTimeout is the absolute budget for the whole session
@@ -50,7 +54,7 @@ func (d Dialer) Do(h netproto.Handler) (transport.Stats, error) {
 		conn.SetDeadline(time.Now().Add(sessionTimeout)) //nolint:errcheck
 	}
 	w := netproto.NewWire(conn)
-	if err := netproto.Initiate(w, h); err != nil {
+	if err := netproto.InitiateSet(w, h, d.Set); err != nil {
 		return w.Stats(), err
 	}
 	if err := h.Run(w); err != nil {

@@ -30,6 +30,12 @@ type Config struct {
 	// (successfully or not), from the session's goroutine. Use it to
 	// harvest typed results from the session's Handler.
 	OnSession func(*Session)
+	// Resolver, when set, resolves named-set hellos (RSYN v2) that no
+	// statically registered factory covers — typically
+	// netproto.StoreResolver over a multi-tenant store. It is consulted
+	// for the default set too, so a store's "" set serves v1 peers.
+	// Static registrations win when both exist.
+	Resolver netproto.Resolver
 	// Logf, when set, receives one line per session and per accept
 	// error (e.g. log.Printf).
 	Logf func(format string, args ...any)
@@ -45,6 +51,7 @@ type Server struct {
 	mu        sync.Mutex
 	factories map[factoryKey]func() netproto.Handler
 	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{} // in-flight session connections
 	closed    bool
 	serveErr  error // first terminal Serve failure
 
@@ -58,6 +65,7 @@ type Server struct {
 }
 
 type factoryKey struct {
+	set   string // namespace ("" = default set)
 	proto netproto.Proto
 	role  netproto.Role
 }
@@ -79,35 +87,72 @@ func NewServer(cfg Config) *Server {
 		sem:       make(chan struct{}, cfg.MaxSessions),
 		factories: make(map[factoryKey]func() netproto.Handler),
 		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
 		done:      make(chan struct{}),
 	}
 }
 
-// Handle registers a handler factory. The factory is probed once to
-// learn which (protocol, role) it serves; peers whose hello names the
-// complementary role are dispatched to it. Registering the same
-// (protocol, role) twice replaces the earlier factory.
+// Handle registers a handler factory for the default set. The factory
+// is probed once to learn which (protocol, role) it serves; peers whose
+// hello names the complementary role are dispatched to it. Registering
+// the same (protocol, role) twice replaces the earlier factory.
 func (s *Server) Handle(factory func() netproto.Handler) {
+	s.HandleSet("", factory)
+}
+
+// HandleSet registers a handler factory under a set namespace: only
+// hellos naming that set (RSYN v2; the empty name is the default set v1
+// peers address) are dispatched to it. For serving a whole store of
+// named sets, Config.Resolver scales better than enumerating
+// registrations.
+func (s *Server) HandleSet(set string, factory func() netproto.Handler) {
 	probe := factory()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.factories[factoryKey{probe.Proto(), probe.Role()}] = factory
+	s.factories[factoryKey{set, probe.Proto(), probe.Role()}] = factory
 }
 
 // factoryFor returns the factory whose handler complements the peer's
-// declared role.
-func (s *Server) factoryFor(proto netproto.Proto, peerRole netproto.Role) func() netproto.Handler {
+// declared role within the named set: static registrations first, then
+// the resolver. setKnown reports whether the set exists at all (for the
+// unknown-set rejection).
+func (s *Server) factoryFor(set string, proto netproto.Proto, peerRole netproto.Role) (factory func() netproto.Handler, setKnown bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.factories[factoryKey{proto, peerRole.Peer()}]
+	f := s.factories[factoryKey{set, proto, peerRole.Peer()}]
+	if f == nil && set == "" && len(s.factories) > 0 {
+		// The default set exists whenever anything is statically
+		// registered (the pre-namespace server shape).
+		setKnown = true
+	}
+	if !setKnown {
+		for k := range s.factories {
+			if k.set == set {
+				setKnown = true
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	if f != nil {
+		return f, true
+	}
+	if s.cfg.Resolver != nil {
+		rf, exists := s.cfg.Resolver(set, proto, peerRole)
+		if rf != nil {
+			return rf, true
+		}
+		setKnown = setKnown || exists
+	}
+	return nil, setKnown
 }
 
-// servesProto reports whether any role of the protocol is registered.
-func (s *Server) servesProto(proto netproto.Proto) bool {
+// servesProto reports whether any role of the protocol is statically
+// registered in the set.
+func (s *Server) servesProto(set string, proto netproto.Proto) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for k := range s.factories {
-		if k.proto == proto {
+		if k.set == set && k.proto == proto {
 			return true
 		}
 	}
@@ -210,6 +255,7 @@ func (s *Server) Serve(l net.Listener) error {
 			return ErrServerClosed
 		}
 		s.wg.Add(1)
+		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		go s.serveConn(conn)
 	}
@@ -227,7 +273,12 @@ func (s *Server) ListenAndServe(network, addr string) error {
 // serveConn negotiates and runs one session.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
 
 	// Concurrency slot: block (bounded by the connection deadline set
 	// below only after acquiring — a waiting peer is not yet billed).
@@ -264,16 +315,27 @@ func (s *Server) serveConn(conn net.Conn) {
 		return
 	}
 	sess.proto = hello.Proto
-	factory := s.factoryFor(hello.Proto, hello.Role)
+	sess.set = hello.Set
+	factory, setKnown := s.factoryFor(hello.Set, hello.Proto, hello.Role)
 	if factory == nil {
-		// Distinguish "protocol not served at all" from "protocol
-		// served, but not opposite the role the peer wants to play".
-		st := netproto.StatusUnknownProto
-		if s.servesProto(hello.Proto) {
-			st = netproto.StatusRoleUnavailable
+		// Distinguish, in order: a namespace this server does not host
+		// at all; a hosted namespace that does not serve the protocol;
+		// and a served protocol whose matching role is taken.
+		st := netproto.StatusUnknownSet
+		if setKnown {
+			st = netproto.StatusUnknownProto
+			if s.servesProto(hello.Set, hello.Proto) {
+				st = netproto.StatusRoleUnavailable
+			} else if s.cfg.Resolver != nil {
+				// The resolver cannot be enumerated; probing the
+				// complementary peer role detects a role clash there.
+				if f, _ := s.cfg.Resolver(hello.Set, hello.Proto, hello.Role.Peer()); f != nil {
+					st = netproto.StatusRoleUnavailable
+				}
+			}
 		}
 		netproto.SendAccept(w, st, 0) //nolint:errcheck
-		s.finish(sess, fmt.Errorf("session: no handler for %v as peer of %v: %v", hello.Proto, hello.Role, st))
+		s.finish(sess, fmt.Errorf("session: no handler in set %q for %v as peer of %v: %v", hello.Set, hello.Proto, hello.Role, st))
 		return
 	}
 	h := factory()
@@ -309,11 +371,15 @@ func (s *Server) finish(sess *Session, err error) {
 		s.cfg.OnSession(sess)
 	}
 	st := sess.wire.Stats()
+	set := sess.set
+	if set == "" {
+		set = "<default>"
+	}
 	if err != nil {
-		s.cfg.Logf("session #%d %s proto=%v err=%v", sess.id, sess.peer, sess.proto, err)
+		s.cfg.Logf("session #%d %s set=%s proto=%v err=%v", sess.id, sess.peer, set, sess.proto, err)
 	} else {
-		s.cfg.Logf("session #%d %s proto=%v/%v %s in %v",
-			sess.id, sess.peer, sess.proto, sess.role, st, sess.dur.Round(time.Microsecond))
+		s.cfg.Logf("session #%d %s set=%s proto=%v/%v %s in %v",
+			sess.id, sess.peer, set, sess.proto, sess.role, st, sess.dur.Round(time.Microsecond))
 	}
 }
 
@@ -337,18 +403,61 @@ func (s *Server) Active() int64 { return s.active.Load() }
 // Close stops accepting, closes all listeners, and waits for running
 // sessions to finish (bounded by their connection deadlines).
 func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	s.beginClose()
+	s.wg.Wait()
+	return nil
+}
+
+// ErrDrainTimeout is returned by Shutdown when in-flight sessions were
+// force-closed because they outlived the drain deadline.
+var ErrDrainTimeout = errors.New("session: drain deadline exceeded, sessions force-closed")
+
+// Shutdown stops accepting and drains gracefully: in-flight sessions
+// get up to drain to finish on their own, then their connections are
+// force-closed (the handlers fail with a closed-connection error and
+// still go through normal accounting). It returns nil on a clean drain
+// and ErrDrainTimeout when force-closing was needed; either way, no
+// session goroutines remain on return. drain <= 0 force-closes
+// immediately.
+func (s *Server) Shutdown(drain time.Duration) error {
+	s.beginClose()
+	done := make(chan struct{})
+	go func() {
 		s.wg.Wait()
+		close(done)
+	}()
+	if drain > 0 {
+		select {
+		case <-done:
+			return nil
+		case <-time.After(drain):
+		}
+	}
+	s.mu.Lock()
+	stragglers := len(s.conns)
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	<-done
+	if stragglers == 0 {
 		return nil
+	}
+	s.cfg.Logf("session: shutdown force-closed %d in-flight sessions after %v drain", stragglers, drain)
+	return ErrDrainTimeout
+}
+
+// beginClose makes the server stop accepting: mark closed, wake
+// waiters, close listeners. Idempotent.
+func (s *Server) beginClose() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
 	}
 	s.closed = true
 	close(s.done)
 	for l := range s.listeners {
 		l.Close()
 	}
-	s.mu.Unlock()
-	s.wg.Wait()
-	return nil
 }

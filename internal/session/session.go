@@ -28,6 +28,7 @@ import (
 type Session struct {
 	id      uint64
 	peer    string
+	set     string // negotiated set namespace ("" = default)
 	proto   netproto.Proto
 	role    netproto.Role // the role this endpoint played
 	handler netproto.Handler
@@ -45,6 +46,10 @@ func (s *Session) Peer() string { return s.peer }
 
 // Proto is the negotiated protocol.
 func (s *Session) Proto() netproto.Proto { return s.proto }
+
+// Set is the negotiated set namespace (empty for the default set, which
+// is all a v1 peer can address).
+func (s *Session) Set() string { return s.set }
 
 // Role is the role this endpoint played in the session.
 func (s *Session) Role() netproto.Role { return s.role }

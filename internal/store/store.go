@@ -1,0 +1,160 @@
+// Package store is the multi-tenant set registry: one server process
+// hosting many named live.Sets, each with its own protocol parameters,
+// lifecycle, and epoch'd snapshot caching. It replaces the session
+// server's single-set assumption — the RSYN v2 session header names a
+// set, and the store is what that name resolves against.
+//
+// The registry itself is a read-mostly map under an RWMutex: session
+// dispatch and cluster anti-entropy do lock-free-ish Get lookups while
+// Create/Drop (rare, administrative) take the write lock. Per-set
+// concurrency — mutation serialization, snapshot caching per epoch — is
+// owned by live.Set, which carries its own RWMutex; the store never
+// holds its lock across set operations, so a slow sketch rebuild on one
+// tenant cannot stall lookups of another.
+//
+// The empty name "" is the default set: the namespace v1 peers (whose
+// hellos cannot carry a set) are served from.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/live"
+	"repro/internal/metric"
+)
+
+// MaxNameLen bounds set names; the RSYN v2 session header enforces the
+// same bound on the wire (netproto.ValidSetName delegates to ValidName).
+const MaxNameLen = 255
+
+// ValidName reports whether a set name is admissible: at most
+// MaxNameLen bytes with no control characters. The empty name is valid —
+// it is the default set.
+func ValidName(name string) bool {
+	if len(name) > MaxNameLen {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if name[i] < 0x20 || name[i] == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats aggregates the store for operators: set count and the sums of
+// the per-set gauges. Epochs sums generation counters, so its growth
+// rate is the store-wide mutation rate.
+type Stats struct {
+	Sets     int
+	Points   int    // multiset cardinalities summed
+	Distinct int    // distinct points summed
+	Epochs   uint64 // epoch counters summed
+}
+
+// String formats the aggregate for log lines.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d sets, %d points (%d distinct), %d epochs",
+		s.Sets, s.Points, s.Distinct, s.Epochs)
+}
+
+// Store is a concurrent registry of named live sets. The zero value is
+// not usable; construct with New.
+type Store struct {
+	mu   sync.RWMutex
+	sets map[string]*live.Set
+}
+
+// New builds an empty store.
+func New() *Store {
+	return &Store{sets: make(map[string]*live.Set)}
+}
+
+// Create builds a live set over the initial points and registers it
+// under name. It fails on an invalid name, a duplicate, or a set
+// configuration the live layer rejects. The build runs outside the
+// registry lock (it may shard a full sketch construction), so concurrent
+// lookups of other sets never stall; two racing Creates of one name
+// resolve to one winner and one duplicate error.
+func (s *Store) Create(name string, cfg live.Config, initial metric.PointSet) (*live.Set, error) {
+	if !ValidName(name) {
+		return nil, fmt.Errorf("store: invalid set name %q", name)
+	}
+	s.mu.RLock()
+	_, dup := s.sets[name]
+	s.mu.RUnlock()
+	if dup {
+		return nil, fmt.Errorf("store: set %q already exists", name)
+	}
+	ls, err := live.NewSet(cfg, initial)
+	if err != nil {
+		return nil, fmt.Errorf("store: set %q: %w", name, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.sets[name]; dup {
+		return nil, fmt.Errorf("store: set %q already exists", name)
+	}
+	s.sets[name] = ls
+	return ls, nil
+}
+
+// Get resolves a name to its live set.
+func (s *Store) Get(name string) (*live.Set, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ls, ok := s.sets[name]
+	return ls, ok
+}
+
+// Drop removes a named set from the registry, reporting whether it was
+// present. Sessions already serving a snapshot of the set finish
+// undisturbed (snapshots are immutable); new sessions naming it are
+// rejected with an unknown-set status.
+func (s *Store) Drop(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.sets[name]
+	delete(s.sets, name)
+	return ok
+}
+
+// Names lists the registered set names in sorted order (the default
+// set's empty name sorts first when present).
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.sets))
+	for name := range s.sets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered sets.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sets)
+}
+
+// Stats aggregates the per-set gauges. It snapshots the registry under
+// the read lock, then queries each set without any store lock held.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	sets := make([]*live.Set, 0, len(s.sets))
+	for _, ls := range s.sets {
+		sets = append(sets, ls)
+	}
+	s.mu.RUnlock()
+	st := Stats{Sets: len(sets)}
+	for _, ls := range sets {
+		st.Points += ls.Size()
+		st.Distinct += ls.Distinct()
+		st.Epochs += ls.Epoch()
+	}
+	return st
+}

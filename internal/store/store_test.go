@@ -1,0 +1,147 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/emd"
+	"repro/internal/live"
+	"repro/internal/metric"
+	"repro/internal/rng"
+)
+
+func points(space metric.Space, n int, seed uint64) metric.PointSet {
+	src := rng.New(seed)
+	out := make(metric.PointSet, n)
+	for i := range out {
+		pt := make(metric.Point, space.Dim)
+		for j := range pt {
+			pt[j] = int32(src.Uint64() % uint64(space.Delta+1))
+		}
+		out[i] = pt
+	}
+	return out
+}
+
+func syncCfg(seed uint64) live.Config {
+	return live.Config{Sync: &live.SyncConfig{Seed: seed}}
+}
+
+func TestCreateGetDropNames(t *testing.T) {
+	s := New()
+	space := metric.HammingCube(32)
+	for _, name := range []string{"", "alpha", "beta"} {
+		if _, err := s.Create(name, syncCfg(7), points(space, 10, 1)); err != nil {
+			t.Fatalf("Create(%q): %v", name, err)
+		}
+	}
+	if got := s.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	want := []string{"", "alpha", "beta"}
+	got := s.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", got, want)
+		}
+	}
+	if _, ok := s.Get("alpha"); !ok {
+		t.Fatal("Get(alpha) missed")
+	}
+	if _, ok := s.Get("gamma"); ok {
+		t.Fatal("Get(gamma) hit")
+	}
+	if !s.Drop("alpha") {
+		t.Fatal("Drop(alpha) reported absent")
+	}
+	if s.Drop("alpha") {
+		t.Fatal("second Drop(alpha) reported present")
+	}
+	if _, ok := s.Get("alpha"); ok {
+		t.Fatal("Get(alpha) survived Drop")
+	}
+}
+
+func TestCreateRejectsDuplicatesAndBadNames(t *testing.T) {
+	s := New()
+	space := metric.HammingCube(16)
+	if _, err := s.Create("dup", syncCfg(1), points(space, 4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("dup", syncCfg(1), points(space, 4, 2)); err == nil {
+		t.Fatal("duplicate Create succeeded")
+	}
+	for _, bad := range []string{"has\nnewline", "nul\x00byte", strings.Repeat("x", MaxNameLen+1)} {
+		if _, err := s.Create(bad, syncCfg(1), nil); err == nil {
+			t.Fatalf("Create(%q) succeeded", bad)
+		}
+	}
+	if !ValidName(strings.Repeat("y", MaxNameLen)) {
+		t.Fatal("max-length name rejected")
+	}
+}
+
+func TestPerSetParams(t *testing.T) {
+	s := New()
+	spaceA, spaceB := metric.HammingCube(16), metric.HammingCube(64)
+	pa := emd.DefaultParams(spaceA, 32, 2, 11)
+	pb := emd.DefaultParams(spaceB, 64, 4, 22)
+	if _, err := s.Create("a", live.Config{EMD: &pa}, points(spaceA, 8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("b", live.Config{EMD: &pb}, points(spaceB, 16, 2)); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.Get("a")
+	b, _ := s.Get("b")
+	ap, _ := a.EMDParams()
+	bp, _ := b.EMDParams()
+	if ap.Space.Dim != 16 || bp.Space.Dim != 64 {
+		t.Fatalf("per-set params not preserved: %d, %d", ap.Space.Dim, bp.Space.Dim)
+	}
+	st := s.Stats()
+	if st.Sets != 2 || st.Points != 24 {
+		t.Fatalf("Stats = %+v, want 2 sets / 24 points", st)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	space := metric.HammingCube(16)
+	base, _ := s.Create("hot", syncCfg(3), points(space, 8, 3))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				name := fmt.Sprintf("g%d-%d", g, i)
+				if _, err := s.Create(name, syncCfg(uint64(g)), points(space, 2, uint64(i))); err != nil {
+					t.Errorf("Create(%q): %v", name, err)
+					return
+				}
+				if _, ok := s.Get("hot"); !ok {
+					t.Error("hot set vanished")
+					return
+				}
+				if err := base.Add(points(space, 1, uint64(g*1000+i))[0]); err != nil {
+					t.Errorf("Add: %v", err)
+					return
+				}
+				s.Stats()
+				if i%2 == 1 {
+					s.Drop(name)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := s.Len(); got != 1+8*25 {
+		t.Fatalf("Len = %d, want %d", got, 1+8*25)
+	}
+}

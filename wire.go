@@ -3,11 +3,13 @@ package robustsync
 import (
 	"io"
 
+	"repro/internal/cluster"
 	"repro/internal/emd"
 	"repro/internal/gap"
 	"repro/internal/live"
 	"repro/internal/netproto"
 	"repro/internal/session"
+	"repro/internal/store"
 )
 
 // Networked entry points: the same protocol state machines the
@@ -210,6 +212,52 @@ func NewLiveGapSenderFactory(ls *LiveSet) (func() SessionHandler, error) {
 func NewLiveSyncResponderFactory(p SyncWireParams, ls *LiveSet) (func() SessionHandler, error) {
 	return netproto.NewLiveSyncResponderFactory(p, ls)
 }
+
+// ---------------------------------------------------------------------------
+// Multi-tenant set store and the anti-entropy cluster (internal/store,
+// internal/cluster): one server hosting many named live sets under RSYN
+// v2 namespaces, and mesh nodes converging those sets with their peers
+// continuously.
+
+// SetStore is a concurrent registry of named LiveSets, each with its
+// own protocol parameters. The empty name is the default set, which v1
+// peers (whose hellos carry no namespace) are served from.
+type SetStore = store.Store
+
+// NewSetStore builds an empty store; serve it by setting
+// ServerConfig.Resolver = NewStoreResolver(st).
+func NewSetStore() *SetStore { return store.New() }
+
+// StoreStats aggregates a store's per-set gauges.
+type StoreStats = store.Stats
+
+// NewStoreResolver makes a session server serve every store set under
+// its namespace: live-emd/gap/sync per the set's LiveConfig, plus the
+// cluster probe and repair protocols.
+func NewStoreResolver(st *SetStore) netproto.Resolver { return netproto.StoreResolver(st) }
+
+// ProtoProbe is the cluster divergence-estimate exchange; ProtoRepair
+// converges two live sets exactly (ID sync + point payloads).
+const (
+	ProtoProbe  = netproto.ProtoProbe
+	ProtoRepair = netproto.ProtoRepair
+)
+
+// ClusterNode is one anti-entropy mesh member: a store, a session
+// server, and a reconciler loop with power-of-two-choices peer
+// selection.
+type ClusterNode = cluster.Node
+
+// ClusterConfig tunes a ClusterNode.
+type ClusterConfig = cluster.Config
+
+// ClusterSetMetrics is one hosted set's anti-entropy counters.
+type ClusterSetMetrics = cluster.SetMetrics
+
+// NewClusterNode builds a mesh member over the store; Start it with an
+// address, install peers, and the reconciler keeps every hosted set
+// converging.
+func NewClusterNode(cfg ClusterConfig) (*ClusterNode, error) { return cluster.New(cfg) }
 
 // Compile-time checks that the split-party APIs stay usable directly.
 var (
