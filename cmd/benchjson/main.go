@@ -31,7 +31,10 @@ import (
 )
 
 // Bench is one benchmark result: the metric name → value pairs go test
-// reported (ns/op, B/op, allocs/op, and any ReportMetric extras).
+// reported (ns/op, B/op, allocs/op, and any ReportMetric extras). Names
+// are qualified with their package path ("repro/internal/iblt.BenchmarkInsert"):
+// several packages legitimately define a benchmark of the same base name,
+// and an unqualified artifact would pair the wrong entries in check mode.
 type Bench struct {
 	Name       string             `json:"name"`
 	Iterations int64              `json:"iterations"`
@@ -41,12 +44,22 @@ type Bench struct {
 // benchLine matches "BenchmarkFoo/sub-8   	 5	 123.4 ns/op	...".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 
+// pkgLine matches the "pkg: repro/internal/iblt" header go test emits
+// before each package's benchmarks.
+var pkgLine = regexp.MustCompile(`^pkg:\s+(\S+)$`)
+
 func parse(r io.Reader) ([]Bench, error) {
 	var out []Bench
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		line := strings.TrimSpace(sc.Text())
+		if pm := pkgLine.FindStringSubmatch(line); pm != nil {
+			pkg = pm[1]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
@@ -69,7 +82,11 @@ func parse(r io.Reader) ([]Bench, error) {
 		if len(metrics) == 0 {
 			continue
 		}
-		out = append(out, Bench{Name: m[1], Iterations: iters, Metrics: metrics})
+		name := m[1]
+		if pkg != "" {
+			name = pkg + "." + name
+		}
+		out = append(out, Bench{Name: name, Iterations: iters, Metrics: metrics})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

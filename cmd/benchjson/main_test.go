@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseQualifiesNamesWithPackage reproduces the baseline-artifact
+// name collision: two packages each define BenchmarkInsert, and an
+// unqualified artifact carried two indistinguishable entries. Parsing
+// the pkg: headers must yield distinct, package-qualified names.
+func TestParseQualifiesNamesWithPackage(t *testing.T) {
+	const out = `
+goos: linux
+pkg: repro/internal/dsbf
+BenchmarkInsert-8   	 1000000	       755 ns/op
+BenchmarkQuery-8    	  300000	      5381 ns/op
+pkg: repro/internal/lsh
+BenchmarkInsert-8   	   50000	     33821 ns/op
+pkg: repro
+BenchmarkServerThroughput/peers=16-8 	 5	 41619682 ns/op	 36.39 MB/s	 17093 allocs/op
+PASS
+`
+	bs, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool, len(bs))
+	for _, b := range bs {
+		if names[b.Name] {
+			t.Fatalf("duplicate benchmark name %q in parsed artifact", b.Name)
+		}
+		names[b.Name] = true
+	}
+	for _, want := range []string{
+		"repro/internal/dsbf.BenchmarkInsert",
+		"repro/internal/lsh.BenchmarkInsert",
+		"repro.BenchmarkServerThroughput/peers=16",
+	} {
+		if !names[want] {
+			t.Errorf("missing %q; got %v", want, names)
+		}
+	}
+	// The gate's substring matching still finds the throughput bench.
+	if g, n := geomean(bs, "BenchmarkServerThroughput", "allocs/op"); n != 1 || g < 17092 || g > 17094 {
+		t.Errorf("geomean over qualified names = %v (%d benches), want ~17093 (1)", g, n)
+	}
+}
+
+// TestParseWithoutPkgHeader keeps bare streams (a single package piped
+// directly) working unqualified.
+func TestParseWithoutPkgHeader(t *testing.T) {
+	bs, err := parse(strings.NewReader("BenchmarkX 	 10	 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 1 || bs[0].Name != "BenchmarkX" {
+		t.Fatalf("parsed %+v", bs)
+	}
+}

@@ -60,6 +60,8 @@ import (
 	"hash/fnv"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof server
 	"os"
 	"os/signal"
 	"strings"
@@ -275,7 +277,19 @@ func main() {
 	workers := flag.Int("workers", 0, "sketch-construction workers (0 = GOMAXPROCS)")
 	maxSessions := flag.Int("max-sessions", 64, "concurrent session cap (server)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-session deadline")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// Production profiling endpoint: confirms the hot-path numbers
+		// (allocs, CPU) on a live daemon instead of only in benchmarks.
+		go func() {
+			log.Printf("pprof: http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	cfg := config{
 		d: *d, n: *n, k: *k, noise: *noise, r1: *r1, r2: *r2,

@@ -18,6 +18,7 @@ package emd
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/hashx"
 	"repro/internal/lsh"
@@ -231,15 +232,78 @@ func newPlan(p Params) (*plan, error) {
 	}, nil
 }
 
-// keysFor computes a point's key at every level: one evaluation of all s
-// MLSH functions, then one prefix compression per level.
-func (pl *plan) keysFor(pt metric.Point, scratch []uint64) []uint64 {
+// keysInto computes a point's key at every level into dst (length >=
+// levels): one evaluation of all s MLSH functions into scratch (length
+// >= s), then one incremental pass compressing every level prefix —
+// the prefixes are nondecreasing, so hashx.KeyHasher.HashPrefixes
+// derives all t keys from a single polynomial sweep. No allocation.
+func (pl *plan) keysInto(dst []uint64, pt metric.Point, scratch []uint64) []uint64 {
 	vals := pl.vec.HashPrefixInto(scratch, pt, pl.s)
-	keys := make([]uint64, pl.levels)
-	for i := 0; i < pl.levels; i++ {
-		keys[i] = pl.keyHash.Hash(vals[:pl.prefix[i]])
+	return pl.keyHash.HashPrefixes(dst, vals, pl.prefix)
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache. Deriving a plan draws s MLSH functions and the table
+// seeds — by far the most allocation-heavy step of a session, yet a pure
+// function of Params. Server and client paths construct handlers with
+// identical Params for every peer, so plans are cached (a plan is
+// immutable after construction and safe to share across goroutines).
+// The cache is a small LRU: experiment sweeps that vary the seed per
+// run churn through it without growing it.
+
+const planCacheSize = 32
+
+type planCacheEntry struct {
+	pl  *plan
+	gen uint64
+}
+
+var (
+	planMu    sync.Mutex
+	planGen   uint64
+	planCache = make(map[Params]*planCacheEntry, planCacheSize)
+)
+
+// planFor returns the shared plan for p, deriving and caching it on
+// first use. The key is the defaulted Params value with the purely
+// local Workers knob zeroed — it shapes no derived state (the digest
+// excludes it for the same reason), so sessions differing only in
+// worker count share one plan; callers thread their worker count to
+// the builders explicitly.
+func planFor(p Params) (*plan, error) {
+	p.ApplyDefaults()
+	p.Workers = 0
+	planMu.Lock()
+	if e, ok := planCache[p]; ok {
+		planGen++
+		e.gen = planGen
+		pl := e.pl
+		planMu.Unlock()
+		return pl, nil
 	}
-	return keys
+	planMu.Unlock()
+	pl, err := newPlan(p) // outside the lock: derivation is expensive
+	if err != nil {
+		return nil, err
+	}
+	planMu.Lock()
+	defer planMu.Unlock()
+	if e, ok := planCache[p]; ok { // lost a race; share the winner
+		return e.pl, nil
+	}
+	planGen++
+	planCache[p] = &planCacheEntry{pl: pl, gen: planGen}
+	if len(planCache) > planCacheSize {
+		var oldestK Params
+		oldest := uint64(0)
+		for k, e := range planCache {
+			if oldest == 0 || e.gen < oldest {
+				oldest, oldestK = e.gen, k
+			}
+		}
+		delete(planCache, oldestK)
+	}
+	return pl, nil
 }
 
 // Result reports one protocol run.
@@ -263,7 +327,7 @@ type Result struct {
 // Reconcile runs the full one-round protocol in-process: Alice encodes,
 // the channel counts bits, Bob decodes and assembles S′B.
 func Reconcile(p Params, sa, sb metric.PointSet) (Result, error) {
-	pl, err := newPlan(p)
+	pl, err := planFor(p)
 	if err != nil {
 		return Result{}, err
 	}
@@ -271,12 +335,12 @@ func Reconcile(p Params, sa, sb metric.PointSet) (Result, error) {
 		return Result{}, fmt.Errorf("emd: |SA|=%d |SB|=%d, params.N=%d", len(sa), len(sb), pl.params.N)
 	}
 	var ch transport.Channel
-	e, err := alice(pl, sa)
+	e, err := alice(pl, sa, p.Workers)
 	if err != nil {
 		return Result{}, err
 	}
 	ch.Send(transport.AliceToBob, e)
-	res, err := bob(pl, sb, &ch)
+	res, err := bob(pl, sb, &ch, p.Workers)
 	if err != nil {
 		return Result{}, err
 	}
@@ -290,8 +354,8 @@ func Reconcile(p Params, sa, sb metric.PointSet) (Result, error) {
 // and encodes them as the protocol's single message. Encoding itself is
 // sequential over the merged cells, so the wire bytes are identical for
 // any worker count.
-func alice(pl *plan, sa metric.PointSet) (*transport.Encoder, error) {
-	tables, err := pl.buildTables(sa)
+func alice(pl *plan, sa metric.PointSet, workers int) (*transport.Encoder, error) {
+	tables, err := pl.buildTables(sa, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -312,11 +376,17 @@ func encodeTables(levels int, tables []*riblt.Table) *transport.Encoder {
 
 // bob receives the tables, deletes his pairs, finds i*, and assembles
 // S′B.
-func bob(pl *plan, sb metric.PointSet, ch *transport.Channel) (Result, error) {
+func bob(pl *plan, sb metric.PointSet, ch *transport.Channel, workers int) (Result, error) {
 	d, err := ch.Recv(transport.AliceToBob)
 	if err != nil {
 		return Result{}, err
 	}
+	return bobDecode(pl, sb, d, workers)
+}
+
+// bobDecode is bob over an already-positioned decoder — the zero-copy
+// path ApplyMessage and the wire handlers use.
+func bobDecode(pl *plan, sb metric.PointSet, d *transport.Decoder, workers int) (Result, error) {
 	nLevels, err := d.ReadUvarint()
 	if err != nil {
 		return Result{}, err
@@ -327,19 +397,29 @@ func bob(pl *plan, sb metric.PointSet, ch *transport.Channel) (Result, error) {
 	tables := make([]*riblt.Table, pl.levels)
 	for i := range tables {
 		if tables[i], err = riblt.DecodeFrom(d, pl.cfgs[i]); err != nil {
+			for _, t := range tables[:i] {
+				t.Release()
+			}
 			return Result{}, err
 		}
 	}
-	return applyTables(pl, sb, tables)
+	return applyTables(pl, sb, tables, workers)
 }
 
 // applyTables is Bob's core: delete his pairs from Alice's tables, find
 // i*, assemble S′B. It consumes tables (deletion and peeling mutate
-// them); callers holding a cached sketch clone first.
-func applyTables(pl *plan, sb metric.PointSet, tables []*riblt.Table) (Result, error) {
-	allKeys := pl.levelKeys(sb)
+// them, and their memory returns to the riblt pool on return); callers
+// holding a cached sketch clone first.
+func applyTables(pl *plan, sb metric.PointSet, tables []*riblt.Table, workers int) (Result, error) {
+	defer func() {
+		for _, t := range tables {
+			t.Release()
+		}
+	}()
+	t := pl.levels
+	allKeys := pl.levelKeys(sb, workers)
 	for j, b := range sb {
-		for i, key := range allKeys[j] {
+		for i, key := range allKeys[j*t : (j+1)*t] {
 			tables[i].Delete(key, b)
 		}
 	}
@@ -376,13 +456,15 @@ func assemble(space metric.Space, sb, xa, xb metric.PointSet) metric.PointSet {
 		return append(sb.Clone(), xa.Clone()...)
 	}
 	rows, _ := matching.Assign(matching.CostMatrix(space, xb, sb))
-	drop := make(map[int]bool, len(rows))
+	drop := make([]bool, len(sb))
+	dropped := 0
 	for _, j := range rows {
 		if j >= 0 {
 			drop[j] = true
+			dropped++
 		}
 	}
-	out := make(metric.PointSet, 0, len(sb)-len(drop)+len(xa))
+	out := make(metric.PointSet, 0, len(sb)-dropped+len(xa))
 	for j, b := range sb {
 		if !drop[j] {
 			out = append(out, b.Clone())

@@ -73,8 +73,8 @@ func TestPlanSharedBetweenParties(t *testing.T) {
 		t.Fatal(err)
 	}
 	pt := metric.Point{17, 900}
-	ka := pa.keysFor(pt, make([]uint64, pa.s))
-	kb := pb.keysFor(pt, make([]uint64, pb.s))
+	ka := pa.keysInto(make([]uint64, pa.levels), pt, make([]uint64, pa.s))
+	kb := pb.keysInto(make([]uint64, pb.levels), pt, make([]uint64, pb.s))
 	for i := range ka {
 		if ka[i] != kb[i] {
 			t.Fatalf("parties disagree on key at level %d", i)

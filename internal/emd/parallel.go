@@ -20,26 +20,29 @@ import (
 // costs s LSH evaluations, far heavier than one IBLT key insert).
 const minBlock = 16
 
-// levelKeys computes every point's per-level keys, sharding the MLSH
-// evaluation across workers by point block. out[i] is point i's key per
-// level, so the result is positionally deterministic regardless of
-// worker count. Each worker reuses one scratch buffer across its block;
-// the drawn Funcs and the key hasher are immutable after plan
-// construction, so concurrent evaluation is safe.
-func (pl *plan) levelKeys(pts metric.PointSet) [][]uint64 {
-	out := make([][]uint64, len(pts))
-	w := parallel.Workers(pl.params.Workers, len(pts), minBlock)
+// levelKeys computes every point's per-level keys into one flat
+// preallocated slice — point-major, so out[i*levels:(i+1)*levels] holds
+// point i's key per level — sharding the MLSH evaluation across workers
+// by point block. The layout is positionally deterministic regardless of
+// worker count, and the whole batch costs two allocations (the flat
+// output plus per-worker scratch). The drawn Funcs and the key hasher
+// are immutable after plan construction, so concurrent evaluation is
+// safe.
+func (pl *plan) levelKeys(pts metric.PointSet, workers int) []uint64 {
+	t := pl.levels
+	out := make([]uint64, len(pts)*t)
+	w := parallel.Workers(workers, len(pts), minBlock)
 	if w == 1 {
 		scratch := make([]uint64, pl.s)
 		for i, p := range pts {
-			out[i] = pl.keysFor(p, scratch)
+			pl.keysInto(out[i*t:(i+1)*t], p, scratch)
 		}
 		return out
 	}
 	parallel.Shard(len(pts), w, func(_, lo, hi int) {
 		scratch := make([]uint64, pl.s)
 		for i := lo; i < hi; i++ {
-			out[i] = pl.keysFor(pts[i], scratch)
+			pl.keysInto(out[i*t:(i+1)*t], pts[i], scratch)
 		}
 	})
 	return out
@@ -47,7 +50,7 @@ func (pl *plan) levelKeys(pts metric.PointSet) [][]uint64 {
 
 // buildTables constructs Alice's t level-RIBLTs over sa, sharding both
 // the key evaluation and the insertions across workers.
-func (pl *plan) buildTables(sa metric.PointSet) ([]*riblt.Table, error) {
+func (pl *plan) buildTables(sa metric.PointSet, workers int) ([]*riblt.Table, error) {
 	newTables := func() []*riblt.Table {
 		ts := make([]*riblt.Table, pl.levels)
 		for i := range ts {
@@ -55,12 +58,13 @@ func (pl *plan) buildTables(sa metric.PointSet) ([]*riblt.Table, error) {
 		}
 		return ts
 	}
-	w := parallel.Workers(pl.params.Workers, len(sa), minBlock)
+	w := parallel.Workers(workers, len(sa), minBlock)
 	if w == 1 {
 		tables := newTables()
 		scratch := make([]uint64, pl.s)
+		keys := make([]uint64, pl.levels)
 		for _, a := range sa {
-			keys := pl.keysFor(a, scratch)
+			pl.keysInto(keys, a, scratch)
 			for i, key := range keys {
 				tables[i].Insert(key, a)
 			}
@@ -71,8 +75,9 @@ func (pl *plan) buildTables(sa metric.PointSet) ([]*riblt.Table, error) {
 	parallel.Shard(len(sa), w, func(b, lo, hi int) {
 		ts := newTables()
 		scratch := make([]uint64, pl.s)
+		keys := make([]uint64, pl.levels)
 		for _, a := range sa[lo:hi] {
-			keys := pl.keysFor(a, scratch)
+			pl.keysInto(keys, a, scratch)
 			for i, key := range keys {
 				ts[i].Insert(key, a)
 			}
@@ -88,6 +93,10 @@ func (pl *plan) buildTables(sa metric.PointSet) ([]*riblt.Table, error) {
 			if err := merged[i].Merge(ts[i]); err != nil {
 				return nil, err
 			}
+			// Shard memory goes straight back to the riblt pool — the
+			// sharded build no longer allocates per shard in steady
+			// state.
+			ts[i].Release()
 		}
 	}
 	return merged, nil

@@ -1,0 +1,122 @@
+package emd
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/metric"
+	"repro/internal/workload"
+)
+
+// TestPooledBuildWireGolden proves the pooled paths change no wire bit:
+// the same set encodes to identical bytes before and after the riblt
+// table pool, the plan cache, and the receive path have all been warmed
+// and recycled by a full Apply cycle.
+func TestPooledBuildWireGolden(t *testing.T) {
+	space := metric.HammingCube(64)
+	const n, k = 32, 3
+	inst := workload.NewEMDInstance(space, n, k, 2, 11)
+	p := DefaultParams(space, n, k, 12)
+	p.D1, p.D2 = 2, 64
+
+	cold, err := BuildMessage(p, inst.SA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume the message: decodes into pooled tables, peels, releases —
+	// the pool is now warm with table memory this very geometry reuses.
+	if _, err := ApplyMessage(p, inst.SB, cold); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := BuildMessage(p, inst.SA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("pooled rebuild changed the wire bytes")
+	}
+
+	// The incremental sketch (pooled clone/release cycle inside Apply)
+	// must encode the same message too.
+	sk, err := BuildSketch(p, inst.SA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sk.Encode(); !bytes.Equal(cold, got) {
+		t.Fatal("sketch encode diverged from BuildMessage after pooling")
+	}
+	if _, err := sk.Apply(inst.SB); err != nil {
+		t.Fatal(err)
+	}
+	if got := sk.Encode(); !bytes.Equal(cold, got) {
+		t.Fatal("Apply mutated the sketch's wire bytes")
+	}
+}
+
+// TestPlanCacheSharesDerivation checks planFor returns one shared plan
+// for equal Params (zero-valued and explicitly defaulted alike) and
+// distinct plans once any digest-relevant field differs.
+func TestPlanCacheSharesDerivation(t *testing.T) {
+	space := metric.HammingCube(64)
+	a := DefaultParams(space, 32, 3, 5)
+	b := Params{Space: space, N: 32, K: 3, Seed: 5} // zero fields default
+
+	pa, err := planFor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := planFor(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != pb {
+		t.Fatal("equal Params derived distinct plans; cache miss on defaulted form")
+	}
+	c := a
+	c.Seed = 6
+	pc, err := planFor(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc == pa {
+		t.Fatal("different seeds shared one plan")
+	}
+}
+
+// BenchmarkBuildSketch tracks the sharded sketch builder's allocation
+// discipline (ReportAllocs coverage for the construction hot path).
+func BenchmarkBuildSketch(b *testing.B) {
+	space := metric.HammingCube(128)
+	const n, k = 64, 4
+	inst := workload.NewEMDInstance(space, n, k, 2, 9)
+	p := DefaultParams(space, n, k, 77)
+	p.D1, p.D2 = 4, 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildSketch(p, inst.SA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkApplyMessage tracks Bob's receive path — decode into pooled
+// tables, delete, peel, assemble — end to end.
+func BenchmarkApplyMessage(b *testing.B) {
+	space := metric.HammingCube(128)
+	const n, k = 64, 4
+	inst := workload.NewEMDInstance(space, n, k, 2, 9)
+	p := DefaultParams(space, n, k, 77)
+	p.D1, p.D2 = 4, 256
+	msg, err := BuildMessage(p, inst.SA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ApplyMessage(p, inst.SB, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

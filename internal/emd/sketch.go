@@ -22,8 +22,22 @@ import (
 // mutations and serves immutable clones.
 type Sketch struct {
 	pl      *plan
+	workers int // local Params.Workers (plans are shared, so not in pl)
 	tables  []*riblt.Table
-	scratch []uint64
+	scratch []uint64  // MLSH value scratch (s wide)
+	keys    []uint64  // per-level key scratch (t wide)
+	refs    []CellRef // churn scratch, reused across mutations
+}
+
+// newSketch wraps tables in a Sketch with its mutation scratch.
+func newSketch(pl *plan, tables []*riblt.Table, workers int) *Sketch {
+	return &Sketch{
+		pl:      pl,
+		workers: workers,
+		tables:  tables,
+		scratch: make([]uint64, pl.s),
+		keys:    make([]uint64, pl.levels),
+	}
 }
 
 // CellRef names one RIBLT cell of one resolution level; mutations
@@ -38,7 +52,7 @@ type CellRef struct {
 // the live multiset must never exceed N points (the RIBLT overflow
 // guards are sized from it).
 func NewSketch(p Params) (*Sketch, error) {
-	pl, err := newPlan(p)
+	pl, err := planFor(p)
 	if err != nil {
 		return nil, err
 	}
@@ -46,7 +60,7 @@ func NewSketch(p Params) (*Sketch, error) {
 	for i := range tables {
 		tables[i] = riblt.New(pl.cfgs[i])
 	}
-	return &Sketch{pl: pl, tables: tables, scratch: make([]uint64, pl.s)}, nil
+	return newSketch(pl, tables, p.Workers), nil
 }
 
 // BuildSketch builds a sketch over pts from scratch, sharding the MLSH
@@ -54,25 +68,25 @@ func NewSketch(p Params) (*Sketch, error) {
 // it does not require len(pts) == Params.N — N is the capacity bound,
 // and a live set churns below it.
 func BuildSketch(p Params, pts metric.PointSet) (*Sketch, error) {
-	pl, err := newPlan(p)
+	pl, err := planFor(p)
 	if err != nil {
 		return nil, err
 	}
 	if len(pts) > pl.params.N {
 		return nil, fmt.Errorf("emd: %d points exceed capacity N=%d", len(pts), pl.params.N)
 	}
-	tables, err := pl.buildTables(pts)
+	tables, err := pl.buildTables(pts, p.Workers)
 	if err != nil {
 		return nil, err
 	}
-	return &Sketch{pl: pl, tables: tables, scratch: make([]uint64, pl.s)}, nil
+	return newSketch(pl, tables, p.Workers), nil
 }
 
 // DecodeSketch reconstructs a sketch from a full protocol message (the
 // receiver's side of the delta-sync fast path caches one and patches
 // churned cells on later sessions).
 func DecodeSketch(p Params, msg []byte) (*Sketch, error) {
-	pl, err := newPlan(p)
+	pl, err := planFor(p)
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +104,7 @@ func DecodeSketch(p Params, msg []byte) (*Sketch, error) {
 			return nil, err
 		}
 	}
-	return &Sketch{pl: pl, tables: tables, scratch: make([]uint64, pl.s)}, nil
+	return newSketch(pl, tables, p.Workers), nil
 }
 
 // Levels returns t, the number of resolution levels.
@@ -100,21 +114,23 @@ func (s *Sketch) Levels() int { return s.pl.levels }
 func (s *Sketch) Cells() int { return s.tables[0].Cells() }
 
 // Add inserts one point: one evaluation of the s MLSH functions, then q
-// cell updates per level. It returns the churned cells.
+// cell updates per level. It returns the churned cells in a scratch
+// slice owned by the sketch — valid only until the next mutation;
+// callers that retain the refs (a journal) copy them out first.
 func (s *Sketch) Add(pt metric.Point) []CellRef {
 	return s.mutate(pt, true)
 }
 
-// Remove retracts one previously added point (same cost as Add). The
-// caller must ensure the point is in the maintained multiset; internal/
-// live tracks membership.
+// Remove retracts one previously added point (same cost as Add, same
+// scratch-return contract). The caller must ensure the point is in the
+// maintained multiset; internal/live tracks membership.
 func (s *Sketch) Remove(pt metric.Point) []CellRef {
 	return s.mutate(pt, false)
 }
 
 func (s *Sketch) mutate(pt metric.Point, add bool) []CellRef {
-	keys := s.pl.keysFor(pt, s.scratch)
-	refs := make([]CellRef, 0, len(keys)*s.pl.params.Q)
+	keys := s.pl.keysInto(s.keys, pt, s.scratch)
+	refs := s.refs[:0]
 	var buf [8]int
 	for i, key := range keys {
 		if add {
@@ -126,6 +142,7 @@ func (s *Sketch) mutate(pt metric.Point, add bool) []CellRef {
 			refs = append(refs, CellRef{Level: i, Cell: c})
 		}
 	}
+	s.refs = refs
 	return refs
 }
 
@@ -160,7 +177,7 @@ func (s *Sketch) Clone() *Sketch {
 	for i, t := range s.tables {
 		tables[i] = t.Clone()
 	}
-	return &Sketch{pl: s.pl, tables: tables, scratch: make([]uint64, s.pl.s)}
+	return newSketch(s.pl, tables, s.workers)
 }
 
 // SortCellRefs orders refs by (level, cell) and drops duplicates, the
@@ -236,7 +253,7 @@ func (s *Sketch) Apply(sb metric.PointSet) (Result, error) {
 	for i, t := range s.tables {
 		tables[i] = t.Clone()
 	}
-	res, err := applyTables(s.pl, sb, tables)
+	res, err := applyTables(s.pl, sb, tables, s.workers)
 	if err != nil {
 		return Result{}, err
 	}

@@ -78,6 +78,17 @@ func (h Pairwise) Hash(x uint64) uint64 {
 // Bits returns the output width of the function.
 func (h Pairwise) Bits() uint { return h.bits }
 
+// HashMany hashes every element of xs into dst (which must be at least
+// as long) and returns dst[:len(xs)]. Batch variant for hot loops that
+// hash whole vectors: no per-element call overhead, no allocation.
+func (h Pairwise) HashMany(dst, xs []uint64) []uint64 {
+	dst = dst[:len(xs)]
+	for i, x := range xs {
+		dst[i] = h.Hash(x)
+	}
+	return dst
+}
+
 // Mixer is a seeded 64→64-bit finalizer (splitmix64-style). It is not
 // pairwise independent; it is the "random oracle"-style hash used for
 // IBLT cell indexing and checksums, where the paper's analyses assume
@@ -98,6 +109,18 @@ func (m Mixer) Hash(x uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
+}
+
+// HashInto scrambles every element of xs into dst (which must be at
+// least as long) and returns dst[:len(xs)]. Batch variant for sketch
+// builders that fingerprint whole key blocks into caller-provided
+// scratch.
+func (m Mixer) HashInto(dst, xs []uint64) []uint64 {
+	dst = dst[:len(xs)]
+	for i, x := range xs {
+		dst[i] = m.Hash(x)
+	}
+	return dst
 }
 
 // HashBytes hashes an arbitrary byte string by absorbing 8-byte lanes.
@@ -171,4 +194,30 @@ func (k KeyHasher) Hash(vs []uint64) uint64 {
 		pow = mulMod61(pow, k.alpha)
 	}
 	return k.outer.Hash(acc)
+}
+
+// HashPrefixes compresses every prefix of vs named in ns — which must be
+// nondecreasing, each in [0, len(vs)] — into dst (len(dst) >= len(ns)),
+// returning dst[:len(ns)]. dst[j] equals Hash(vs[:ns[j]]): the
+// polynomial accumulator is carried across the sorted prefixes, so the
+// whole family of keys costs one pass over vs instead of one pass per
+// prefix. This is the EMD protocol's inner loop — every point derives
+// one key per resolution level from a doubling prefix of its MLSH
+// vector.
+func (k KeyHasher) HashPrefixes(dst []uint64, vs []uint64, ns []int) []uint64 {
+	var acc uint64
+	pow := uint64(1)
+	j := 0
+	for i := 0; ; i++ {
+		for j < len(ns) && ns[j] == i {
+			dst[j] = k.outer.Hash(acc)
+			j++
+		}
+		if i == len(vs) || j == len(ns) {
+			break
+		}
+		acc = addMod61(acc, mulMod61(k.coeff.Hash(vs[i])|1, pow))
+		pow = mulMod61(pow, k.alpha)
+	}
+	return dst[:j]
 }

@@ -96,6 +96,24 @@ func (t *Table) cellOf(key uint64, j int) int {
 // Insert adds a key.
 func (t *Table) Insert(key uint64) { t.update(key, 1) }
 
+// InsertAll adds every key of keys, batching the per-key checksum
+// hashing through hashx.Mixer.HashInto over a fixed scratch block — the
+// bulk-construction path the sharded builders use. Cell state after
+// InsertAll is identical to inserting the keys one at a time.
+func (t *Table) InsertAll(keys []uint64) {
+	var checks [256]uint64
+	for len(keys) > 0 {
+		n := min(len(keys), len(checks))
+		t.check.HashInto(checks[:n], keys[:n])
+		for i, key := range keys[:n] {
+			for j := 0; j < t.q; j++ {
+				t.cells[t.cellOf(key, j)].add(key, checks[i], 1)
+			}
+		}
+		keys = keys[n:]
+	}
+}
+
 // Delete removes a key (which need not have been inserted: deletion of a
 // foreign key leaves a count of −1, which is how set differences appear).
 func (t *Table) Delete(key uint64) { t.update(key, -1) }

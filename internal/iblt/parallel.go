@@ -40,17 +40,13 @@ func NewFromKeys(m, q int, seed uint64, keys []uint64, workers int) *Table {
 	w := parallel.Workers(workers, len(keys), minBlock)
 	if w == 1 {
 		t := New(m, q, seed)
-		for _, k := range keys {
-			t.Insert(k)
-		}
+		t.InsertAll(keys)
 		return t
 	}
 	shards := make([]*Table, w)
 	parallel.Shard(len(keys), w, func(b, lo, hi int) {
 		t := New(m, q, seed)
-		for _, k := range keys[lo:hi] {
-			t.Insert(k)
-		}
+		t.InsertAll(keys[lo:hi])
 		shards[b] = t
 	})
 	out := shards[0]
@@ -87,17 +83,13 @@ func NewStrataFromKeys(cellsPerLevel int, seed uint64, keys []uint64, workers in
 	w := parallel.Workers(workers, len(keys), minBlock)
 	if w == 1 {
 		s := NewStrata(cellsPerLevel, seed)
-		for _, k := range keys {
-			s.Insert(k)
-		}
+		s.InsertAll(keys)
 		return s
 	}
 	shards := make([]*Strata, w)
 	parallel.Shard(len(keys), w, func(b, lo, hi int) {
 		s := NewStrata(cellsPerLevel, seed)
-		for _, k := range keys[lo:hi] {
-			s.Insert(k)
-		}
+		s.InsertAll(keys[lo:hi])
 		shards[b] = s
 	})
 	out := shards[0]

@@ -48,6 +48,22 @@ func (s *Strata) Insert(key uint64) {
 	s.levels[lvl].Insert(key)
 }
 
+// InsertAll adds every key of keys, batching the stratum-assignment
+// hashing into a fixed scratch block. Equivalent to inserting one at a
+// time.
+func (s *Strata) InsertAll(keys []uint64) {
+	var assigned [256]uint64
+	for len(keys) > 0 {
+		n := min(len(keys), len(assigned))
+		s.assign.HashInto(assigned[:n], keys[:n])
+		for i, key := range keys[:n] {
+			lvl := bits.TrailingZeros64(assigned[i] | 1<<(StrataLevels-1))
+			s.levels[lvl].Insert(key)
+		}
+		keys = keys[n:]
+	}
+}
+
 // Delete removes a key from its stratum. Because stratum assignment is a
 // pure function of the key and every cell field combines by XOR or
 // addition, deleting a previously inserted key restores the estimator

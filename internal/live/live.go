@@ -386,11 +386,16 @@ func (s *Set) remove(pt metric.Point) []emd.CellRef {
 
 // bump closes the current mutation into a new epoch: journal the
 // churned cells, prune history past the horizon, invalidate the
-// snapshot cache.
+// snapshot cache. The journal entry is a compact copy — refs may be (and
+// on the single-op paths is) the sketch's reusable churn scratch, which
+// the next mutation overwrites.
 func (s *Set) bump(refs []emd.CellRef) {
 	s.epoch++
 	if s.sketch != nil {
-		s.journal[s.epoch] = emd.SortCellRefs(refs)
+		sorted := emd.SortCellRefs(refs)
+		entry := make([]emd.CellRef, len(sorted))
+		copy(entry, sorted)
+		s.journal[s.epoch] = entry
 	}
 	if old := s.epoch - uint64(s.cfg.JournalEpochs); old > 0 {
 		delete(s.journal, old)

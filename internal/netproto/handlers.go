@@ -180,7 +180,9 @@ func (h *EMDReceiver) Run(conn transport.Conn) error {
 	if err != nil {
 		return err
 	}
-	msg, err := d.ReadBytes()
+	// Borrowed, not copied: ApplyMessage only reads the message, and the
+	// frame stays live until the session's wire is released.
+	msg, err := d.ReadBytesBorrow()
 	if err != nil {
 		return err
 	}

@@ -192,7 +192,9 @@ func (h *LiveEMDReceiver) Run(conn transport.Conn) error {
 	if err != nil {
 		return err
 	}
-	payload, err := d.ReadBytes()
+	// Borrowed: DecodeSketch and ApplyCells copy what they keep, and the
+	// fingerprint is computed before the frame can be invalidated.
+	payload, err := d.ReadBytesBorrow()
 	if err != nil {
 		return err
 	}

@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/transport"
@@ -28,13 +29,34 @@ import (
 // enormous allocation.
 const maxFrame = 1 << 28
 
+// wireMem is a Wire's reusable frame staging: the outbound buffer one
+// whole frame (header + payload) is coalesced into, and the inbound
+// buffer frames are decoded from. Pooled across wires so a server's
+// steady state reads and writes frames without allocating.
+type wireMem struct {
+	out []byte
+	in  []byte
+}
+
+var wireMemPool = sync.Pool{New: func() any { return new(wireMem) }}
+
 // Wire adapts an io.ReadWriter to transport.Conn with length-prefixed
 // frames and local traffic accounting. The tallies are atomic, so a
 // server may snapshot Stats while the session is mid-protocol; Send and
 // Recv themselves may each be used by at most one goroutine at a time
 // (full-duplex use — one sender, one receiver — is fine).
+//
+// Buffer ownership: a Decoder returned by Recv (and any bytes borrowed
+// from it via ReadBytesBorrow) is valid only until the next Recv or
+// Release on the same wire — the frame buffer is reused. An Encoder
+// passed to Send is consumed and recycled; it must not be touched
+// afterwards. Release returns the wire's buffers to a shared pool once
+// the session is done; Stats stay readable.
 type Wire struct {
 	rw        io.ReadWriter
+	mu        sync.Mutex // guards mem against a concurrent Release
+	mem       *wireMem
+	dec       transport.Decoder
 	sent      atomic.Int64 // payload bits sent
 	recvd     atomic.Int64
 	msgsSent  atomic.Int64
@@ -44,24 +66,57 @@ type Wire struct {
 // NewWire wraps a byte stream.
 func NewWire(rw io.ReadWriter) *Wire { return &Wire{rw: rw} }
 
+// buffers returns the wire's frame staging, attaching pooled buffers on
+// first use (or after Release).
+func (w *Wire) buffers() *wireMem {
+	w.mu.Lock()
+	m := w.mem
+	if m == nil {
+		m = wireMemPool.Get().(*wireMem)
+		w.mem = m
+	}
+	w.mu.Unlock()
+	return m
+}
+
+// Release returns the wire's frame buffers to the shared pool. Call it
+// once per wire, after the session completes and no decoded frame or
+// borrowed bytes are referenced. The wire remains usable (Stats, even
+// further frames — fresh buffers attach on demand).
+func (w *Wire) Release() {
+	w.mu.Lock()
+	m := w.mem
+	w.mem = nil
+	w.mu.Unlock()
+	if m != nil {
+		w.dec.Reset(nil)
+		wireMemPool.Put(m)
+	}
+}
+
 // Send implements transport.Conn: one frame = 4-byte big-endian length +
-// payload.
+// payload, coalesced into a single Write (the flush point is the frame
+// boundary). The encoder is consumed and recycled; the caller must not
+// use it again.
 func (w *Wire) Send(e *transport.Encoder) error {
 	data, bits := e.Pack()
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
-	if _, err := w.rw.Write(hdr[:]); err != nil {
-		return fmt.Errorf("netproto: send header: %w", err)
-	}
-	if _, err := w.rw.Write(data); err != nil {
-		return fmt.Errorf("netproto: send payload: %w", err)
+	m := w.buffers()
+	frame := append(m.out[:0], 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(frame, uint32(len(data)))
+	frame = append(frame, data...)
+	m.out = frame
+	transport.Recycle(e, data)
+	if _, err := w.rw.Write(frame); err != nil {
+		return fmt.Errorf("netproto: send frame: %w", err)
 	}
 	w.sent.Add(bits)
 	w.msgsSent.Add(1)
 	return nil
 }
 
-// Recv implements transport.Conn.
+// Recv implements transport.Conn. The returned decoder (and bytes
+// borrowed from it) is invalidated by the next Recv or Release on this
+// wire.
 func (w *Wire) Recv() (*transport.Decoder, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(w.rw, hdr[:]); err != nil {
@@ -71,13 +126,18 @@ func (w *Wire) Recv() (*transport.Decoder, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("netproto: frame of %d bytes exceeds limit", n)
 	}
-	data := make([]byte, n)
+	m := w.buffers()
+	if uint32(cap(m.in)) < n {
+		m.in = make([]byte, n)
+	}
+	data := m.in[:n]
 	if _, err := io.ReadFull(w.rw, data); err != nil {
 		return nil, fmt.Errorf("netproto: recv payload: %w", err)
 	}
 	w.recvd.Add(int64(n) * 8)
 	w.msgsRecvd.Add(1)
-	return transport.NewDecoder(data), nil
+	w.dec.Reset(data)
+	return &w.dec, nil
 }
 
 // Stats reports this endpoint's view of the traffic: bits it sent count

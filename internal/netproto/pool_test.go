@@ -1,0 +1,118 @@
+package netproto
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// TestSendCopiesBeforeRecycle is the mutate-after-release canary for the
+// send path: Wire.Send recycles the encoder's payload buffer into the
+// shared pool, so a later encoder may scribble over that memory. The
+// frame must have been staged before the recycle — the peer must read
+// the original payload no matter what the pool's next tenant writes.
+func TestSendCopiesBeforeRecycle(t *testing.T) {
+	var stream bytes.Buffer
+	w := NewWire(&stream)
+	payload := bytes.Repeat([]byte("canary!!"), 64)
+
+	e := transport.NewEncoder()
+	e.WriteBytes(payload)
+	if err := w.Send(e); err != nil {
+		t.Fatal(err)
+	}
+	// e is recycled now. Grab encoders from the pool and poison them —
+	// one of them likely owns the just-recycled buffer.
+	for i := 0; i < 4; i++ {
+		p := transport.NewEncoder()
+		junk := bytes.Repeat([]byte{0xde}, len(payload)+16)
+		p.WriteBytes(junk)
+		// Deliberately NOT sent or recycled: the poison stays live while
+		// the original frame is read back.
+		defer func() { _, _ = p.Pack() }()
+	}
+
+	r := NewWire(&stream)
+	d, err := r.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("frame corrupted: Send recycled its buffer before staging the frame")
+	}
+}
+
+// TestRecvBufferReuseInvalidatesBorrow pins the receive-side ownership
+// rule: bytes borrowed from a frame are valid only until the next Recv
+// on the same wire (the frame buffer is reused), while ReadBytes copies
+// survive.
+func TestRecvBufferReuseInvalidatesBorrow(t *testing.T) {
+	var stream bytes.Buffer
+	w := NewWire(&stream)
+	// The second frame is smaller than the first so it lands inside the
+	// reused buffer (a larger frame would grow a fresh one).
+	for _, msg := range []string{"first-frame-payload", "2nd-frame"} {
+		e := transport.NewEncoder()
+		e.WriteBytes([]byte(msg))
+		if err := w.Send(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r := NewWire(&stream)
+	d, err := r.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	borrowed, err := d.ReadBytesBorrow()
+	if err != nil || string(borrowed) != "first-frame-payload" {
+		t.Fatalf("borrow = %q, %v", borrowed, err)
+	}
+	d2, err := r.Recv() // overwrites the shared frame buffer
+	if err != nil {
+		t.Fatal(err)
+	}
+	copied, err := d2.ReadBytes()
+	if err != nil || string(copied) != "2nd-frame" {
+		t.Fatalf("second frame = %q, %v", copied, err)
+	}
+	if string(borrowed) == "first-frame-payload" {
+		t.Fatal("borrowed bytes survived the next Recv; expected the frame buffer to be reused")
+	}
+	r.Release()
+	if string(copied) != "2nd-frame" {
+		t.Fatal("ReadBytes copy must stay valid after Release")
+	}
+}
+
+// TestWireReleaseKeepsStats checks Release leaves the traffic tally
+// intact and the wire usable for further frames (fresh buffers attach on
+// demand).
+func TestWireReleaseKeepsStats(t *testing.T) {
+	var stream bytes.Buffer
+	w := NewWire(&stream)
+	e := transport.NewEncoder()
+	e.WriteUint64(0xfeed)
+	if err := w.Send(e); err != nil {
+		t.Fatal(err)
+	}
+	before := w.Stats()
+	w.Release()
+	if got := w.Stats(); got != before {
+		t.Fatalf("stats changed across Release: %v -> %v", before, got)
+	}
+	w.Release() // idempotent
+	e = transport.NewEncoder()
+	e.WriteUint64(0xbeef)
+	if err := w.Send(e); err != nil {
+		t.Fatalf("send after release: %v", err)
+	}
+	if got := w.Stats().MsgsAtoB; got != 2 {
+		t.Fatalf("sent frames = %d, want 2", got)
+	}
+}

@@ -1,0 +1,38 @@
+package quadtree
+
+import (
+	"testing"
+
+	"repro/internal/metric"
+	"repro/internal/workload"
+)
+
+// BenchmarkQuadtreeBuildSketch tracks the baseline protocol's
+// multi-level builder: reusable per-level scratch and pooled riblt
+// tables keep its allocations flat in the number of levels.
+func BenchmarkQuadtreeBuildSketch(b *testing.B) {
+	space := metric.Grid(255, 8, metric.L1)
+	inst := workload.NewEMDInstance(space, 64, 4, 2, 9)
+	p := Params{Space: space, N: 64, K: 4, Seed: 7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildSketch(p, inst.SA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuadtreeEncode tracks the from-scratch Alice message build.
+func BenchmarkQuadtreeEncode(b *testing.B) {
+	space := metric.Grid(255, 8, metric.L1)
+	inst := workload.NewEMDInstance(space, 64, 4, 2, 9)
+	p := Params{Space: space, N: 64, K: 4, Seed: 7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeReference(p, inst.SA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -94,6 +94,17 @@ func levelWidths(space metric.Space) []float64 {
 	return widths
 }
 
+// newCenters allocates n reusable center points of the given dimension
+// over one flat backing array.
+func newCenters(n, dim int) metric.PointSet {
+	flat := make([]int32, n*dim)
+	out := make(metric.PointSet, n)
+	for i := range out {
+		out[i] = metric.Point(flat[i*dim : (i+1)*dim : (i+1)*dim])
+	}
+	return out
+}
+
 // grid captures one level's randomly offset grid.
 type grid struct {
 	w       float64
@@ -113,35 +124,71 @@ func newGrid(space metric.Space, w float64, src *rng.Source) grid {
 // cellAndCenter returns the cell id hash and the center point of p's
 // cell, clamped into the space.
 func (g grid) cellAndCenter(p metric.Point) (uint64, metric.Point) {
+	return g.cellAndCenterInto(p, make(metric.Point, len(p)))
+}
+
+// cellAndCenterInto is cellAndCenter writing the center into a
+// caller-provided point (length len(p)) — the builders' hot loop, which
+// reuses one center buffer per slot instead of allocating per level.
+// The table insert paths only read the center (cell fields are sums),
+// so reuse is safe.
+func (g grid) cellAndCenterInto(p, center metric.Point) (uint64, metric.Point) {
 	h := g.mix.Hash(uint64(len(p)))
-	center := make(metric.Point, len(p))
 	for i, x := range p {
 		cell := math.Floor((float64(x) + g.offsets[i]) / g.w)
 		h = g.mix.Hash(h ^ uint64(int64(cell)) ^ uint64(i)<<48)
 		c := cell*g.w + g.w/2 - g.offsets[i]
-		center[i] = int32(math.Round(c))
+		v := int32(math.Round(c))
+		// Clamp in place (center is owned scratch; Space.Clamp clones).
+		if v < 0 {
+			v = 0
+		} else if v > g.space.Delta {
+			v = g.space.Delta
+		}
+		center[i] = v
 	}
-	return h, g.space.Clamp(center)
+	return h, center
 }
 
 // occurrenceKeys assigns, per party, stable occurrence indices to points
 // sharing a cell so duplicates become distinct table keys that still
 // cancel across parties.
 func occurrenceKeys(cells []uint64, keyBits uint, mix hashx.Mixer) []uint64 {
-	order := make([]int, len(cells))
+	return occurrenceKeysInto(make([]uint64, len(cells)), cells, keyBits, mix, &occScratch{})
+}
+
+// occScratch is the reusable working state of occurrenceKeysInto; one
+// instance serves a whole multi-level build instead of per-level maps.
+type occScratch struct {
+	order []int
+	occ   map[uint64]uint64
+}
+
+// occurrenceKeysInto is occurrenceKeys into caller-provided output and
+// scratch — the per-level hot loop of the multi-level builders, which
+// would otherwise allocate an order slice and an occurrence map per
+// level.
+func occurrenceKeysInto(out []uint64, cells []uint64, keyBits uint, mix hashx.Mixer, sc *occScratch) []uint64 {
+	if cap(sc.order) < len(cells) {
+		sc.order = make([]int, len(cells))
+	}
+	order := sc.order[:len(cells)]
 	for i := range order {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool { return cells[order[a]] < cells[order[b]] })
-	out := make([]uint64, len(cells))
-	occ := map[uint64]uint64{}
+	if sc.occ == nil {
+		sc.occ = make(map[uint64]uint64, len(cells))
+	} else {
+		clear(sc.occ)
+	}
 	for _, i := range order {
 		c := cells[i]
-		n := occ[c] + 1
-		occ[c] = n
+		n := sc.occ[c] + 1
+		sc.occ[c] = n
 		out[i] = occurrenceKey(mix, keyBits, c, n)
 	}
-	return out
+	return out[:len(cells)]
 }
 
 // occurrenceKey is the table key of the occ-th point (1-based) of cell
@@ -185,22 +232,29 @@ func newPlan(p Params) (*plan, error) {
 	return &plan{params: p, widths: widths, grids: grids, occMix: occMix, cfgs: cfgs}, nil
 }
 
-// aliceEncode builds Alice's message: every level's table over sa.
+// aliceEncode builds Alice's message: every level's table over sa. The
+// per-level working set — cell ids, centers, occurrence keys, and the
+// table itself — is reused (or pooled) across levels, so the build's
+// allocations are one batch of flat scratch rather than per level per
+// cell.
 func (pl *plan) aliceEncode(sa metric.PointSet) *transport.Encoder {
 	p := pl.params
 	e := transport.NewEncoder()
 	e.WriteUvarint(uint64(len(pl.widths)))
+	cells := make([]uint64, len(sa))
+	keys := make([]uint64, len(sa))
+	centers := newCenters(len(sa), p.Space.Dim)
+	var sc occScratch
 	for lvl := range pl.widths {
 		tbl := riblt.New(pl.cfgs[lvl])
-		cells := make([]uint64, len(sa))
-		centers := make(metric.PointSet, len(sa))
 		for i, a := range sa {
-			cells[i], centers[i] = pl.grids[lvl].cellAndCenter(a)
+			cells[i], _ = pl.grids[lvl].cellAndCenterInto(a, centers[i])
 		}
-		for i, key := range occurrenceKeys(cells, p.KeyBits, pl.occMix) {
+		for i, key := range occurrenceKeysInto(keys, cells, p.KeyBits, pl.occMix, &sc) {
 			tbl.Insert(key, centers[i])
 		}
 		tbl.Encode(e)
+		tbl.Release()
 	}
 	return e
 }
@@ -239,13 +293,20 @@ func Reconcile(p Params, sa, sb metric.PointSet) (Result, error) {
 			return Result{}, err
 		}
 	}
-	for lvl := range widths {
-		cells := make([]uint64, len(sb))
-		centers := make(metric.PointSet, len(sb))
-		for i, b := range sb {
-			cells[i], centers[i] = grids[lvl].cellAndCenter(b)
+	defer func() {
+		for _, t := range tables {
+			t.Release()
 		}
-		for i, key := range occurrenceKeys(cells, p.KeyBits, pl.occMix) {
+	}()
+	cells := make([]uint64, len(sb))
+	keys := make([]uint64, len(sb))
+	centers := newCenters(len(sb), p.Space.Dim)
+	var sc occScratch
+	for lvl := range widths {
+		for i, b := range sb {
+			cells[i], _ = grids[lvl].cellAndCenterInto(b, centers[i])
+		}
+		for i, key := range occurrenceKeysInto(keys, cells, p.KeyBits, pl.occMix, &sc) {
 			tables[lvl].Delete(key, centers[i])
 		}
 	}
@@ -286,6 +347,11 @@ type Sketch struct {
 	pl     *plan
 	tables []*riblt.Table
 	counts []map[uint64]uint64 // per level: cell id → live population
+	// Mutation scratch, reused across Add/Remove: one cell id and one
+	// center buffer per level (Remove rounds at every level before
+	// mutating any).
+	cellScratch   []uint64
+	centerScratch metric.PointSet
 }
 
 // NewSketch builds an empty sketch; Params.N bounds the live set size.
@@ -295,9 +361,11 @@ func NewSketch(p Params) (*Sketch, error) {
 		return nil, err
 	}
 	s := &Sketch{
-		pl:     pl,
-		tables: make([]*riblt.Table, len(pl.widths)),
-		counts: make([]map[uint64]uint64, len(pl.widths)),
+		pl:            pl,
+		tables:        make([]*riblt.Table, len(pl.widths)),
+		counts:        make([]map[uint64]uint64, len(pl.widths)),
+		cellScratch:   make([]uint64, len(pl.widths)),
+		centerScratch: newCenters(len(pl.widths), pl.params.Space.Dim),
 	}
 	for i := range s.tables {
 		s.tables[i] = riblt.New(pl.cfgs[i])
@@ -319,11 +387,11 @@ func BuildSketch(p Params, pts metric.PointSet) (*Sketch, error) {
 }
 
 // Add inserts one point (one grid rounding plus q cell updates per
-// level).
+// level). Allocation-free: rounding reuses the sketch's scratch.
 func (s *Sketch) Add(pt metric.Point) {
 	kb := s.pl.params.KeyBits
 	for lvl := range s.tables {
-		c, center := s.pl.grids[lvl].cellAndCenter(pt)
+		c, center := s.pl.grids[lvl].cellAndCenterInto(pt, s.centerScratch[lvl])
 		n := s.counts[lvl][c] + 1
 		s.counts[lvl][c] = n
 		s.tables[lvl].Insert(occurrenceKey(s.pl.occMix, kb, c, n), center)
@@ -335,10 +403,9 @@ func (s *Sketch) Add(pt metric.Point) {
 // level (the point was never added).
 func (s *Sketch) Remove(pt metric.Point) error {
 	kb := s.pl.params.KeyBits
-	cells := make([]uint64, len(s.tables))
-	centers := make(metric.PointSet, len(s.tables))
+	cells := s.cellScratch
 	for lvl := range s.tables {
-		cells[lvl], centers[lvl] = s.pl.grids[lvl].cellAndCenter(pt)
+		cells[lvl], _ = s.pl.grids[lvl].cellAndCenterInto(pt, s.centerScratch[lvl])
 		if s.counts[lvl][cells[lvl]] == 0 {
 			return fmt.Errorf("quadtree: remove from empty cell at level %d", lvl)
 		}
@@ -346,7 +413,7 @@ func (s *Sketch) Remove(pt metric.Point) error {
 	for lvl := range s.tables {
 		c := cells[lvl]
 		n := s.counts[lvl][c]
-		s.tables[lvl].Retract(occurrenceKey(s.pl.occMix, kb, c, n), centers[lvl])
+		s.tables[lvl].Retract(occurrenceKey(s.pl.occMix, kb, c, n), s.centerScratch[lvl])
 		if n == 1 {
 			delete(s.counts[lvl], c)
 		} else {

@@ -28,6 +28,7 @@ package riblt
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/hashx"
 	"repro/internal/metric"
@@ -129,14 +130,60 @@ func (c *cell) empty() bool {
 	return c.count == 0 && c.keySum == 0 && c.checkSum == 0
 }
 
-// Table is a Robust IBLT.
+// Table is a Robust IBLT. Cell value sums live in one flat backing
+// array (vals), with each cell's valSum a view into it — one allocation
+// per table rather than one per cell, and cache-friendly cell-wise
+// merges.
 type Table struct {
 	cfg       Config
 	cellsPerQ int
 	cells     []cell
+	vals      []int64   // flat backing of all valSum views
+	mem       *tableMem // pool ticket for cells/vals
 	idx       []hashx.Mixer
 	check     hashx.Mixer
 	items     int // inserts + deletes, for the overflow guard
+}
+
+// tableMem is the poolable bulk memory of a table. Shard builders and
+// decode paths construct and discard tables at protocol rate, so the two
+// big arrays are recycled through a pool; New zeroes exactly the portion
+// it hands out.
+type tableMem struct {
+	cells []cell
+	vals  []int64
+}
+
+var tableMemPool = sync.Pool{New: func() any { return new(tableMem) }}
+
+// newArrays returns zeroed cell and value arrays of the requested sizes,
+// reusing pooled capacity when available.
+func newArrays(nCells, nVals int) ([]cell, []int64, *tableMem) {
+	m := tableMemPool.Get().(*tableMem)
+	if cap(m.cells) < nCells {
+		m.cells = make([]cell, nCells)
+	}
+	if cap(m.vals) < nVals {
+		m.vals = make([]int64, nVals)
+	}
+	cells, vals := m.cells[:nCells], m.vals[:nVals]
+	clear(cells)
+	clear(vals)
+	return cells, vals, m
+}
+
+// Release returns the table's bulk memory to the pool. Only the sole
+// owner may call it, after which the table must not be used again (Peel
+// outputs are fresh allocations and stay valid). Releasing is optional;
+// unreleased tables are simply garbage collected.
+func (t *Table) Release() {
+	m := t.mem
+	if m == nil {
+		return
+	}
+	m.cells, m.vals = t.cells[:0], t.vals[:0]
+	t.cells, t.vals, t.mem = nil, nil, nil
+	tableMemPool.Put(m)
 }
 
 // New builds an empty table. It panics on an invalid config: geometry is
@@ -152,14 +199,17 @@ func New(cfg Config) *Table {
 		idx[i] = hashx.NewMixer(src)
 	}
 	cellsPerQ := (cfg.Cells + cfg.Q - 1) / cfg.Q
-	cells := make([]cell, cellsPerQ*cfg.Q)
+	n := cellsPerQ * cfg.Q
+	cells, vals, mem := newArrays(n, n*cfg.Dim)
 	for i := range cells {
-		cells[i].valSum = make([]int64, cfg.Dim)
+		cells[i].valSum = vals[i*cfg.Dim : (i+1)*cfg.Dim : (i+1)*cfg.Dim]
 	}
 	return &Table{
 		cfg:       cfg,
 		cellsPerQ: cellsPerQ,
 		cells:     cells,
+		vals:      vals,
+		mem:       mem,
 		idx:       idx,
 		check:     hashx.NewMixer(src),
 	}
@@ -242,15 +292,18 @@ func (t *Table) CellIndices(key uint64, buf []int) []int {
 	return buf
 }
 
-// Clone deep-copies the table, including value sums.
+// Clone deep-copies the table, including value sums. The index hashes
+// are immutable after New and shared.
 func (t *Table) Clone() *Table {
 	c := *t
-	c.cells = make([]cell, len(t.cells))
-	for i := range t.cells {
-		c.cells[i] = t.cells[i]
-		c.cells[i].valSum = append([]int64(nil), t.cells[i].valSum...)
+	cells, vals, mem := newArrays(len(t.cells), len(t.vals))
+	copy(vals, t.vals)
+	dim := t.cfg.Dim
+	for i := range cells {
+		cells[i] = t.cells[i]
+		cells[i].valSum = vals[i*dim : (i+1)*dim : (i+1)*dim]
 	}
-	c.idx = append([]hashx.Mixer(nil), t.idx...)
+	c.cells, c.vals, c.mem = cells, vals, mem
 	return &c
 }
 
@@ -275,9 +328,11 @@ func (t *Table) Merge(other *Table) error {
 		dst.count += src.count
 		dst.keySum += src.keySum
 		dst.checkSum += src.checkSum
-		for d := range dst.valSum {
-			dst.valSum[d] += src.valSum[d]
-		}
+	}
+	// Value sums merge over the flat backings — one cache-friendly pass
+	// instead of a short loop per cell.
+	for i, v := range other.vals {
+		t.vals[i] += v
 	}
 	return nil
 }
@@ -338,6 +393,10 @@ func (t *Table) Peel(src *rng.Source) (Result, error) {
 			inQueue[i] = true
 		}
 	}
+	// Per-peel scratch, reused across extractions: the clamped average
+	// and the snapshot of the extracted cell's contents.
+	avg := make([]float64, t.cfg.Dim)
+	snapVal := make([]int64, t.cfg.Dim)
 	for len(queue) > 0 {
 		var i int
 		switch t.cfg.Order {
@@ -361,7 +420,6 @@ func (t *Table) Peel(src *rng.Source) (Result, error) {
 		if n < 0 {
 			n = -n
 		}
-		avg := make([]float64, t.cfg.Dim)
 		for d := 0; d < t.cfg.Dim; d++ {
 			avg[d] = float64(c.valSum[d]) / float64(count)
 		}
@@ -378,16 +436,16 @@ func (t *Table) Peel(src *rng.Source) (Result, error) {
 		// every cell the key maps to. Propagating the error is the
 		// paper's mechanism (Figure 1); zeroing only this cell would be
 		// a different (incorrect) data structure.
-		snap := cell{count: c.count, keySum: c.keySum, checkSum: c.checkSum,
-			valSum: append([]int64(nil), c.valSum...)}
+		snapCount, snapKey, snapCheck := c.count, c.keySum, c.checkSum
+		copy(snapVal, c.valSum)
 		for j := 0; j < t.cfg.Q; j++ {
 			ci := t.cellOf(key, j)
 			cc := &t.cells[ci]
-			cc.count -= snap.count
-			cc.keySum -= snap.keySum
-			cc.checkSum -= snap.checkSum
+			cc.count -= snapCount
+			cc.keySum -= snapKey
+			cc.checkSum -= snapCheck
 			for d := range cc.valSum {
-				cc.valSum[d] -= snap.valSum[d]
+				cc.valSum[d] -= snapVal[d]
 			}
 			if _, _, ok := t.peelable(cc); ok && !inQueue[ci] {
 				queue = append(queue, ci)

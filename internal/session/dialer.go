@@ -54,6 +54,10 @@ func (d Dialer) Do(h netproto.Handler) (transport.Stats, error) {
 		conn.SetDeadline(time.Now().Add(sessionTimeout)) //nolint:errcheck
 	}
 	w := netproto.NewWire(conn)
+	// Handlers materialize their results before Run returns, so the
+	// frame buffers can go back to the pool as soon as the session ends
+	// (stats are read before the deferred Release runs).
+	defer w.Release()
 	if err := netproto.InitiateSet(w, h, d.Set); err != nil {
 		return w.Stats(), err
 	}

@@ -301,6 +301,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.SetDeadline(time.Now().Add(s.cfg.SessionTimeout)) //nolint:errcheck
 	}
 	w := netproto.NewWire(conn)
+	// Frame buffers go back to the pool once the session (including the
+	// OnSession callback, which runs inside finish) is fully done; the
+	// Session keeps the wire for Stats, which Release leaves intact.
+	defer w.Release()
 	sess := &Session{
 		id:    s.nextID.Add(1),
 		peer:  conn.RemoteAddr().String(),

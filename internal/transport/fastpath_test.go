@@ -1,0 +1,225 @@
+package transport
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// refBitWriter is an independent reference implementation of the wire
+// bit format: every value is appended bit by bit (MSB first) to a bool
+// slice, then packed. The Encoder's byte-aligned fast paths must produce
+// exactly this stream — the golden property every sketch's wire bytes
+// rest on.
+type refBitWriter struct {
+	bits []bool
+}
+
+func (r *refBitWriter) writeBits(v uint64, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		r.bits = append(r.bits, v>>uint(i)&1 == 1)
+	}
+}
+
+func (r *refBitWriter) writeUvarint(v uint64) {
+	for {
+		if v < 0x80 {
+			r.writeBits(0, 1)
+			r.writeBits(v, 7)
+			return
+		}
+		r.writeBits(1, 1)
+		r.writeBits(v&0x7f, 7)
+		v >>= 7
+	}
+}
+
+func (r *refBitWriter) writeVarint(v int64) {
+	r.writeUvarint(uint64(v<<1) ^ uint64(v>>63))
+}
+
+func (r *refBitWriter) writeBytes(p []byte) {
+	r.writeUvarint(uint64(len(p)))
+	for _, b := range p {
+		r.writeBits(uint64(b), 8)
+	}
+}
+
+func (r *refBitWriter) pack() []byte {
+	out := make([]byte, (len(r.bits)+7)/8)
+	for i, b := range r.bits {
+		if b {
+			out[i/8] |= 1 << (7 - uint(i%8))
+		}
+	}
+	return out
+}
+
+// TestEncoderMatchesBitReference drives the Encoder and the bitwise
+// reference through identical randomized scripts — mixing aligned and
+// misaligned writes — and requires byte-identical output, then decodes
+// the stream back and requires value-identical reads. This pins the
+// fast paths (bulk WriteBytes, byte-group varints, aligned ReadBits) to
+// the historical bit format.
+func TestEncoderMatchesBitReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		e := NewEncoder()
+		var ref refBitWriter
+		type op struct {
+			kind  int
+			v     uint64
+			sv    int64
+			n     uint
+			bytes []byte
+		}
+		var script []op
+		for i := 0; i < 30; i++ {
+			o := op{kind: rng.Intn(5)}
+			switch o.kind {
+			case 0: // WriteBits with random width (often misaligning)
+				o.n = uint(1 + rng.Intn(64))
+				o.v = rng.Uint64() & (1<<o.n - 1)
+				e.WriteBits(o.v, o.n)
+				ref.writeBits(o.v, o.n)
+			case 1:
+				o.v = rng.Uint64() >> uint(rng.Intn(64))
+				e.WriteUvarint(o.v)
+				ref.writeUvarint(o.v)
+			case 2:
+				o.sv = int64(rng.Uint64()) >> uint(rng.Intn(64))
+				e.WriteVarint(o.sv)
+				ref.writeVarint(o.sv)
+			case 3:
+				o.bytes = make([]byte, rng.Intn(40))
+				rng.Read(o.bytes)
+				e.WriteBytes(o.bytes)
+				ref.writeBytes(o.bytes)
+			case 4:
+				o.v = rng.Uint64()
+				e.WriteUint64(o.v)
+				ref.writeBits(o.v, 64)
+			}
+			script = append(script, o)
+		}
+		got, bits := e.Pack()
+		want := ref.pack()
+		if int64(len(ref.bits)) != bits {
+			t.Fatalf("trial %d: bit count %d, reference %d", trial, bits, len(ref.bits))
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: stream mismatch\n got %x\nwant %x", trial, got, want)
+		}
+		d := NewDecoder(got)
+		for i, o := range script {
+			switch o.kind {
+			case 0:
+				v, err := d.ReadBits(o.n)
+				if err != nil || v != o.v {
+					t.Fatalf("trial %d op %d: ReadBits = %d, %v; want %d", trial, i, v, err, o.v)
+				}
+			case 1:
+				v, err := d.ReadUvarint()
+				if err != nil || v != o.v {
+					t.Fatalf("trial %d op %d: ReadUvarint = %d, %v; want %d", trial, i, v, err, o.v)
+				}
+			case 2:
+				v, err := d.ReadVarint()
+				if err != nil || v != o.sv {
+					t.Fatalf("trial %d op %d: ReadVarint = %d, %v; want %d", trial, i, v, err, o.sv)
+				}
+			case 3:
+				p, err := d.ReadBytes()
+				if err != nil || !bytes.Equal(p, o.bytes) {
+					t.Fatalf("trial %d op %d: ReadBytes = %x, %v; want %x", trial, i, p, err, o.bytes)
+				}
+			case 4:
+				v, err := d.ReadUint64()
+				if err != nil || v != o.v {
+					t.Fatalf("trial %d op %d: ReadUint64 = %d, %v; want %d", trial, i, v, err, o.v)
+				}
+			}
+		}
+	}
+}
+
+// TestReadBytesBorrowAliasing documents the borrow contract: an aligned
+// borrow aliases the decoder's backing buffer (no copy), while ReadBytes
+// always returns an independent copy.
+func TestReadBytesBorrowAliasing(t *testing.T) {
+	e := NewEncoder()
+	e.WriteBytes([]byte("payload"))
+	data, _ := e.Pack()
+
+	d := NewDecoder(data)
+	borrowed, err := d.ReadBytesBorrow()
+	if err != nil || string(borrowed) != "payload" {
+		t.Fatalf("borrow = %q, %v", borrowed, err)
+	}
+	data[1] ^= 0xff // scribble on the backing frame
+	if string(borrowed) == "payload" {
+		t.Fatal("aligned borrow did not alias the frame buffer")
+	}
+	data[1] ^= 0xff
+
+	d = NewDecoder(data)
+	copied, err := d.ReadBytes()
+	if err != nil || string(copied) != "payload" {
+		t.Fatalf("copy = %q, %v", copied, err)
+	}
+	data[1] ^= 0xff
+	if string(copied) != "payload" {
+		t.Fatal("ReadBytes result aliases the frame buffer; must be a copy")
+	}
+}
+
+// TestReadBytesBorrowMisaligned forces a misaligned borrow (a leading
+// bool shifts the stream) and checks the fallback still yields the right
+// bytes.
+func TestReadBytesBorrowMisaligned(t *testing.T) {
+	e := NewEncoder()
+	e.WriteBool(true)
+	e.WriteBytes([]byte{0xaa, 0x55, 0x00, 0xff})
+	data, _ := e.Pack()
+	d := NewDecoder(data)
+	if _, err := d.ReadBool(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.ReadBytesBorrow()
+	if err != nil || !bytes.Equal(p, []byte{0xaa, 0x55, 0x00, 0xff}) {
+		t.Fatalf("misaligned borrow = %x, %v", p, err)
+	}
+}
+
+// TestReadBytesHugeLengthRejected feeds both byte readers a crafted
+// uvarint length near 2^61 — large enough that a naive bits-remaining
+// check overflows int64 — and requires a clean ErrShortMessage instead
+// of a panic (this is remotely reachable: frame payloads come from
+// peers).
+func TestReadBytesHugeLengthRejected(t *testing.T) {
+	e := NewEncoder()
+	e.WriteUvarint(1 << 61)
+	data, _ := e.Pack()
+	if _, err := NewDecoder(data).ReadBytes(); err != ErrShortMessage {
+		t.Fatalf("ReadBytes(huge length) = %v, want ErrShortMessage", err)
+	}
+	if _, err := NewDecoder(data).ReadBytesBorrow(); err != ErrShortMessage {
+		t.Fatalf("ReadBytesBorrow(huge length) = %v, want ErrShortMessage", err)
+	}
+}
+
+// TestEncoderRecycle checks that a recycled encoder starts clean: bytes
+// written after recycling are exactly the new payload, with no residue
+// from the previous life.
+func TestEncoderRecycle(t *testing.T) {
+	e := NewEncoder()
+	e.WriteBytes([]byte("first message with some length"))
+	data, _ := e.Pack()
+	Recycle(e, data)
+	e2 := NewEncoder() // may or may not be the same struct; both must work
+	e2.WriteUvarint(42)
+	got, bits := e2.Pack()
+	if bits != 8 || len(got) != 1 || got[0] != 42 {
+		t.Fatalf("recycled encoder produced %x (%d bits), want 2a (8 bits)", got, bits)
+	}
+}

@@ -13,6 +13,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Direction identifies the sender of a message.
@@ -116,8 +117,27 @@ type Encoder struct {
 	curN    uint // bits currently occupied in cur
 }
 
-// NewEncoder returns an empty encoder.
-func NewEncoder() *Encoder { return &Encoder{} }
+// encPool recycles Encoders (with their payload buffers attached) so the
+// steady-state send path allocates nothing. Encoders re-enter the pool
+// only through Recycle — called by consumers, such as netproto's framed
+// wire, that have fully copied the payload out. Encoders whose payload
+// escapes to the caller (Pack) simply fall to the garbage collector.
+var encPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// NewEncoder returns an empty encoder, drawn from an internal pool. An
+// encoder passed to a Send that documents recycling (netproto.Wire.Send)
+// must not be used again afterwards — it may already be serving another
+// goroutine.
+func NewEncoder() *Encoder { return encPool.Get().(*Encoder) }
+
+// Recycle returns an encoder and the payload buffer its finish/Pack
+// produced to the pool. Only the sole owner of buf may call it, after
+// fully consuming the bytes; retaining buf afterwards aliases a future
+// encoder's scratch.
+func Recycle(e *Encoder, buf []byte) {
+	e.buf, e.cur, e.curN, e.bitsUse = buf[:0], 0, 0, 0
+	encPool.Put(e)
+}
 
 // WriteBits appends the low n bits of v, most significant bit first.
 // n must be in [0, 64].
@@ -126,6 +146,17 @@ func (e *Encoder) WriteBits(v uint64, n uint) {
 		panic("transport: WriteBits width > 64")
 	}
 	e.bitsUse += int64(n)
+	if e.curN == 0 {
+		// Byte-aligned fast path: emit whole bytes directly. The bit
+		// stream is identical to the generic path — MSB first.
+		for n >= 8 {
+			n -= 8
+			e.buf = append(e.buf, byte(v>>n))
+		}
+		if n == 0 {
+			return
+		}
+	}
 	for n > 0 {
 		take := 8 - e.curN
 		if take > n {
@@ -152,18 +183,15 @@ func (e *Encoder) WriteBool(b bool) {
 }
 
 // WriteUvarint writes v in a bitwise varint: groups of 7 bits, each
-// preceded by a continue flag, costing 8 bits per 7 payload bits.
+// preceded by a continue flag, costing 8 bits per 7 payload bits. Each
+// group is one 8-bit write (flag in the high bit), so the bit stream is
+// the historical one while aligned encoders emit one byte per group.
 func (e *Encoder) WriteUvarint(v uint64) {
-	for {
-		if v < 0x80 {
-			e.WriteBits(0, 1)
-			e.WriteBits(v, 7)
-			return
-		}
-		e.WriteBits(1, 1)
-		e.WriteBits(v&0x7f, 7)
+	for v >= 0x80 {
+		e.WriteBits(0x80|v&0x7f, 8)
 		v >>= 7
 	}
+	e.WriteBits(v, 8)
 }
 
 // WriteVarint writes a signed value with zigzag coding.
@@ -177,6 +205,13 @@ func (e *Encoder) WriteUint64(v uint64) { e.WriteBits(v, 64) }
 // WriteBytes writes a length-prefixed byte string.
 func (e *Encoder) WriteBytes(p []byte) {
 	e.WriteUvarint(uint64(len(p)))
+	if e.curN == 0 {
+		// Aligned: the payload is appended wholesale instead of a bit at
+		// a time. Identical bytes either way.
+		e.buf = append(e.buf, p...)
+		e.bitsUse += int64(len(p)) * 8
+		return
+	}
 	for _, b := range p {
 		e.WriteBits(uint64(b), 8)
 	}
@@ -211,6 +246,11 @@ type Decoder struct {
 // NewDecoder wraps a payload.
 func NewDecoder(data []byte) *Decoder { return &Decoder{buf: data} }
 
+// Reset points the decoder at a new payload, reusing the struct. Wire
+// implementations that own a reusable frame buffer reset one decoder per
+// frame instead of allocating.
+func (d *Decoder) Reset(data []byte) { d.buf, d.pos = data, 0 }
+
 // ReadBits reads n bits written by WriteBits.
 func (d *Decoder) ReadBits(n uint) (uint64, error) {
 	if n > 64 {
@@ -220,6 +260,20 @@ func (d *Decoder) ReadBits(n uint) (uint64, error) {
 		return 0, ErrShortMessage
 	}
 	var v uint64
+	if d.pos&7 == 0 {
+		// Byte-aligned fast path: consume whole bytes (MSB first, the
+		// same bit order as the generic path).
+		i := d.pos >> 3
+		for n >= 8 {
+			v = v<<8 | uint64(d.buf[i])
+			i++
+			n -= 8
+		}
+		d.pos = i << 3
+		if n == 0 {
+			return v, nil
+		}
+	}
 	for n > 0 {
 		byteIdx := d.pos >> 3
 		bitOff := uint(d.pos & 7)
@@ -241,24 +295,22 @@ func (d *Decoder) ReadBool() (bool, error) {
 	return v == 1, err
 }
 
-// ReadUvarint reads a value written by WriteUvarint.
+// ReadUvarint reads a value written by WriteUvarint. Each group is one
+// 8-bit read (continue flag in the high bit) — the same bit stream the
+// historical 1+7 split consumed, at a fraction of the cost.
 func (d *Decoder) ReadUvarint() (uint64, error) {
 	var v uint64
 	var shift uint
 	for {
-		cont, err := d.ReadBits(1)
-		if err != nil {
-			return 0, err
-		}
-		chunk, err := d.ReadBits(7)
+		b, err := d.ReadBits(8)
 		if err != nil {
 			return 0, err
 		}
 		if shift >= 64 {
 			return 0, errors.New("transport: uvarint overflow")
 		}
-		v |= chunk << shift
-		if cont == 0 {
+		v |= (b & 0x7f) << shift
+		if b < 0x80 {
 			return v, nil
 		}
 		shift += 7
@@ -277,22 +329,60 @@ func (d *Decoder) ReadVarint() (int64, error) {
 // ReadUint64 reads a fixed 64-bit value.
 func (d *Decoder) ReadUint64() (uint64, error) { return d.ReadBits(64) }
 
-// ReadBytes reads a length-prefixed byte string.
+// ReadBytes reads a length-prefixed byte string. The returned slice is
+// freshly allocated and owned by the caller.
 func (d *Decoder) ReadBytes() ([]byte, error) {
 	n, err := d.ReadUvarint()
 	if err != nil {
 		return nil, err
 	}
-	if int64(n)*8 > int64(len(d.buf))*8-d.pos {
+	// Compare against the payload length before multiplying: a crafted
+	// length near 2^61 would overflow int64(n)*8 and slip past the
+	// remaining-bits check into a panicking allocation.
+	if n > uint64(len(d.buf)) || int64(n)*8 > int64(len(d.buf))*8-d.pos {
 		return nil, ErrShortMessage
 	}
 	p := make([]byte, n)
+	d.readBytesInto(p)
+	return p, nil
+}
+
+// ReadBytesBorrow reads a length-prefixed byte string without copying
+// when the string is byte-aligned in the payload (it always is when the
+// sender wrote only whole-byte values before it). The returned slice
+// aliases the decoder's backing buffer: it is valid only until the
+// backing frame is released or overwritten — for a netproto wire, until
+// the next Recv on that wire — and must not be mutated. Callers that
+// retain bytes use ReadBytes instead.
+func (d *Decoder) ReadBytesBorrow() ([]byte, error) {
+	n, err := d.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Overflow-safe bound, as in ReadBytes.
+	if n > uint64(len(d.buf)) || int64(n)*8 > int64(len(d.buf))*8-d.pos {
+		return nil, ErrShortMessage
+	}
+	if d.pos&7 == 0 {
+		i := d.pos >> 3
+		d.pos += int64(n) * 8
+		return d.buf[i : i+int64(n) : i+int64(n)], nil
+	}
+	p := make([]byte, n)
+	d.readBytesInto(p)
+	return p, nil
+}
+
+// readBytesInto fills p from the stream; the caller has bounds-checked.
+func (d *Decoder) readBytesInto(p []byte) {
+	if d.pos&7 == 0 {
+		i := d.pos >> 3
+		copy(p, d.buf[i:])
+		d.pos += int64(len(p)) * 8
+		return
+	}
 	for i := range p {
-		v, err := d.ReadBits(8)
-		if err != nil {
-			return nil, err
-		}
+		v, _ := d.ReadBits(8)
 		p[i] = byte(v)
 	}
-	return p, nil
 }
