@@ -83,6 +83,10 @@ type Config struct {
 	// sessions (defaults as in session.Dialer).
 	DialTimeout    time.Duration
 	SessionTimeout time.Duration
+	// Transport supplies the node's listeners and outbound connections
+	// (nil = the real network). A simnet host here moves the whole node
+	// — serving and anti-entropy dialing — onto the virtual network.
+	Transport session.Transport
 	// Logf, when set, receives reconciler progress lines.
 	Logf func(format string, args ...any)
 }
@@ -179,6 +183,13 @@ func New(cfg Config) (*Node, error) {
 		cfg.Logf = func(string, ...any) {}
 	}
 	cfg.Session.Resolver = netproto.StoreResolver(cfg.Store)
+	// The node and its embedded server must agree on one network, or
+	// anti-entropy would dial a different fabric than it serves. Either
+	// field may name the transport; Config.Transport wins when both set.
+	if cfg.Transport == nil {
+		cfg.Transport = cfg.Session.Transport
+	}
+	cfg.Session.Transport = cfg.Transport
 	n := &Node{
 		cfg:     cfg,
 		store:   cfg.Store,
@@ -194,6 +205,18 @@ func New(cfg Config) (*Node, error) {
 // Server exposes the embedded session server (stats, extra Handle
 // registrations).
 func (n *Node) Server() *session.Server { return n.srv }
+
+// Store exposes the node's set store (the simulation harness reads
+// fingerprints and plants churn through it).
+func (n *Node) Store() *store.Store { return n.store }
+
+// Quiesce blocks until every inbound session this node accepted has
+// fully completed — including server-side state application, which
+// outlives the initiator's session (a repair responder merges points
+// after sending its final frame). The deterministic harness quiesces
+// the whole mesh between rounds so each round starts from settled
+// state.
+func (n *Node) Quiesce() { n.srv.Quiesce() }
 
 // SetPeers replaces the member list (bootstrap: listen on every node
 // first, then install the exchanged addresses).
@@ -465,6 +488,7 @@ func (n *Node) dialer(addr, set string) session.Dialer {
 		Set:            set,
 		DialTimeout:    n.cfg.DialTimeout,
 		SessionTimeout: n.cfg.SessionTimeout,
+		Transport:      n.cfg.Transport,
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/live"
 	"repro/internal/metric"
 	"repro/internal/rng"
+	"repro/internal/simnet"
 	"repro/internal/store"
 )
 
@@ -54,23 +55,28 @@ func testStore(t *testing.T, node int) *store.Store {
 	return st
 }
 
-// startMesh builds and starts n manual-round nodes and installs the
-// full peer mesh.
-func startMesh(t *testing.T, count int) []*Node {
+// startMesh builds and starts n manual-round nodes over a deterministic
+// simnet (hermetic: no real ports or timers) and installs the full peer
+// mesh. The returned network is the fault-injection handle.
+func startMesh(t *testing.T, count int) ([]*Node, *simnet.Network) {
 	t.Helper()
+	net := simnet.New(uint64(7 + count))
 	nodes := make([]*Node, count)
 	addrs := make([]string, count)
 	for i := range nodes {
+		host := fmt.Sprintf("node%d", i)
 		n, err := New(Config{
-			Store:    testStore(t, i),
-			Interval: -1, // manual rounds
-			Seed:     uint64(1000 + i),
-			Logf:     t.Logf,
+			Store:     testStore(t, i),
+			Network:   "sim",
+			Interval:  -1, // manual rounds
+			Seed:      uint64(1000 + i),
+			Logf:      t.Logf,
+			Transport: net.Host(host),
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		l, err := n.Start("127.0.0.1:0")
+		l, err := n.Start(host + ":1")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -91,7 +97,16 @@ func startMesh(t *testing.T, count int) []*Node {
 			n.Close(time.Second) //nolint:errcheck
 		}
 	})
-	return nodes
+	return nodes, net
+}
+
+// settle quiesces every node, so server-side merges from the last round
+// are fully applied before state is read or the next round starts —
+// the same barrier the scenario harness uses for determinism.
+func settle(nodes []*Node) {
+	for _, n := range nodes {
+		n.Quiesce()
+	}
 }
 
 // meshConverged reports whether every set is fingerprint-identical
@@ -142,7 +157,7 @@ func churn(t *testing.T, n *Node, seed uint64) {
 // rounds, then convergence to fingerprint-identical state for every
 // named set within a bounded number of anti-entropy rounds.
 func TestClusterConvergenceUnderChurn(t *testing.T) {
-	nodes := startMesh(t, 3)
+	nodes, _ := startMesh(t, 3)
 
 	// Phase 1: anti-entropy racing churn.
 	for round := 0; round < 3; round++ {
@@ -153,6 +168,7 @@ func TestClusterConvergenceUnderChurn(t *testing.T) {
 			}
 		}
 	}
+	settle(nodes)
 
 	// Phase 2: churn stops; the mesh must converge within a bounded
 	// number of rounds. 2 choices of 2 peers probe everyone, so each
@@ -165,6 +181,7 @@ func TestClusterConvergenceUnderChurn(t *testing.T) {
 				t.Fatalf("settle round %d node %d: %v", round, i, err)
 			}
 		}
+		settle(nodes)
 		if meshConverged(t, nodes) {
 			converged = round
 			break
@@ -187,6 +204,7 @@ func TestClusterConvergenceUnderChurn(t *testing.T) {
 		if _, err := n.ReconcileOnce(); err != nil {
 			t.Fatalf("final round node %d: %v", i, err)
 		}
+		settle(nodes)
 		if !n.Converged(1) {
 			t.Fatalf("node %d does not report convergence: %v", i, n.Metrics())
 		}
@@ -209,7 +227,7 @@ func TestClusterConvergenceUnderChurn(t *testing.T) {
 // churning and converge among themselves; the node rejoins (fresh
 // address, same store) and catches up.
 func TestClusterPartitionRejoin(t *testing.T) {
-	nodes := startMesh(t, 3)
+	nodes, net := startMesh(t, 3)
 	a, b, c := nodes[0], nodes[1], nodes[2]
 
 	// C leaves the mesh.
@@ -223,6 +241,7 @@ func TestClusterPartitionRejoin(t *testing.T) {
 		churn(t, a, uint64(900+round))
 		a.ReconcileOnce() //nolint:errcheck // c is down; errors expected
 		b.ReconcileOnce() //nolint:errcheck
+		settle([]*Node{a, b})
 		if pairConverged(a, b) {
 			break
 		}
@@ -233,11 +252,18 @@ func TestClusterPartitionRejoin(t *testing.T) {
 
 	// C rejoins: same store, fresh node and address; the member lists
 	// update (a membership change, as a real rejoin would deliver).
-	c2, err := New(Config{Store: c.store, Interval: -1, Seed: 77, Logf: t.Logf})
+	c2, err := New(Config{
+		Store:     c.store,
+		Network:   "sim",
+		Interval:  -1,
+		Seed:      77,
+		Logf:      t.Logf,
+		Transport: net.Host("node2"),
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, err := c2.Start("127.0.0.1:0")
+	l, err := c2.Start("node2:2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,12 +283,70 @@ func TestClusterPartitionRejoin(t *testing.T) {
 				t.Logf("rejoin round %d node %d: %v", round, i, err)
 			}
 		}
+		settle(all)
 		if meshConverged(t, all) {
 			t.Logf("rejoined after %d rounds", round+1)
 			return
 		}
 	}
 	t.Fatal("rejoined node did not catch up within 12 rounds")
+}
+
+// TestClusterNetworkPartitionHeals drives a true network partition (the
+// nodes stay up; the simnet refuses cross-group dials) rather than a
+// member death: the majority side keeps churning, the minority backs
+// off, and after the heal the whole mesh converges again.
+func TestClusterNetworkPartitionHeals(t *testing.T) {
+	nodes, net := startMesh(t, 3)
+
+	// Everyone level first.
+	for round := 0; round < 6; round++ {
+		for _, n := range nodes {
+			n.ReconcileOnce() //nolint:errcheck
+		}
+		settle(nodes)
+		if meshConverged(t, nodes) {
+			break
+		}
+	}
+	if !meshConverged(t, nodes) {
+		t.Fatal("mesh did not level before the partition")
+	}
+
+	net.Partition([]string{"node0", "node1"}, []string{"node2"})
+	sawPartitionErr := false
+	for round := 0; round < 4; round++ {
+		churn(t, nodes[0], uint64(7000+round))
+		for _, n := range nodes {
+			if _, err := n.ReconcileOnce(); err != nil {
+				sawPartitionErr = true
+			}
+		}
+		settle(nodes)
+	}
+	if !sawPartitionErr {
+		t.Fatal("no reconcile error during the partition; the fault never bit")
+	}
+	if pairConverged(nodes[0], nodes[2]) {
+		t.Fatal("minority node converged across the partition")
+	}
+	if !pairConverged(nodes[0], nodes[1]) {
+		t.Fatal("majority side did not converge during the partition")
+	}
+
+	net.Heal()
+	// Backoff from the partition drains within MaxBackoff (8) rounds.
+	for round := 0; round < 20; round++ {
+		for _, n := range nodes {
+			n.ReconcileOnce() //nolint:errcheck
+		}
+		settle(nodes)
+		if meshConverged(t, nodes) {
+			t.Logf("healed after %d rounds", round+1)
+			return
+		}
+	}
+	t.Fatal("mesh did not converge after the heal")
 }
 
 func pairConverged(a, b *Node) bool {
@@ -280,16 +364,18 @@ func pairConverged(a, b *Node) bool {
 // off exponentially instead of hammering the dead address each round.
 func TestBackoffAfterDeadPeer(t *testing.T) {
 	st := testStore(t, 0)
+	net := simnet.New(3)
 	n, err := New(Config{
-		Store:       st,
-		Interval:    -1,
-		DialTimeout: 50 * time.Millisecond,
-		Peers:       []string{"127.0.0.1:1"}, // nothing listens here
+		Store:     st,
+		Network:   "sim",
+		Interval:  -1,
+		Peers:     []string{"ghost:1"}, // no such listener
+		Transport: net.Host("node0"),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, err := n.Start("127.0.0.1:0")
+	l, err := n.Start("node0:1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +402,7 @@ func TestBackoffAfterDeadPeer(t *testing.T) {
 // TestReconcileRespectsDroppedSets: dropping a set mid-life stops its
 // reconciliation without disturbing the others.
 func TestReconcileRespectsDroppedSets(t *testing.T) {
-	nodes := startMesh(t, 2)
+	nodes, _ := startMesh(t, 2)
 	a, b := nodes[0], nodes[1]
 	if !a.store.Drop("beta") {
 		t.Fatal("drop failed")
@@ -332,6 +418,7 @@ func TestReconcileRespectsDroppedSets(t *testing.T) {
 			lastErr = errB
 		}
 	}
+	settle(nodes)
 	// b still hosts beta and probes a for it; a rejects with unknown
 	// set — that error must not prevent alpha/default convergence.
 	for _, name := range []string{"", "alpha"} {

@@ -227,6 +227,13 @@ func DecodeFrom(d *transport.Decoder, seed uint64) (*Table, error) {
 	if q < 2 || q > 16 || cellsPerQ == 0 || cellsPerQ > 1<<30 {
 		return nil, fmt.Errorf("iblt: implausible geometry q=%d cells/q=%d", q, cellsPerQ)
 	}
+	// Every encoded cell costs at least 3 bytes (count varint, keyXor
+	// uvarint, checkXor uvarint), so a table the rest of the frame
+	// cannot hold is rejected before its cells are allocated: a hostile
+	// header must not reserve memory the payload never backs.
+	if cells := q * cellsPerQ; cells > uint64(d.Remaining())/3 {
+		return nil, fmt.Errorf("iblt: table of %d cells exceeds remaining frame (%d bytes)", cells, d.Remaining())
+	}
 	t := New(int(q*cellsPerQ), int(q), seed)
 	for i := range t.cells {
 		cnt, err := d.ReadVarint()

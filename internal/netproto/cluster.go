@@ -303,6 +303,12 @@ func readPointList(d *transport.Decoder) (metric.PointSet, error) {
 		if dim > 1<<20 {
 			return nil, fmt.Errorf("netproto: implausible point dimension %d in repair", dim)
 		}
+		// Each coordinate costs at least one wire byte; reject a
+		// dimension the rest of the frame cannot back before
+		// allocating the point.
+		if dim > uint64(d.Remaining()) {
+			return nil, fmt.Errorf("netproto: point dimension %d exceeds remaining frame (%d bytes)", dim, d.Remaining())
+		}
 		pt := make(metric.Point, dim)
 		for j := range pt {
 			v, err := d.ReadVarint()
@@ -323,6 +329,12 @@ func readIDList(d *transport.Decoder) ([]uint64, error) {
 	}
 	if n > uint64(maxFrame/8) {
 		return nil, fmt.Errorf("netproto: implausible ID count %d in repair", n)
+	}
+	// Each ID costs exactly 8 bytes on the wire, so a count the rest of
+	// the frame cannot back is rejected before the slice is allocated —
+	// a 5-byte hostile frame must not reserve 256 MB.
+	if n > uint64(d.Remaining())/8 {
+		return nil, fmt.Errorf("netproto: ID count %d exceeds remaining frame (%d bytes)", n, d.Remaining())
 	}
 	out := make([]uint64, n)
 	for i := range out {

@@ -2,7 +2,6 @@ package session
 
 import (
 	"fmt"
-	"net"
 	"time"
 
 	"repro/internal/netproto"
@@ -27,6 +26,10 @@ type Dialer struct {
 	// SessionTimeout is the absolute budget for the whole session
 	// (default 2 minutes; negative disables).
 	SessionTimeout time.Duration
+	// Transport supplies connections (nil = NetTransport, the real
+	// network). Point it at a simnet host to dial through the
+	// deterministic virtual network instead.
+	Transport Transport
 }
 
 // Do dials the server, negotiates a session for h, and runs its state
@@ -45,7 +48,11 @@ func (d Dialer) Do(h netproto.Handler) (transport.Stats, error) {
 	if sessionTimeout == 0 {
 		sessionTimeout = 2 * time.Minute
 	}
-	conn, err := net.DialTimeout(network, d.Addr, dialTimeout)
+	tr := d.Transport
+	if tr == nil {
+		tr = NetTransport
+	}
+	conn, err := tr.DialTimeout(network, d.Addr, dialTimeout)
 	if err != nil {
 		return transport.Stats{}, fmt.Errorf("session: dial %s %s: %w", network, d.Addr, err)
 	}

@@ -15,6 +15,15 @@ import (
 // ErrServerClosed is returned by Serve and ListenAndServe after Close.
 var ErrServerClosed = errors.New("session: server closed")
 
+// ErrListenerClosed is returned by Serve when the listener it was given
+// is closed out from under a still-open server. It is distinct from
+// ErrServerClosed (an orderly Close of the server itself) and from real
+// accept failures (fd exhaustion, a dead socket), so shutdown-order
+// tests — simnet scenarios tear listeners and servers down in scripted
+// sequences — can branch on errors.Is instead of racing on error
+// strings.
+var ErrListenerClosed = errors.New("session: listener closed")
+
 // Config tunes a Server. The zero value serves with the documented
 // defaults.
 type Config struct {
@@ -39,6 +48,10 @@ type Config struct {
 	// Logf, when set, receives one line per session and per accept
 	// error (e.g. log.Printf).
 	Logf func(format string, args ...any)
+	// Transport supplies listeners (nil = NetTransport, the real
+	// network). Point it at a simnet host to serve the deterministic
+	// virtual network instead.
+	Transport Transport
 }
 
 // Server accepts connections and runs each as a Session against a
@@ -52,6 +65,7 @@ type Server struct {
 	factories map[factoryKey]func() netproto.Handler
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{} // in-flight session connections
+	idle      *sync.Cond            // lazily built; signalled when conns drains (Quiesce)
 	closed    bool
 	serveErr  error // first terminal Serve failure
 
@@ -75,6 +89,9 @@ type factoryKey struct {
 func NewServer(cfg Config) *Server {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = 64
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = NetTransport
 	}
 	if cfg.SessionTimeout == 0 {
 		cfg.SessionTimeout = 2 * time.Minute
@@ -173,7 +190,7 @@ func (s *Server) Listen(network, addr string) (net.Listener, error) {
 	if closed {
 		return nil, ErrServerClosed
 	}
-	l, err := net.Listen(network, addr)
+	l, err := s.cfg.Transport.Listen(network, addr)
 	if err != nil {
 		return nil, err
 	}
@@ -215,6 +232,17 @@ func (s *Server) Serve(l net.Listener) error {
 			case <-s.done:
 				return ErrServerClosed
 			default:
+			}
+			// A closed listener on a still-open server is an orderly
+			// teardown of that one listener, not an accept failure:
+			// return the sentinel instead of the transport's wrapped
+			// error so callers need not match error strings. It is not
+			// recorded as the server's terminal failure — a server
+			// whose other listeners keep serving is still healthy and
+			// Err() must stay nil.
+			if errors.Is(err, net.ErrClosed) {
+				s.cfg.Logf("session: accept: %v", ErrListenerClosed)
+				return ErrListenerClosed
 			}
 			// Transient failures (fd exhaustion under load, interrupted
 			// accept) must not permanently stop the listener while the
@@ -263,7 +291,7 @@ func (s *Server) Serve(l net.Listener) error {
 
 // ListenAndServe announces on the network address and blocks serving it.
 func (s *Server) ListenAndServe(network, addr string) error {
-	l, err := net.Listen(network, addr)
+	l, err := s.cfg.Transport.Listen(network, addr)
 	if err != nil {
 		return err
 	}
@@ -277,6 +305,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
+		if len(s.conns) == 0 && s.idle != nil {
+			s.idle.Broadcast()
+		}
 		s.mu.Unlock()
 	}()
 
@@ -403,6 +434,31 @@ func (s *Server) Failed() uint64 { return s.failed.Load() }
 
 // Active returns the number of sessions currently mid-protocol.
 func (s *Server) Active() int64 { return s.active.Load() }
+
+// Quiesce blocks until every connection accepted so far has finished
+// its session and been fully torn down (handler done, accounting and
+// OnSession callback included). It does not stop the server or prevent
+// new connections; callers that need a stable barrier — the
+// deterministic simulation harness quiesces the whole mesh between
+// anti-entropy rounds, because a repair responder applies its merge
+// after the initiator's session already returned — must ensure no new
+// dials race the call.
+func (s *Server) Quiesce() {
+	s.mu.Lock()
+	for len(s.conns) > 0 {
+		s.idleWait().Wait()
+	}
+	s.mu.Unlock()
+}
+
+// idleWait returns the cond signalled when the in-flight connection set
+// drains. Caller holds s.mu.
+func (s *Server) idleWait() *sync.Cond {
+	if s.idle == nil {
+		s.idle = sync.NewCond(&s.mu)
+	}
+	return s.idle
+}
 
 // Close stops accepting, closes all listeners, and waits for running
 // sessions to finish (bounded by their connection deadlines).

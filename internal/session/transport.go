@@ -1,0 +1,34 @@
+package session
+
+import (
+	"net"
+	"time"
+)
+
+// Transport abstracts where connections come from, so the same server
+// and dialer run over real sockets in production and over the
+// deterministic in-memory network (internal/simnet) in simulation. The
+// two methods mirror net.Listen and net.DialTimeout; the network string
+// is passed through uninterpreted ("tcp"/"unix" for the real network,
+// "sim" by convention for simnet, which ignores it).
+type Transport interface {
+	// Listen announces on addr and returns the bound listener.
+	Listen(network, addr string) (net.Listener, error)
+	// DialTimeout connects to addr, failing after timeout.
+	DialTimeout(network, addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// netTransport is the real-network Transport (package net verbatim).
+type netTransport struct{}
+
+func (netTransport) Listen(network, addr string) (net.Listener, error) {
+	return net.Listen(network, addr)
+}
+
+func (netTransport) DialTimeout(network, addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout(network, addr, timeout)
+}
+
+// NetTransport is the default Transport: real TCP and unix sockets. A
+// nil Transport in Config or Dialer means this.
+var NetTransport Transport = netTransport{}

@@ -1,0 +1,571 @@
+// Package scenario is the harness that turns the simnet virtual
+// network into whole-stack robustness tests: a Scenario declares a
+// multi-node cluster topology, a fault schedule (partitions that heal,
+// latency skew, bandwidth caps, drop-at-offset link flaps), and a
+// churn workload; Run builds the mesh over one seeded simnet, drives
+// anti-entropy rounds sequentially, and checks the built-in invariants
+// — every named set converges to fingerprint equality AND to the
+// ground-truth union the harness tracked while churning, no connection
+// leaks after drain, and a pooled-buffer poison canary.
+//
+// Determinism: all workload points, peer choices, and fault samples
+// derive from the run seed; rounds and the sessions within them are
+// driven strictly sequentially from one goroutine; and simnet delivers
+// connection events in a reproducible order. The same (scenario, seed)
+// therefore yields a byte-identical event trace — which is both the
+// replay-debugging story (re-run the seed, get the same failure) and a
+// regression check in itself (CI diffs two runs).
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/emd"
+	"repro/internal/live"
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// SetSpec declares one named set hosted by every node.
+type SetSpec struct {
+	// Name is the set's namespace ("" = the default set).
+	Name string
+	// Base is the number of shared points every node starts with.
+	Base int
+	// PerNode is the number of node-private extra points (the initial
+	// divergence anti-entropy must repair).
+	PerNode int
+	// EMD, when true, maintains the live EMD sketch (exercising the
+	// delta/full pull tier on top of exact repair).
+	EMD bool
+	// Capacity bounds the set (default 4096; EMD sketch capacity).
+	Capacity int
+}
+
+// Fault is one scheduled fault-schedule entry, applied at the start of
+// its round. From/To are node indices.
+type Fault struct {
+	Round int
+	Kind  string // "partition" | "heal" | "latency" | "bandwidth" | "drop" | "down" | "up"
+
+	Groups   [][]int       // partition: node-index groups (unlisted nodes form a remainder group)
+	From, To int           // link faults
+	Min, Max time.Duration // latency window
+	BPS      int64         // bandwidth cap
+	Offset   int64         // drop-at-offset for the link's next connection
+}
+
+// Flaky schedules programmatic link flaps: every round below Rounds,
+// one random link is armed to drop its next connection at a random
+// byte offset in [1, MaxOffset] — both sampled from the run seed.
+type Flaky struct {
+	Rounds    int
+	MaxOffset int64
+}
+
+// Scenario declares a whole simulation.
+type Scenario struct {
+	Name string
+	Desc string
+	// Nodes is the mesh size.
+	Nodes int
+	// Sets are hosted by every node.
+	Sets []SetSpec
+	// Rounds caps the anti-entropy rounds driven before the run is
+	// declared non-converged.
+	Rounds int
+	// ChurnRounds is how many initial rounds apply churn (each node,
+	// each set: ChurnBatches × {add f0, add f1, remove f0} — the
+	// add-wins-safe pattern that never removes a replicated point).
+	ChurnRounds int
+	// ChurnBatches is the number of churn batches per node/set/round
+	// (default 1).
+	ChurnBatches int
+	// Faults is the scripted fault schedule.
+	Faults []Fault
+	// Flaky, when set, adds seeded random link flaps on top.
+	Flaky *Flaky
+	// Streak is how many consecutive all-converged rounds end the run
+	// (default 1).
+	Streak int
+}
+
+// Result is one run's outcome: the deterministic trace, the round
+// convergence was reached (-1 if never), and any invariant failures.
+type Result struct {
+	Scenario string
+	Seed     uint64
+	// ConvergedRound is the 0-based round after which every set was
+	// fingerprint-equal across all nodes for Streak rounds (-1: never).
+	ConvergedRound int
+	// RoundsRun is how many rounds executed.
+	RoundsRun int
+	// Failures lists violated invariants (empty on success; every entry
+	// is also a trace line, so trace diffs catch them too).
+	Failures []string
+	trace    []string
+}
+
+// Ok reports whether every invariant held.
+func (r *Result) Ok() bool { return len(r.Failures) == 0 }
+
+// Trace returns the deterministic event trace, one line per event.
+func (r *Result) Trace() []string { return append([]string(nil), r.trace...) }
+
+// TraceText returns the trace as one newline-joined blob (the byte
+// string CI's replay-determinism check diffs).
+func (r *Result) TraceText() string { return strings.Join(r.trace, "\n") + "\n" }
+
+// run is the mutable state of one Run.
+type run struct {
+	sc    Scenario
+	seed  uint64
+	net   *simnet.Network
+	nodes []*cluster.Node
+	// expected is the ground-truth union per set: base + every node's
+	// extras + every churn survivor, maintained as points are planted.
+	expected map[string]metric.PointSet
+	churnSrc *rng.Source
+	flakySrc *rng.Source
+
+	traceMu sync.Mutex // tracef is called from network-event goroutines too
+	res     *Result
+}
+
+const (
+	scenarioDim      = 64
+	scenarioSyncSeed = 0x51c2
+)
+
+// tracef appends one trace line. It must be safe for concurrent use:
+// the harness thread owns almost every line, but simnet cut events are
+// emitted from whichever goroutine's write crossed the fault (ordered
+// deterministically by simnet — before the chunk is delivered — but on
+// a different goroutine).
+func (r *run) tracef(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
+	r.traceMu.Lock()
+	r.res.trace = append(r.res.trace, line)
+	r.traceMu.Unlock()
+}
+
+func (r *run) failf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	r.res.Failures = append(r.res.Failures, msg)
+	r.tracef("FAIL: %s", msg)
+}
+
+func host(i int) string { return fmt.Sprintf("node%d", i) }
+
+// points derives a deterministic point set from the run seed and a
+// purpose tag, so every generator stream is independent.
+func (r *run) points(n int, tag uint64) metric.PointSet {
+	return workload.RandomSet(metric.HammingCube(scenarioDim), n, rng.New(r.seed^tag))
+}
+
+// Run executes the scenario over a fresh simnet seeded with seed and
+// returns the result; the error is non-nil only for invalid scenarios
+// (a failed run returns Ok() == false instead).
+func Run(sc Scenario, seed uint64) (*Result, error) {
+	if sc.Nodes < 2 {
+		return nil, fmt.Errorf("scenario %q: need at least 2 nodes", sc.Name)
+	}
+	if len(sc.Sets) == 0 {
+		return nil, fmt.Errorf("scenario %q: need at least one set", sc.Name)
+	}
+	if sc.Rounds <= 0 {
+		return nil, fmt.Errorf("scenario %q: need a positive round cap", sc.Name)
+	}
+	if sc.Flaky != nil && sc.Flaky.MaxOffset <= 0 {
+		return nil, fmt.Errorf("scenario %q: Flaky.MaxOffset must be positive", sc.Name)
+	}
+	if sc.Streak <= 0 {
+		sc.Streak = 1
+	}
+	if sc.ChurnBatches <= 0 {
+		sc.ChurnBatches = 1
+	}
+	r := &run{
+		sc:       sc,
+		seed:     seed,
+		net:      simnet.New(seed),
+		expected: make(map[string]metric.PointSet),
+		churnSrc: rng.New(seed ^ 0xc00c),
+		flakySrc: rng.New(seed ^ 0xf1a8),
+		res:      &Result{Scenario: sc.Name, Seed: seed, ConvergedRound: -1},
+	}
+	r.net.OnEvent = func(e simnet.Event) { r.tracef("  net: %s", e) }
+	r.tracef("# scenario %s seed %d: %d nodes, %d sets, <=%d rounds", sc.Name, seed, sc.Nodes, len(sc.Sets), sc.Rounds)
+
+	if err := r.buildMesh(); err != nil {
+		// Nodes started before the failure hold listeners and accept
+		// goroutines; a long-lived caller must not accumulate them.
+		for _, n := range r.nodes {
+			n.Close(0) //nolint:errcheck
+		}
+		return nil, err
+	}
+	r.drive()
+	r.checkGroundTruth()
+	r.canaryRound()
+	r.drain()
+	return r.res, nil
+}
+
+// buildMesh plants the stores and starts one cluster node per host.
+func (r *run) buildMesh() error {
+	space := metric.HammingCube(scenarioDim)
+	for i := 0; i < r.sc.Nodes; i++ {
+		st := store.New()
+		for si, spec := range r.sc.Sets {
+			base := r.points(spec.Base, uint64(si+1)*0xb45e)
+			extras := r.points(spec.PerNode, uint64(si+1)*0xe57a+uint64(i+1)*0x101)
+			capacity := spec.Capacity
+			if capacity <= 0 {
+				capacity = 4096
+			}
+			cfg := live.Config{Sync: &live.SyncConfig{Seed: scenarioSyncSeed}}
+			if spec.EMD {
+				p := emd.DefaultParams(space, capacity, 4, 7)
+				cfg.EMD = &p
+			}
+			if _, err := st.Create(spec.Name, cfg, append(base.Clone(), extras...)); err != nil {
+				return fmt.Errorf("scenario %q: %w", r.sc.Name, err)
+			}
+			r.expected[spec.Name] = append(r.expected[spec.Name], extras...)
+			if i == 0 {
+				r.expected[spec.Name] = append(r.expected[spec.Name], base...)
+			}
+		}
+		n, err := cluster.New(cluster.Config{
+			Store:          st,
+			Network:        "sim",
+			Interval:       -1, // harness-driven rounds
+			Seed:           r.seed + uint64(i)*0x9e37,
+			DialTimeout:    5 * time.Second,
+			SessionTimeout: 30 * time.Second,
+			Transport:      r.net.Host(host(i)),
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := n.Start(host(i) + ":1"); err != nil {
+			return err
+		}
+		r.nodes = append(r.nodes, n)
+	}
+	for i, n := range r.nodes {
+		var peers []string
+		for j := 0; j < r.sc.Nodes; j++ {
+			if j != i {
+				peers = append(peers, host(j)+":1")
+			}
+		}
+		n.SetPeers(peers)
+	}
+	return nil
+}
+
+// applyFaults installs every fault scheduled for the round.
+func (r *run) applyFaults(round int) {
+	for _, f := range r.sc.Faults {
+		if f.Round != round {
+			continue
+		}
+		switch f.Kind {
+		case "partition":
+			groups := make([][]string, len(f.Groups))
+			for gi, g := range f.Groups {
+				for _, ni := range g {
+					groups[gi] = append(groups[gi], host(ni))
+				}
+			}
+			r.tracef("fault: partition %v", groups)
+			r.net.Partition(groups...)
+		case "heal":
+			r.tracef("fault: heal")
+			r.net.Heal()
+		case "latency":
+			r.tracef("fault: latency %s--%s %v..%v", host(f.From), host(f.To), f.Min, f.Max)
+			r.net.SetLatency(host(f.From), host(f.To), f.Min, f.Max)
+		case "bandwidth":
+			r.tracef("fault: bandwidth %s--%s %dB/s", host(f.From), host(f.To), f.BPS)
+			r.net.SetBandwidth(host(f.From), host(f.To), f.BPS)
+		case "drop":
+			r.tracef("fault: drop %s--%s at offset %d", host(f.From), host(f.To), f.Offset)
+			r.net.DropAfter(host(f.From), host(f.To), f.Offset)
+		case "down":
+			r.tracef("fault: down %s--%s", host(f.From), host(f.To))
+			r.net.SetDown(host(f.From), host(f.To), true)
+		case "up":
+			r.tracef("fault: up %s--%s", host(f.From), host(f.To))
+			r.net.SetDown(host(f.From), host(f.To), false)
+		default:
+			r.failf("unknown fault kind %q at round %d", f.Kind, f.Round)
+		}
+	}
+	if fl := r.sc.Flaky; fl != nil && round < fl.Rounds {
+		a := r.flakySrc.Intn(r.sc.Nodes)
+		b := r.flakySrc.Intn(r.sc.Nodes - 1)
+		if b >= a {
+			b++
+		}
+		off := 1 + int64(r.flakySrc.Uint64n(uint64(fl.MaxOffset)))
+		r.tracef("fault: flaky drop %s--%s at offset %d", host(a), host(b), off)
+		r.net.DropAfter(host(a), host(b), off)
+	}
+}
+
+// churn applies the add-wins-safe churn pattern on every node and set,
+// extending the ground-truth union with the surviving point of each
+// batch (the removed point dies inside its own batch and is never
+// replicated).
+func (r *run) churn(round int) {
+	for i, n := range r.nodes {
+		for si, spec := range r.sc.Sets {
+			ls, ok := storeGet(n, spec.Name)
+			if !ok {
+				r.failf("node %d lost set %q", i, spec.Name)
+				continue
+			}
+			for b := 0; b < r.sc.ChurnBatches; b++ {
+				fresh := r.points(2, 0xcafe+uint64(round)*0x10000+uint64(i)*0x100+uint64(si)*0x10+uint64(b))
+				err := ls.ApplyBatch([]live.Op{
+					{Point: fresh[0]},
+					{Point: fresh[1]},
+					{Remove: true, Point: fresh[0]},
+				})
+				if err != nil {
+					r.failf("churn round %d node %d set %q: %v", round, i, spec.Name, err)
+					continue
+				}
+				r.expected[spec.Name] = append(r.expected[spec.Name], fresh[1])
+			}
+		}
+	}
+	r.tracef("churn: %d nodes x %d sets x %d batches", len(r.nodes), len(r.sc.Sets), r.sc.ChurnBatches)
+}
+
+// storeGet resolves a node's named set.
+func storeGet(n *cluster.Node, name string) (*live.Set, bool) {
+	return n.Store().Get(name)
+}
+
+// quiesce waits for every node's server to finish all accepted
+// sessions, so state reads and the next sessions see settled sets.
+func (r *run) quiesce() {
+	for _, n := range r.nodes {
+		n.Quiesce()
+	}
+}
+
+// fingerprintLine summarizes cross-node per-set fingerprints for the
+// trace and reports whether every set matches everywhere.
+func (r *run) fingerprintLine() (string, bool) {
+	var b strings.Builder
+	all := true
+	for si, spec := range r.sc.Sets {
+		var fp uint64
+		match := true
+		for i, n := range r.nodes {
+			ls, ok := storeGet(n, spec.Name)
+			if !ok {
+				match = false
+				continue
+			}
+			f := ls.IDFingerprint()
+			if i == 0 {
+				fp = f
+			} else if f != fp {
+				match = false
+			}
+		}
+		if si > 0 {
+			b.WriteString(" ")
+		}
+		name := spec.Name
+		if name == "" {
+			name = "<default>"
+		}
+		if match {
+			fmt.Fprintf(&b, "%s=%016x", name, fp)
+		} else {
+			fmt.Fprintf(&b, "%s=DIVERGED", name)
+			all = false
+		}
+	}
+	return b.String(), all
+}
+
+// drive runs the scheduled rounds until the convergence streak or the
+// round cap.
+func (r *run) drive() {
+	streak := 0
+	for round := 0; round < r.sc.Rounds; round++ {
+		r.res.RoundsRun = round + 1
+		r.tracef("[round %03d]", round)
+		r.applyFaults(round)
+		if round < r.sc.ChurnRounds {
+			r.churn(round)
+		}
+		for i, n := range r.nodes {
+			repaired, err := n.ReconcileOnce()
+			// Barrier: a repair responder applies its merge after the
+			// initiator's session returned, so the next node's round (and
+			// the fingerprint line below) must wait for every server to
+			// settle or the trace races the mesh's own goroutines.
+			r.quiesce()
+			if err != nil {
+				r.tracef("node %d: reconcile repaired=%d err: %v", i, repaired, err)
+			} else {
+				r.tracef("node %d: reconcile repaired=%d", i, repaired)
+			}
+		}
+		line, converged := r.fingerprintLine()
+		r.tracef("state: %s", line)
+		if converged && round >= r.sc.ChurnRounds {
+			streak++
+			if streak >= r.sc.Streak {
+				r.res.ConvergedRound = round
+				r.tracef("converged: round %d (streak %d)", round, streak)
+				break
+			}
+		} else {
+			streak = 0
+		}
+	}
+	if r.res.ConvergedRound < 0 {
+		r.failf("not converged after %d rounds", r.res.RoundsRun)
+	}
+	// Per-set metrics, sorted, once the mesh settles: a deterministic
+	// summary that widens the trace's nondeterminism-detection surface.
+	for i, n := range r.nodes {
+		m := n.Metrics()
+		names := make([]string, 0, len(m))
+		for name := range m {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			display := name
+			if display == "" {
+				display = "<default>"
+			}
+			r.tracef("metrics: node %d set %s: %v", i, display, m[name])
+		}
+	}
+}
+
+// checkGroundTruth verifies every node's every set equals the union the
+// harness planted: same distinct count, same ID fingerprint.
+func (r *run) checkGroundTruth() {
+	for _, spec := range r.sc.Sets {
+		// A reference set built straight from the planted union is the
+		// ground truth: same Sync seed, so fingerprints are comparable.
+		ref, err := live.NewSet(live.Config{Sync: &live.SyncConfig{Seed: scenarioSyncSeed}}, r.expected[spec.Name])
+		if err != nil {
+			r.failf("ground-truth set %q: %v", spec.Name, err)
+			continue
+		}
+		fp, distinct := ref.IDFingerprint(), ref.Distinct()
+		for i, n := range r.nodes {
+			ls, ok := storeGet(n, spec.Name)
+			if !ok {
+				r.failf("node %d lost set %q", i, spec.Name)
+				continue
+			}
+			if got := ls.IDFingerprint(); got != fp {
+				r.failf("node %d set %q fingerprint %016x != ground-truth union %016x", i, spec.Name, got, fp)
+			}
+			if got := ls.Distinct(); got != distinct {
+				r.failf("node %d set %q has %d distinct points, ground truth %d", i, spec.Name, got, distinct)
+			}
+		}
+	}
+	r.tracef("ground truth: %d sets checked against planted unions", len(r.sc.Sets))
+}
+
+// canaryRound is the pooled-buffer ownership check: poison a batch of
+// pooled encoders (whose backing arrays are the recycled buffers of the
+// run's sessions), hold them across one extra full anti-entropy round,
+// and require the round to be all-noops with unchanged fingerprints. A
+// handler that kept a reference into a recycled buffer — or recycled
+// one it no longer owned — surfaces here as a corrupted frame or a
+// diverged set.
+func (r *run) canaryRound() {
+	if r.res.ConvergedRound < 0 {
+		return // nothing meaningful to check against
+	}
+	// The canary round asserts buffer ownership on a clean network: an
+	// armed drop waiting on a link that was never dialed again, a link
+	// a scripted schedule left down, or an unhealed partition would
+	// all be mislabeled as canary failures.
+	r.net.ClearFaults()
+	before, ok := r.fingerprintLine()
+	if !ok {
+		r.failf("canary: mesh diverged before the canary round")
+		return
+	}
+	release := PoisonPool(16, 4096)
+	for i, n := range r.nodes {
+		if _, err := n.ReconcileOnce(); err != nil {
+			r.failf("canary: node %d round errored: %v", i, err)
+		}
+		r.quiesce()
+	}
+	release()
+	after, ok := r.fingerprintLine()
+	if !ok || after != before {
+		r.failf("canary: fingerprints changed under pooled-buffer poison: %s -> %s", before, after)
+		return
+	}
+	r.tracef("canary: ok (poisoned pool, round stayed converged)")
+}
+
+// PoisonPool grabs count pooled encoders — whose backing arrays are
+// recycled session buffers — and scribbles size bytes of junk into
+// each, holding them until the returned release func runs. Any code
+// path that kept a reference into pooled memory it no longer owns is
+// exposed while the poison is live. Shared by the scenario canary
+// round and the mid-stream failure matrix.
+func PoisonPool(count, size int) (release func()) {
+	junk := make([]byte, size)
+	for i := range junk {
+		junk[i] = 0xde
+	}
+	poison := make([]*transport.Encoder, count)
+	for i := range poison {
+		poison[i] = transport.NewEncoder()
+		poison[i].WriteBytes(junk)
+	}
+	return func() {
+		for _, p := range poison {
+			data, _ := p.Pack()
+			transport.Recycle(p, data) // encoder and poison buffer go back to the pool
+		}
+	}
+}
+
+// drain closes every node with a bounded drain and checks the virtual
+// network for leaked connections.
+func (r *run) drain() {
+	for i, n := range r.nodes {
+		if err := n.Close(2 * time.Second); err != nil {
+			r.failf("drain: node %d close: %v", i, err)
+		}
+	}
+	if open := r.net.OpenConns(); open != 0 {
+		r.failf("drain: %d connection endpoints leaked", open)
+	} else {
+		r.tracef("drain: ok (0 leaked conns)")
+	}
+}

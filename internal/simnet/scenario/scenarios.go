@@ -1,0 +1,82 @@
+package scenario
+
+import "time"
+
+// Builtin returns the shipped scenario catalog, in a stable order.
+// Each is a whole-stack robustness claim: the mesh converges every
+// hosted set to the planted ground-truth union despite the scripted
+// faults, leaks nothing, and produces a seed-reproducible trace.
+func Builtin() []Scenario {
+	return []Scenario{
+		{
+			Name:  "partition-rejoin",
+			Desc:  "3-node mesh; one node is partitioned away at round 1 while churn continues everywhere, the partition heals at round 6, and the mesh must re-converge (the returning node catching up via delta pulls and exact repair).",
+			Nodes: 3,
+			Sets: []SetSpec{
+				{Name: "", Base: 20, PerNode: 5, Capacity: 256},
+				{Name: "alpha", Base: 20, PerNode: 5, EMD: true, Capacity: 256},
+				{Name: "beta", Base: 16, PerNode: 4, Capacity: 256},
+			},
+			Rounds:      30,
+			ChurnRounds: 6,
+			Faults: []Fault{
+				{Round: 1, Kind: "partition", Groups: [][]int{{0, 1}, {2}}},
+				{Round: 6, Kind: "heal"},
+			},
+			Streak: 2,
+		},
+		{
+			Name:  "asymmetric-latency",
+			Desc:  "3-node mesh with skewed link latencies (one fast pair, one slow pair) and a bandwidth cap on the slow link; convergence must not depend on uniform timing.",
+			Nodes: 3,
+			Sets: []SetSpec{
+				{Name: "", Base: 20, PerNode: 5, Capacity: 256},
+				{Name: "alpha", Base: 16, PerNode: 4, EMD: true, Capacity: 256},
+			},
+			Rounds:      20,
+			ChurnRounds: 4,
+			Faults: []Fault{
+				{Round: 0, Kind: "latency", From: 0, To: 1, Min: 50 * time.Microsecond, Max: 200 * time.Microsecond},
+				{Round: 0, Kind: "latency", From: 0, To: 2, Min: 1 * time.Millisecond, Max: 3 * time.Millisecond},
+				{Round: 0, Kind: "latency", From: 1, To: 2, Min: 200 * time.Microsecond, Max: 500 * time.Microsecond},
+				{Round: 0, Kind: "bandwidth", From: 0, To: 2, BPS: 2 << 20},
+			},
+			Streak: 2,
+		},
+		{
+			Name:  "flaky-link-soak",
+			Desc:  "4-node mesh soaked with random one-shot connection drops (a random link loses its next connection at a random byte offset, every round for 10 rounds) while churn runs; repair must retry around the flaps and still converge exactly.",
+			Nodes: 4,
+			Sets: []SetSpec{
+				{Name: "", Base: 20, PerNode: 5, Capacity: 256},
+				{Name: "alpha", Base: 16, PerNode: 4, EMD: true, Capacity: 256},
+			},
+			Rounds:      40,
+			ChurnRounds: 8,
+			Flaky:       &Flaky{Rounds: 10, MaxOffset: 4096},
+			Streak:      2,
+		},
+		{
+			Name:  "mesh-10",
+			Desc:  "10-node mesh: power-of-two-choices probing must spread the anti-entropy work and converge the whole mesh in a bounded number of rounds.",
+			Nodes: 10,
+			Sets: []SetSpec{
+				{Name: "", Base: 16, PerNode: 3, Capacity: 512},
+				{Name: "alpha", Base: 12, PerNode: 2, EMD: true, Capacity: 256},
+			},
+			Rounds:      40,
+			ChurnRounds: 3,
+			Streak:      1,
+		},
+	}
+}
+
+// Lookup resolves a scenario by name.
+func Lookup(name string) (Scenario, bool) {
+	for _, sc := range Builtin() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}

@@ -1,0 +1,377 @@
+package simnet
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// serveEcho accepts one connection and echoes everything it reads.
+func serveEcho(t *testing.T, l net.Listener) {
+	t.Helper()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		io.Copy(c, c) //nolint:errcheck
+	}()
+}
+
+func TestDialListenEcho(t *testing.T) {
+	n := New(1)
+	l, err := n.Host("srv").Listen("sim", "srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	serveEcho(t, l)
+	c, err := n.Host("cli").DialTimeout("sim", "srv:1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello through the virtual wire")
+	var got []byte
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, len(msg))
+		_, err := io.ReadFull(c, buf)
+		got = buf
+		done <- err
+	}()
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("echo = %q, want %q", got, msg)
+	}
+	c.Close()
+	if la, ra := c.LocalAddr().String(), c.RemoteAddr().String(); !strings.HasPrefix(la, "cli:") || ra != "srv:1" {
+		t.Fatalf("addrs = %s / %s", la, ra)
+	}
+}
+
+func TestDialRefusedWithoutListener(t *testing.T) {
+	n := New(1)
+	_, err := n.Host("cli").DialTimeout("sim", "ghost:1", time.Second)
+	if err == nil || !strings.Contains(err.Error(), "connection refused") {
+		t.Fatalf("err = %v, want connection refused", err)
+	}
+}
+
+func TestPartitionBlocksAndHeals(t *testing.T) {
+	n := New(1)
+	l, err := n.Host("b").Listen("sim", "b:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	serveEcho(t, l)
+	// A live connection across the divide is severed when the partition
+	// lands, with the canonical cut error on both ends.
+	c, err := n.Host("a").DialTimeout("sim", "b:1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Partition([]string{"a"}, []string{"b"})
+	if _, err := c.Write([]byte("x")); err == nil || !strings.Contains(err.Error(), "cut (partition)") {
+		t.Fatalf("write on severed conn: %v", err)
+	}
+	c.Close()
+	if _, err := n.Host("a").DialTimeout("sim", "b:1", time.Second); err == nil || !strings.Contains(err.Error(), "partition") {
+		t.Fatalf("dial across partition: %v", err)
+	}
+	// Hosts in the same group still reach each other.
+	l2, err := n.Host("a").Listen("sim", "a:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	serveEcho(t, l2)
+	if c2, err := n.Host("a").DialTimeout("sim", "a:1", time.Second); err != nil {
+		t.Fatalf("same-group dial: %v", err)
+	} else {
+		c2.Close()
+	}
+	n.Heal()
+	c3, err := n.Host("a").DialTimeout("sim", "b:1", time.Second)
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	c3.Close()
+}
+
+// TestDropAtOffset verifies the byte-exact cut: the peer receives
+// exactly offset bytes, and both endpoints then fail with the same
+// canonical error naming the offset.
+func TestDropAtOffset(t *testing.T) {
+	const offset = 10
+	n := New(1)
+	l, err := n.Host("srv").Listen("sim", "srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	type recvResult struct {
+		data []byte
+		err  error
+	}
+	recvd := make(chan recvResult, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			recvd <- recvResult{err: err}
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 64)
+		total := 0
+		for {
+			m, err := c.Read(buf[total:])
+			total += m
+			if err != nil {
+				recvd <- recvResult{data: buf[:total], err: err}
+				return
+			}
+		}
+	}()
+	n.DropAfter("cli", "srv", offset)
+	c, err := n.Host("cli").DialTimeout("sim", "srv:1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	wrote, err := c.Write([]byte("0123456789abcdef"))
+	if err == nil || !strings.Contains(err.Error(), "cut (drop-at-offset) at byte offset 10") {
+		t.Fatalf("write: n=%d err=%v", wrote, err)
+	}
+	if wrote != offset {
+		t.Fatalf("wrote %d bytes, want %d", wrote, offset)
+	}
+	r := <-recvd
+	if string(r.data) != "0123456789" {
+		t.Fatalf("peer received %q, want the 10-byte prefix", r.data)
+	}
+	if r.err == nil || !strings.Contains(r.err.Error(), "cut (drop-at-offset) at byte offset 10") {
+		t.Fatalf("peer read error = %v, want canonical cut error", r.err)
+	}
+	// The fault is one-shot: a fresh connection on the link is clean.
+	serveEcho(t, l)
+	c2, err := n.Host("cli").DialTimeout("sim", "srv:1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Write([]byte("ok")); err != nil {
+		t.Fatalf("write on fresh conn after one-shot drop: %v", err)
+	}
+}
+
+func TestSetDownRefusesAndRecovers(t *testing.T) {
+	n := New(1)
+	l, err := n.Host("b").Listen("sim", "b:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	serveEcho(t, l)
+	n.SetDown("a", "b", true)
+	if _, err := n.Host("a").DialTimeout("sim", "b:1", time.Second); err == nil || !strings.Contains(err.Error(), "link down") {
+		t.Fatalf("dial on downed link: %v", err)
+	}
+	n.SetDown("a", "b", false)
+	c, err := n.Host("a").DialTimeout("sim", "b:1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+}
+
+func TestDeadlines(t *testing.T) {
+	n := New(1)
+	l, err := n.Host("b").Listen("sim", "b:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, _ := l.Accept()
+		if c != nil {
+			defer c.Close()
+			time.Sleep(time.Second) // never writes
+		}
+	}()
+	c, err := n.Host("a").DialTimeout("sim", "b:1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(20 * time.Millisecond)) //nolint:errcheck
+	var buf [1]byte
+	if _, err := c.Read(buf[:]); !os.IsTimeout(err) {
+		t.Fatalf("read past deadline: %v", err)
+	}
+}
+
+// TestConnWritesRecordsChunks pins the accounting the mid-stream matrix
+// relies on: chunk sizes in delivery order, per connection in dial
+// order.
+func TestConnWritesRecordsChunks(t *testing.T) {
+	n := New(1)
+	l, err := n.Host("srv").Listen("sim", "srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ready := make(chan struct{})
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 7)
+		io.ReadFull(c, buf)     //nolint:errcheck
+		c.Write([]byte("ack"))  //nolint:errcheck
+		io.ReadFull(c, buf[:2]) //nolint:errcheck
+		close(ready)
+	}()
+	c, err := n.Host("cli").DialTimeout("sim", "srv:1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Write([]byte("1234567")) //nolint:errcheck
+	ackBuf := make([]byte, 3)
+	io.ReadFull(c, ackBuf) //nolint:errcheck
+	c.Write([]byte("89"))  //nolint:errcheck
+	<-ready
+	c.Close()
+	writes := n.ConnWrites("cli", "srv")
+	if len(writes) != 1 {
+		t.Fatalf("conn count = %d, want 1", len(writes))
+	}
+	want := []int{7, 3, 2}
+	if fmt.Sprint(writes[0]) != fmt.Sprint(want) {
+		t.Fatalf("writes = %v, want %v", writes[0], want)
+	}
+}
+
+// TestLatencyDelaysDelivery sanity-checks that a configured latency
+// window actually delays a chunk, and that the delay is sampled inside
+// the window.
+func TestLatencyDelaysDelivery(t *testing.T) {
+	n := New(99)
+	n.SetLatency("a", "b", 30*time.Millisecond, 40*time.Millisecond)
+	l, err := n.Host("b").Listen("sim", "b:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	serveEcho(t, l)
+	c, err := n.Host("a").DialTimeout("sim", "b:1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	c.Write([]byte("x")) //nolint:errcheck
+	var buf [1]byte
+	io.ReadFull(c, buf[:]) //nolint:errcheck
+	// One chunk each way: at least 2×30ms of injected delay.
+	if d := time.Since(start); d < 60*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= 60ms of injected latency", d)
+	}
+}
+
+// TestEventOrderDeterminism replays the same scripted usage on two
+// same-seeded networks and requires identical event streams.
+func TestEventOrderDeterminism(t *testing.T) {
+	script := func(seed uint64) []string {
+		var mu sync.Mutex
+		var events []string
+		n := New(seed)
+		n.OnEvent = func(e Event) {
+			mu.Lock()
+			events = append(events, e.String())
+			mu.Unlock()
+		}
+		l, err := n.Host("srv").Listen("sim", "srv:1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		serveEcho(t, l)
+		n.DropAfter("cli", "srv", 4)
+		c, err := n.Host("cli").DialTimeout("sim", "srv:1", time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Write([]byte("123456")) //nolint:errcheck
+		c.Close()
+		n.Partition([]string{"cli"}, []string{"srv"})
+		n.Host("cli").DialTimeout("sim", "srv:1", time.Second) //nolint:errcheck
+		n.Heal()
+		if c2, err := n.Host("cli").DialTimeout("sim", "srv:1", time.Second); err != nil {
+			t.Fatal(err)
+		} else {
+			c2.Close()
+		}
+		return events
+	}
+	a, b := script(42), script(42)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("event streams diverged:\n%v\n%v", a, b)
+	}
+	want := []string{
+		"dial cli->srv",
+		"cut cli->srv (drop-at-offset @4B)",
+		"refused cli->srv (host unreachable (partition))",
+		"dial cli->srv",
+	}
+	if fmt.Sprint(a) != fmt.Sprint(want) {
+		t.Fatalf("events = %v, want %v", a, want)
+	}
+}
+
+// TestOpenConnsTracksLeaks: both endpoints count until closed.
+func TestOpenConnsTracksLeaks(t *testing.T) {
+	n := New(1)
+	l, err := n.Host("srv").Listen("sim", "srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := n.Host("cli").DialTimeout("sim", "srv:1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := <-accepted
+	if got := n.OpenConns(); got != 2 {
+		t.Fatalf("open = %d, want 2", got)
+	}
+	c.Close()
+	c.Close() // idempotent
+	if got := n.OpenConns(); got != 1 {
+		t.Fatalf("open after client close = %d, want 1", got)
+	}
+	sv.Close()
+	if got := n.OpenConns(); got != 0 {
+		t.Fatalf("open after both closed = %d, want 0", got)
+	}
+}

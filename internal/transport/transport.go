@@ -251,6 +251,18 @@ func NewDecoder(data []byte) *Decoder { return &Decoder{buf: data} }
 // frame instead of allocating.
 func (d *Decoder) Reset(data []byte) { d.buf, d.pos = data, 0 }
 
+// Remaining returns how many whole bytes are left to read. Structure
+// decoders use it to reject peer-supplied element counts that the rest
+// of the frame could not possibly encode, *before* allocating for them
+// — a few hostile header bytes must not reserve gigabytes.
+func (d *Decoder) Remaining() int {
+	rem := int64(len(d.buf)) - (d.pos+7)/8
+	if rem < 0 {
+		return 0
+	}
+	return int(rem)
+}
+
 // ReadBits reads n bits written by WriteBits.
 func (d *Decoder) ReadBits(n uint) (uint64, error) {
 	if n > 64 {
