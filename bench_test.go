@@ -10,11 +10,13 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/matching"
 	"repro/internal/netproto"
 	"repro/internal/session"
+	"repro/internal/simnet/scenario"
 	"repro/internal/workload"
 )
 
@@ -291,4 +293,57 @@ func BenchmarkServerThroughput(b *testing.B) {
 			}
 		})
 	}
+}
+
+// benchClusterRound drives a tiny two-node latency-bound mesh through
+// anti-entropy to convergence and reports the wall-clock and dial cost
+// per round. Every link write pays a fixed simulated latency, so the
+// measurement is dominated by deterministic protocol round trips, not
+// CPU: the metric compares how many serialized latency waits each
+// transport generation needs per round.
+func benchClusterRound(b *testing.B, disableMux bool, pipeline int) {
+	sc := scenario.Scenario{
+		Name:  "bench-rtt",
+		Nodes: 2,
+		Sets: []scenario.SetSpec{
+			{Name: "", Base: 48, PerNode: 6},
+			{Name: "beta", Base: 48, PerNode: 6},
+		},
+		Rounds:      10,
+		ChurnRounds: 2,
+		Streak:      1,
+		DisableMux:  disableMux,
+		Pipeline:    pipeline,
+		LatencyMin:  50 * time.Millisecond,
+		LatencyMax:  50 * time.Millisecond,
+	}
+	b.ResetTimer()
+	var rounds, dials uint64
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.Run(sc, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Ok() {
+			b.Fatalf("bench mesh failed invariants: %v", res.Failures)
+		}
+		rounds += uint64(res.RoundsRun)
+		dials += res.Dials
+	}
+	b.StopTimer()
+	if rounds > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(rounds), "ns/round")
+		b.ReportMetric(float64(dials)/float64(rounds), "dials/round")
+		b.ReportMetric(float64(rounds)/float64(b.N), "rounds-to-converge")
+	}
+}
+
+// BenchmarkClusterRoundRTT is the latency-bound before/after for RSYN
+// v3: the v2 shape dials one connection per session and reconciles
+// strictly sequentially; the v3 shape rides pooled carriers and
+// pipelines both sets' sessions per round. CI gates ns/round and
+// dials/round against BENCH_PR6.json.
+func BenchmarkClusterRoundRTT(b *testing.B) {
+	b.Run("v2-plain", func(b *testing.B) { benchClusterRound(b, true, 1) })
+	b.Run("v3-mux", func(b *testing.B) { benchClusterRound(b, false, 2) })
 }

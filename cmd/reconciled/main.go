@@ -100,6 +100,9 @@ type config struct {
 	workers     int
 	maxSessions int
 	timeout     time.Duration
+	// mux pools one RSYN v3 carrier connection per peer (cluster modes)
+	// and serves v3 carrier hellos; false emulates a pre-v3 daemon.
+	mux bool
 }
 
 // fixture is the deterministic two-party state both endpoints derive
@@ -275,6 +278,7 @@ func main() {
 	mutate := flag.Int("mutate", 0, "live-set churn: demo mutation count, or server mutations/sec")
 
 	workers := flag.Int("workers", 0, "sketch-construction workers (0 = GOMAXPROCS)")
+	mux := flag.Bool("mux", true, "pool one RSYN v3 carrier per peer (cluster modes) and serve v3 carriers; -mux=false emulates a pre-v3 daemon")
 	maxSessions := flag.Int("max-sessions", 64, "concurrent session cap (server)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-session deadline")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -295,6 +299,7 @@ func main() {
 		d: *d, n: *n, k: *k, noise: *noise, r1: *r1, r2: *r2,
 		diff: *diff, seed: *seed, mutate: *mutate,
 		workers: *workers, maxSessions: *maxSessions, timeout: *timeout,
+		mux: *mux,
 	}
 	if cfg.r2 == 0 {
 		cfg.r2 = float64(cfg.d)
@@ -335,6 +340,7 @@ func newServer(cfg config, f *fixture, logf func(string, ...any)) (*session.Serv
 	srv := session.NewServer(session.Config{
 		MaxSessions:    cfg.maxSessions,
 		SessionTimeout: cfg.timeout,
+		DisableMux:     !cfg.mux,
 		Logf:           logf,
 	})
 	srv.Handle(func() netproto.Handler { return netproto.NewSetSetsResponder(f.ssParams, f.serverKids) })
@@ -523,12 +529,13 @@ func runCluster(cfg config, f *fixture, addr, peersCSV, setsCSV string, interval
 		fail("cluster store: %v", err)
 	}
 	node, err := cluster.New(cluster.Config{
-		Store:    st,
-		Peers:    peers,
-		Network:  network,
-		Interval: interval,
-		Seed:     cfg.seed ^ hashAddr(addr),
-		Logf:     logger.Printf,
+		Store:      st,
+		Peers:      peers,
+		Network:    network,
+		Interval:   interval,
+		Seed:       cfg.seed ^ hashAddr(addr),
+		DisableMux: !cfg.mux,
+		Logf:       logger.Printf,
 		Session: session.Config{
 			MaxSessions:    cfg.maxSessions,
 			SessionTimeout: cfg.timeout,
@@ -590,6 +597,7 @@ func runCluster(cfg config, f *fixture, addr, peersCSV, setsCSV string, interval
 		logger.Printf("set %s: %v", name, m)
 	}
 	total, _ := node.Server().Stats()
+	logger.Printf("net: %s", node.NetStats())
 	logger.Printf("final: %d sessions ok, %d failed; %s; store %s",
 		node.Server().Served(), node.Server().Failed(), total, st.Stats())
 }
@@ -617,9 +625,10 @@ func runClusterDemo(cfg config, f *fixture, count int, setsCSV string, drain tim
 		}
 		stores[i] = st
 		node, err := cluster.New(cluster.Config{
-			Store:    st,
-			Interval: -1, // demo drives rounds manually
-			Seed:     cfg.seed + uint64(i),
+			Store:      st,
+			Interval:   -1, // demo drives rounds manually
+			Seed:       cfg.seed + uint64(i),
+			DisableMux: !cfg.mux,
 		})
 		if err != nil {
 			fail("cluster node %d: %v", i, err)
@@ -717,6 +726,18 @@ func runClusterDemo(cfg config, f *fixture, count int, setsCSV string, drain tim
 	}
 	fmt.Printf("cluster-demo: v1 client vs default namespace: %d server-only / %d client-only IDs\n",
 		len(h.TheirsOnly), len(h.MinesOnly))
+	// Dial economy: with pooled v3 carriers the mesh reuses one
+	// connection per peer across every session; without (-mux=false)
+	// dials equal sessions.
+	var net session.PoolStats
+	for _, n := range nodes {
+		ns := n.NetStats()
+		net.Dials += ns.Dials
+		net.Reuses += ns.Reuses
+		net.Fallbacks += ns.Fallbacks
+		net.Sessions += ns.Sessions
+	}
+	fmt.Printf("cluster-demo: net: %s\n", net)
 	fmt.Printf("cluster-demo: converged in %d settle rounds, %v total\n",
 		rounds, time.Since(start).Round(time.Millisecond))
 }

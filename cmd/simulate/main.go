@@ -14,6 +14,7 @@
 //	simulate -list
 //	simulate -scenario partition-rejoin -seed 42
 //	simulate -scenario flaky-link-soak -seed 7 -trace trace.txt
+//	simulate -scenario mesh-10-latency -mux=false   # per-session dialing baseline
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 		list     = flag.Bool("list", false, "list available scenarios and exit")
 		traceOut = flag.String("trace", "-", "write the event trace here (- = stdout)")
 		quiet    = flag.Bool("q", false, "suppress the stdout trace (a -trace file is still written)")
+		mux      = flag.Bool("mux", true, "pool one RSYN v3 carrier per peer; -mux=false dials a connection per session (v2 behavior)")
 	)
 	flag.Parse()
 
@@ -44,6 +46,9 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "simulate: unknown scenario %q (try -list)\n", *name)
 		os.Exit(2)
+	}
+	if !*mux {
+		sc.DisableMux = true
 	}
 	res, err := scenario.Run(sc, *seed)
 	if err != nil {
@@ -66,8 +71,8 @@ func main() {
 	if !res.Ok() {
 		status = fmt.Sprintf("FAILED (%d invariant violations)", len(res.Failures))
 	}
-	fmt.Fprintf(os.Stderr, "simulate: %s seed=%d rounds=%d converged=%d: %s\n",
-		res.Scenario, res.Seed, res.RoundsRun, res.ConvergedRound, status)
+	fmt.Fprintf(os.Stderr, "simulate: %s seed=%d rounds=%d converged=%d sessions=%d dials=%d: %s\n",
+		res.Scenario, res.Seed, res.RoundsRun, res.ConvergedRound, res.Sessions, res.Dials, status)
 	if !res.Ok() {
 		for _, f := range res.Failures {
 			fmt.Fprintf(os.Stderr, "  - %s\n", f)

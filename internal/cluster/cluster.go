@@ -44,6 +44,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/live"
@@ -83,6 +84,21 @@ type Config struct {
 	// sessions (defaults as in session.Dialer).
 	DialTimeout    time.Duration
 	SessionTimeout time.Duration
+	// DisableMux reverts the node to RSYN v2 networking: one dedicated
+	// connection per outbound session, and the embedded server refuses
+	// v3 carrier hellos. By default outbound sessions share one pooled
+	// multiplexed connection per peer, so a round over S sets costs
+	// O(peers) dials instead of O(S×choices).
+	DisableMux bool
+	// Pipeline is how many sets reconcile concurrently within one
+	// ReconcileOnce round (default 1 = strictly sequential, the
+	// deterministic-trace mode). With the mux pool, pipelined sets ride
+	// the same carrier: stream k+1's hello is in flight while stream
+	// k's repair drains, so a latency-bound round costs RTTs of the
+	// deepest set, not the sum over sets. Peer selection still happens
+	// sequentially in set order before any session starts, so the
+	// probe schedule for a given seed is Pipeline-independent.
+	Pipeline int
 	// Transport supplies the node's listeners and outbound connections
 	// (nil = the real network). A simnet host here moves the whole node
 	// — serving and anti-entropy dialing — onto the virtual network.
@@ -145,6 +161,15 @@ type Node struct {
 	cfg   Config
 	store *store.Store
 	srv   *session.Server
+	// pool is the outbound RSYN v3 carrier pool (nil with DisableMux).
+	pool *session.MuxPool
+	// dialBase is the outbound dialer template with every config
+	// default resolved once at construction; per-session dialers are
+	// copies with only Addr and Set filled in.
+	dialBase session.Dialer
+	// plainDials counts dedicated-connection sessions when the pool is
+	// disabled, so NetStats stays meaningful in both modes.
+	plainDials atomic.Uint64
 
 	mu      sync.Mutex
 	peers   []string
@@ -179,10 +204,22 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.Pipeline <= 0 {
+		cfg.Pipeline = 1
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.SessionTimeout == 0 {
+		cfg.SessionTimeout = 2 * time.Minute
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
 	cfg.Session.Resolver = netproto.StoreResolver(cfg.Store)
+	// One mux knob for the whole node: disabling it reverts both
+	// directions (outbound pool and inbound carrier acceptance) to v2.
+	cfg.Session.DisableMux = cfg.Session.DisableMux || cfg.DisableMux
 	// The node and its embedded server must agree on one network, or
 	// anti-entropy would dial a different fabric than it serves. Either
 	// field may name the transport; Config.Transport wins when both set.
@@ -191,13 +228,27 @@ func New(cfg Config) (*Node, error) {
 	}
 	cfg.Session.Transport = cfg.Transport
 	n := &Node{
-		cfg:     cfg,
-		store:   cfg.Store,
-		srv:     session.NewServer(cfg.Session),
+		cfg:   cfg,
+		store: cfg.Store,
+		srv:   session.NewServer(cfg.Session),
+		dialBase: session.Dialer{
+			Network:        cfg.Network,
+			DialTimeout:    cfg.DialTimeout,
+			SessionTimeout: cfg.SessionTimeout,
+			Transport:      cfg.Transport,
+		},
 		peers:   append([]string(nil), cfg.Peers...),
 		src:     rng.New(cfg.Seed),
 		metrics: make(map[string]*SetMetrics),
 		caches:  make(map[string]map[string]*netproto.EMDCache),
+	}
+	if !cfg.DisableMux {
+		n.pool = &session.MuxPool{
+			Network:        cfg.Network,
+			DialTimeout:    cfg.DialTimeout,
+			SessionTimeout: cfg.SessionTimeout,
+			Transport:      cfg.Transport,
+		}
 	}
 	return n, nil
 }
@@ -281,6 +332,9 @@ func (n *Node) Close(drain time.Duration) error {
 		close(cancel)
 		<-done
 	}
+	if n.pool != nil {
+		n.pool.Close()
+	}
 	return n.srv.Shutdown(drain)
 }
 
@@ -318,6 +372,18 @@ func (n *Node) Converged(streak uint64) bool {
 // (0 when the whole mesh round was no-ops) and the first error
 // encountered (the round still visits every set).
 func (n *Node) ReconcileOnce() (repaired int, err error) {
+	// Selection phase, strictly sequential in set order: round
+	// accounting, backoff, and — crucially — every peer-selection RNG
+	// draw happen here, before any network traffic, so the probe
+	// schedule for a given seed is identical whether the execution
+	// phase below runs sequentially or pipelined.
+	type setJob struct {
+		name  string
+		ls    *live.Set
+		m     *SetMetrics
+		peers []string
+	}
+	var jobs []setJob
 	for _, name := range n.store.Names() {
 		ls, ok := n.store.Get(name)
 		if !ok {
@@ -337,91 +403,140 @@ func (n *Node) ReconcileOnce() (repaired int, err error) {
 		if skip || len(peers) == 0 {
 			continue
 		}
+		jobs = append(jobs, setJob{name, ls, m, peers})
+	}
 
-		// Probe phase: cheap divergence estimate per candidate peer.
-		type candidate struct {
-			addr  string
-			probe *netproto.ProbeInitiator
+	// Execution phase: probe + escalate per set. Pipeline > 1 overlaps
+	// sets' sessions — over the mux pool they share per-peer carriers,
+	// so stream k+1's hello is in flight while stream k drains and the
+	// round's wall clock is the deepest set's RTTs, not the sum.
+	type setResult struct {
+		exchanged bool
+		err       error
+	}
+	results := make([]setResult, len(jobs))
+	if width := min(n.cfg.Pipeline, len(jobs)); width <= 1 {
+		for i, j := range jobs {
+			results[i].exchanged, results[i].err = n.reconcileSet(j.name, j.ls, j.m, j.peers)
 		}
-		var (
-			worst      *candidate
-			worstScore = -1
-			failures   int
-		)
-		for _, addr := range peers {
-			probe := netproto.NewProbeInitiator(ls)
-			_, perr := n.dialer(addr, name).Do(probe)
-			n.mu.Lock()
-			m.Probes++
-			if perr != nil {
-				m.ProbeFailures++
-				failures++
-				n.mu.Unlock()
-				n.cfg.Logf("cluster: set %q probe %s: %v", name, addr, perr)
-				if err == nil {
-					err = perr
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < width; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					j := jobs[i]
+					results[i].exchanged, results[i].err = n.reconcileSet(j.name, j.ls, j.m, j.peers)
 				}
-				continue
-			}
-			n.mu.Unlock()
-			if probe.Matched {
-				continue
-			}
-			score := probe.Estimate
-			if score < 1 {
-				// Fingerprints differ but the estimator sees nothing (or
-				// is absent): still divergent, minimally scored.
-				score = 1
-			}
-			if score > worstScore {
-				worstScore = score
-				worst = &candidate{addr: addr, probe: probe}
-			}
+			}()
 		}
-
-		n.mu.Lock()
-		if failures == len(peers) {
-			// Every candidate unreachable: back off this set.
-			m.applyBackoff(n.cfg.MaxBackoff)
-			n.mu.Unlock()
-			continue
+		wg.Wait()
+	}
+	// Aggregate in job (set) order, so the reported first error does
+	// not depend on scheduling.
+	for _, r := range results {
+		if r.exchanged {
+			repaired++
 		}
-		if worst == nil {
-			// All reachable peers matched. The streak only advances when
-			// every probed peer answered — an unreachable member is not
-			// evidence of convergence, and Converged() must not report a
-			// clean mesh while one (see SetMetrics.Streak).
-			m.Noops++
-			if failures == 0 {
-				m.Streak++
-			} else {
-				m.Streak = 0
-			}
-			m.backoff = 0
-			n.mu.Unlock()
-			continue
+		if r.err != nil && err == nil {
+			err = r.err
 		}
-		m.Streak = 0
-		m.LastEstimate = worst.probe.Estimate
-		n.mu.Unlock()
-
-		if rerr := n.reconcile(name, ls, m, worst.addr, worst.probe); rerr != nil {
-			n.mu.Lock()
-			m.RepairFailures++
-			m.applyBackoff(n.cfg.MaxBackoff)
-			n.mu.Unlock()
-			n.cfg.Logf("cluster: set %q repair %s: %v", name, worst.addr, rerr)
-			if err == nil {
-				err = rerr
-			}
-			continue
-		}
-		n.mu.Lock()
-		m.backoff = 0
-		n.mu.Unlock()
-		repaired++
 	}
 	return repaired, err
+}
+
+// reconcileSet runs one set's round against its selected candidate
+// peers: probe all, then escalate against the most divergent. It
+// reports whether state was exchanged and the first error encountered.
+func (n *Node) reconcileSet(name string, ls *live.Set, m *SetMetrics, peers []string) (exchanged bool, err error) {
+	// Probe phase: cheap divergence estimate per candidate peer.
+	type candidate struct {
+		addr  string
+		probe *netproto.ProbeInitiator
+	}
+	var (
+		worst      *candidate
+		worstScore = -1
+		failures   int
+	)
+	for _, addr := range peers {
+		probe := netproto.NewProbeInitiator(ls)
+		perr := n.do(addr, name, probe)
+		n.mu.Lock()
+		m.Probes++
+		if perr != nil {
+			m.ProbeFailures++
+			failures++
+			n.mu.Unlock()
+			n.cfg.Logf("cluster: set %q probe %s: %v", name, addr, perr)
+			if err == nil {
+				err = perr
+			}
+			continue
+		}
+		n.mu.Unlock()
+		if probe.Matched {
+			continue
+		}
+		score := probe.Estimate
+		if score < 1 {
+			// Fingerprints differ but the estimator sees nothing (or
+			// is absent): still divergent, minimally scored.
+			score = 1
+		}
+		if score > worstScore {
+			worstScore = score
+			worst = &candidate{addr: addr, probe: probe}
+		}
+	}
+
+	n.mu.Lock()
+	if failures == len(peers) {
+		// Every candidate unreachable: back off this set.
+		m.applyBackoff(n.cfg.MaxBackoff)
+		n.mu.Unlock()
+		return false, err
+	}
+	if worst == nil {
+		// All reachable peers matched. The streak only advances when
+		// every probed peer answered — an unreachable member is not
+		// evidence of convergence, and Converged() must not report a
+		// clean mesh while one (see SetMetrics.Streak).
+		m.Noops++
+		if failures == 0 {
+			m.Streak++
+		} else {
+			m.Streak = 0
+		}
+		m.backoff = 0
+		n.mu.Unlock()
+		return false, err
+	}
+	m.Streak = 0
+	m.LastEstimate = worst.probe.Estimate
+	n.mu.Unlock()
+
+	if rerr := n.reconcile(name, ls, m, worst.addr, worst.probe); rerr != nil {
+		n.mu.Lock()
+		m.RepairFailures++
+		m.applyBackoff(n.cfg.MaxBackoff)
+		n.mu.Unlock()
+		n.cfg.Logf("cluster: set %q repair %s: %v", name, worst.addr, rerr)
+		if err == nil {
+			err = rerr
+		}
+		return false, err
+	}
+	n.mu.Lock()
+	m.backoff = 0
+	n.mu.Unlock()
+	return true, err
 }
 
 // applyBackoff doubles (capped) and arms the skip counter. Caller holds
@@ -448,7 +563,7 @@ func (n *Node) reconcile(name string, ls *live.Set, m *SetMetrics, addr string, 
 	if p, ok := ls.EMDParams(); ok {
 		cache := n.cacheFor(name, addr)
 		recv := netproto.NewLiveEMDReceiver(p, ls.Snapshot().Points, cache)
-		if _, err := n.dialer(addr, name).Do(recv); err != nil {
+		if err := n.do(addr, name, recv); err != nil {
 			// The pull is telemetry + cache warming; repair below is what
 			// converges. Log and continue.
 			n.cfg.Logf("cluster: set %q live-emd %s: %v", name, addr, err)
@@ -470,7 +585,7 @@ func (n *Node) reconcile(name string, ls *live.Set, m *SetMetrics, addr string, 
 	if err != nil {
 		return err
 	}
-	if _, err := n.dialer(addr, name).Do(init); err != nil {
+	if err := n.do(addr, name, init); err != nil {
 		return err
 	}
 	n.mu.Lock()
@@ -481,14 +596,56 @@ func (n *Node) reconcile(name string, ls *live.Set, m *SetMetrics, addr string, 
 	return nil
 }
 
-func (n *Node) dialer(addr, set string) session.Dialer {
-	return session.Dialer{
-		Network:        n.cfg.Network,
-		Addr:           addr,
-		Set:            set,
-		DialTimeout:    n.cfg.DialTimeout,
-		SessionTimeout: n.cfg.SessionTimeout,
-		Transport:      n.cfg.Transport,
+// do runs one outbound session for h against addr's set namespace:
+// over the pooled v3 carrier by default, or a dedicated per-session
+// connection when mux is disabled (the pool itself also falls back per
+// peer when the remote end predates v3).
+func (n *Node) do(addr, set string, h netproto.Handler) error {
+	if n.pool != nil {
+		_, err := n.pool.Do(addr, set, h)
+		return err
+	}
+	n.plainDials.Add(1)
+	_, err := n.dialerFor(addr, set).Do(h)
+	return err
+}
+
+// dialerFor stamps the target onto the node's pre-resolved dialer
+// template (the template is built once in New; the old per-call
+// construction re-derived every default for every probe).
+func (n *Node) dialerFor(addr, set string) session.Dialer {
+	d := n.dialBase
+	d.Addr = addr
+	d.Set = set
+	return d
+}
+
+// NetStats reports the node's outbound connection economy: sessions
+// attempted, connections actually dialed, carrier reuses, and plain
+// fallbacks against pre-v3 peers. With mux disabled every session is
+// its own dial.
+func (n *Node) NetStats() session.PoolStats {
+	if n.pool != nil {
+		return n.pool.Stats()
+	}
+	d := n.plainDials.Load()
+	return session.PoolStats{Dials: d, Sessions: d}
+}
+
+// Prewarm establishes the pooled carrier to every current peer,
+// sequentially and in peer order, so a following burst of pipelined
+// sessions shares settled connections instead of racing the dials —
+// the deterministic harness prewarms before pipelined rounds to keep
+// dial traces stable. No-op when mux is disabled; unreachable or
+// pre-v3 peers are not an error here (sessions surface that later).
+func (n *Node) Prewarm() {
+	if n.pool == nil {
+		return
+	}
+	for _, addr := range n.Peers() {
+		if err := n.pool.Warm(addr); err != nil {
+			n.cfg.Logf("cluster: prewarm %s: %v", addr, err)
+		}
 	}
 }
 

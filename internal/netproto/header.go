@@ -35,10 +35,20 @@ import (
 // frame unless the operator explicitly asks for a named set, in which
 // case it fails fast with an unsupported-version error instead of
 // silently reconciling against the wrong tenant.
+//
+// RSYN v3 (the multiplexed carrier) reuses the same first frame: a v3
+// hello is magic + version 3 and nothing else — it opens a carrier
+// connection, not a session, so it names no protocol or set. The
+// accept frame answering it is the standard one (status + digest 0).
+// A pre-v3 server rejects the version and drops the connection without
+// an accept; a v3 dialer treats any failed carrier negotiation as "old
+// peer" and falls back to dialing per-session v1/v2 connections whose
+// bytes are identical to a pre-v3 dialer's.
 const (
 	helloMagic   = 0x5253_594E // "RSYN"
 	wireVersion  = 1
 	wireVersion2 = 2
+	wireVersion3 = 3
 )
 
 // Status is the peer's verdict on a session hello.
@@ -56,6 +66,9 @@ const (
 	// StatusUnknownSet rejects a v2 hello naming a set namespace the
 	// peer does not host.
 	StatusUnknownSet Status = 4
+	// StatusMuxUnavailable rejects a multiplexed-carrier hello (RSYN
+	// v3) on an endpoint that only runs one session per connection.
+	StatusMuxUnavailable Status = 5
 )
 
 // String names the status for errors and logs.
@@ -71,6 +84,8 @@ func (s Status) String() string {
 		return "parameter digest mismatch"
 	case StatusUnknownSet:
 		return "unknown set"
+	case StatusMuxUnavailable:
+		return "multiplexing unavailable"
 	}
 	return fmt.Sprintf("status(%d)", uint8(s))
 }
@@ -83,6 +98,10 @@ type Hello struct {
 	// Set is the named-set namespace (RSYN v2). Empty is the default
 	// set — the only namespace a v1 peer can address.
 	Set string
+	// Mux marks an RSYN v3 carrier hello: the connection will carry
+	// many multiplexed session streams rather than one session, so
+	// Proto, Role, Digest, and Set are all zero.
+	Mux bool
 }
 
 // ValidSetName reports whether s may be carried in a v2 hello. The rule
@@ -93,8 +112,18 @@ type Hello struct {
 func ValidSetName(s string) bool { return store.ValidName(s) }
 
 // SendHello writes the session header frame: a v1 frame for the default
-// set, a v2 frame carrying the namespace otherwise.
+// set, a v2 frame carrying the namespace otherwise, and a bare v3 frame
+// (magic + version, nothing else) for a carrier hello.
 func SendHello(w *Wire, h Hello) error {
+	if h.Mux {
+		if h.Proto != 0 || h.Role != 0 || h.Digest != 0 || h.Set != "" {
+			return fmt.Errorf("netproto: carrier hello must not carry session fields")
+		}
+		e := transport.NewEncoder()
+		e.WriteBits(helloMagic, 32)
+		e.WriteUvarint(wireVersion3)
+		return w.Send(e)
+	}
 	if !ValidSetName(h.Set) {
 		return fmt.Errorf("netproto: invalid set name %q in hello", h.Set)
 	}
@@ -130,6 +159,14 @@ func ReadHello(w *Wire) (Hello, error) {
 	ver, err := d.ReadUvarint()
 	if err != nil {
 		return Hello{}, err
+	}
+	if ver == wireVersion3 {
+		// A carrier hello is magic + version and nothing else; trailing
+		// bytes mean a corrupt or hostile frame, not a future extension.
+		if d.Remaining() != 0 {
+			return Hello{}, fmt.Errorf("netproto: %d trailing bytes in carrier hello", d.Remaining())
+		}
+		return Hello{Mux: true}, nil
 	}
 	if ver != wireVersion && ver != wireVersion2 {
 		return Hello{}, fmt.Errorf("netproto: unsupported wire version %d", ver)
@@ -225,6 +262,83 @@ func InitiateSet(w *Wire, h Handler, set string) error {
 	return nil
 }
 
+// InitiateMux negotiates an RSYN v3 carrier over w: it sends the bare
+// v3 hello and waits for the peer's accept. Any failure — a pre-v3
+// peer errors on the version and drops the connection without an
+// accept — means the connection cannot carry multiplexed streams; the
+// caller falls back to per-session dialing.
+func InitiateMux(w *Wire) error {
+	if err := SendHello(w, Hello{Mux: true}); err != nil {
+		return err
+	}
+	st, _, err := ReadAccept(w)
+	if err != nil {
+		return err
+	}
+	if st != StatusOK {
+		return fmt.Errorf("netproto: peer rejected carrier: %v", st)
+	}
+	return nil
+}
+
+// PendingSession is a session whose hello has been sent but whose
+// accept has not yet been read: the initiator's opening protocol
+// frames travel in the same flight as the hello, saving one round trip
+// per session on a multiplexed carrier. The accept is validated lazily
+// — immediately before the first protocol frame is read via Conn, or
+// explicitly via Complete.
+type PendingSession struct {
+	w       *Wire
+	h       Handler
+	checked bool
+	err     error
+}
+
+// InitiateSetPipelined sends the hello for h against the named set
+// without waiting for the peer's accept.
+func InitiateSetPipelined(w *Wire, h Handler, set string) (*PendingSession, error) {
+	if err := SendHello(w, Hello{Proto: h.Proto(), Role: h.Role(), Digest: h.Digest(), Set: set}); err != nil {
+		return nil, err
+	}
+	return &PendingSession{w: w, h: h}, nil
+}
+
+// Complete reads and validates the peer's accept if it has not been
+// consumed yet. Callers run it after the handler finishes, so a
+// rejection is surfaced even when the handler never received a frame.
+func (p *PendingSession) Complete() error {
+	if p.checked {
+		return p.err
+	}
+	p.checked = true
+	st, peerDigest, err := ReadAccept(p.w)
+	if err != nil {
+		p.err = err
+		return p.err
+	}
+	if st != StatusOK {
+		p.err = fmt.Errorf("netproto: peer rejected %v session: %v (local digest %#x, peer %#x)",
+			p.h.Proto(), st, p.h.Digest(), peerDigest)
+	}
+	return p.err
+}
+
+// Conn returns the connection to run the handler over: sends pass
+// through, and the first receive consumes the peer's accept before
+// returning protocol frames.
+func (p *PendingSession) Conn() transport.Conn { return pendingConn{p} }
+
+type pendingConn struct{ p *PendingSession }
+
+func (c pendingConn) Send(e *transport.Encoder) error { return c.p.w.Send(e) }
+
+func (c pendingConn) Recv() (*transport.Decoder, error) {
+	if err := c.p.Complete(); err != nil {
+		return nil, err
+	}
+	return c.p.w.Recv()
+}
+
 // Accept answers an initiator's hello on behalf of the bound handler h:
 // the hello must name h's protocol, the complementary role, and an equal
 // digest. On any mismatch the rejecting status is sent before the error
@@ -235,6 +349,10 @@ func Accept(w *Wire, h Handler) error {
 	hello, err := ReadHello(w)
 	if err != nil {
 		return err
+	}
+	if hello.Mux {
+		SendAccept(w, StatusMuxUnavailable, h.Digest())
+		return fmt.Errorf("netproto: peer wants a multiplexed carrier, two-party handler runs one session per connection")
 	}
 	if hello.Set != "" {
 		// The two-party path serves exactly one handler and no named

@@ -44,6 +44,10 @@ func FuzzReadHello(f *testing.F) {
 	// Valid v2 hellos with namespaces.
 	f.Add(frameHello(Hello{Proto: ProtoLiveEMD, Role: RoleAlice, Digest: 1, Set: "tenant-a"}))
 	f.Add(frameHello(Hello{Proto: ProtoRepair, Role: RoleAlice, Digest: 42, Set: strings.Repeat("n", 255)}))
+	// Valid v3 carrier hello (magic + version, nothing else), and a v3
+	// frame with trailing bytes (must be rejected).
+	f.Add(frameHello(Hello{Mux: true}))
+	f.Add(frame(append(frameHello(Hello{Mux: true})[4:], 0x01)))
 	// Junk: bad magic, empty frame, garbage payload.
 	f.Add(frame([]byte("GARBAGE?")))
 	f.Add(frame(nil))
@@ -61,14 +65,22 @@ func FuzzReadHello(f *testing.F) {
 			return // rejected cleanly
 		}
 		// Parsed hellos must satisfy the documented invariants...
-		if h.Proto == 0 {
-			t.Fatalf("accepted proto 0: %+v", h)
-		}
-		if h.Role != RoleAlice && h.Role != RoleBob {
-			t.Fatalf("accepted bad role: %+v", h)
-		}
-		if !ValidSetName(h.Set) {
-			t.Fatalf("accepted invalid set name %q", h.Set)
+		if h.Mux {
+			// A v3 carrier hello names no session: every session field
+			// must be zero (the stream hellos that follow carry them).
+			if h.Proto != 0 || h.Role != 0 || h.Digest != 0 || h.Set != "" {
+				t.Fatalf("carrier hello with session fields: %+v", h)
+			}
+		} else {
+			if h.Proto == 0 {
+				t.Fatalf("accepted proto 0: %+v", h)
+			}
+			if h.Role != RoleAlice && h.Role != RoleBob {
+				t.Fatalf("accepted bad role: %+v", h)
+			}
+			if !ValidSetName(h.Set) {
+				t.Fatalf("accepted invalid set name %q", h.Set)
+			}
 		}
 		// ...and round-trip bit-exactly through SendHello/ReadHello.
 		var buf bytes.Buffer

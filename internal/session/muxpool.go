@@ -1,0 +1,295 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/netproto"
+	"repro/internal/transport"
+)
+
+// ErrPoolClosed is returned by MuxPool.Do after Close.
+var ErrPoolClosed = errors.New("session: mux pool closed")
+
+// errMuxUnsupported marks a peer that did not complete RSYN v3 carrier
+// negotiation; the pool remembers it and dials that address plain.
+var errMuxUnsupported = errors.New("session: peer does not speak RSYN v3")
+
+// MuxPool runs client sessions over pooled RSYN v3 carriers: one live
+// multiplexed connection per address, dialed lazily, health-checked on
+// every use, and re-dialed after a cut. Peers that fail carrier
+// negotiation (pre-v3 servers drop the hello without an accept; v3
+// servers with mux disabled do the same) are remembered and dialed with
+// a plain per-session connection — literally Dialer.Do, so the fallback
+// is byte-identical to RSYN v2/v1.
+//
+// Concurrent Do calls against one address share the carrier: each runs
+// on its own stream, and a session's opening flight (hello plus first
+// protocol frames) is written without waiting for the accept, so k+1
+// sessions' hellos can be in flight while session k is still draining.
+// A MuxPool is safe for concurrent use; the zero value is usable with
+// the same defaults as a zero Dialer.
+type MuxPool struct {
+	// Network is "tcp" or "unix" (default "tcp").
+	Network string
+	// DialTimeout bounds carrier establishment, negotiation included
+	// (default 10s).
+	DialTimeout time.Duration
+	// SessionTimeout is the absolute budget for each session — a
+	// per-stream deadline, since a shared connection deadline would
+	// sever every co-muxed session (default 2 minutes; negative
+	// disables).
+	SessionTimeout time.Duration
+	// Transport supplies connections (nil = NetTransport).
+	Transport Transport
+
+	mu      sync.Mutex
+	entries map[string]*poolEntry
+	closed  bool
+
+	dials     atomic.Uint64
+	reuses    atomic.Uint64
+	fallbacks atomic.Uint64
+	sessions  atomic.Uint64
+}
+
+// poolEntry is the per-address slot. Its lock single-flights the dial:
+// concurrent sessions to a cold address queue behind one carrier dial
+// instead of racing their own.
+type poolEntry struct {
+	mu        sync.Mutex
+	m         *muxConn // live carrier, nil before first dial; replaced when dead
+	plainOnly bool     // peer failed v3 negotiation; dial plain from now on
+}
+
+// PoolStats counts the pool's work since creation.
+type PoolStats struct {
+	// Dials is the number of connections actually dialed: carriers plus
+	// plain-fallback sessions. The dial-amortization win is Sessions -
+	// Dials.
+	Dials uint64
+	// Reuses counts sessions that rode an already-live carrier.
+	Reuses uint64
+	// Fallbacks counts sessions dialed plain against non-v3 peers.
+	Fallbacks uint64
+	// Sessions counts all sessions attempted through the pool.
+	Sessions uint64
+}
+
+func (st PoolStats) String() string {
+	return fmt.Sprintf("%d sessions over %d dials (%d reused, %d plain fallback)",
+		st.Sessions, st.Dials, st.Reuses, st.Fallbacks)
+}
+
+// Stats snapshots the pool's counters.
+func (p *MuxPool) Stats() PoolStats {
+	return PoolStats{
+		Dials:     p.dials.Load(),
+		Reuses:    p.reuses.Load(),
+		Fallbacks: p.fallbacks.Load(),
+		Sessions:  p.sessions.Load(),
+	}
+}
+
+func (p *MuxPool) network() string {
+	if p.Network == "" {
+		return "tcp"
+	}
+	return p.Network
+}
+
+func (p *MuxPool) dialTimeout() time.Duration {
+	if p.DialTimeout == 0 {
+		return 10 * time.Second
+	}
+	return p.DialTimeout
+}
+
+func (p *MuxPool) sessionTimeout() time.Duration {
+	if p.SessionTimeout == 0 {
+		return 2 * time.Minute
+	}
+	return p.SessionTimeout
+}
+
+func (p *MuxPool) transport() Transport {
+	if p.Transport == nil {
+		return NetTransport
+	}
+	return p.Transport
+}
+
+// Do runs one session for h against the named set at addr, reusing the
+// pooled carrier when the peer speaks v3 and falling back to a plain
+// dial when it does not. Results are read from h afterwards, exactly as
+// with Dialer.Do.
+func (p *MuxPool) Do(addr, set string, h netproto.Handler) (transport.Stats, error) {
+	p.sessions.Add(1)
+	m, plain, err := p.carrier(addr)
+	if err != nil {
+		return transport.Stats{}, err
+	}
+	if plain {
+		return p.plainDo(addr, set, h)
+	}
+	return p.runStream(m, set, h)
+}
+
+// Warm establishes the carrier for addr if none is live, so later
+// concurrent sessions share it instead of racing the dial. Warming a
+// plain-only peer is a no-op.
+func (p *MuxPool) Warm(addr string) error {
+	_, _, err := p.carrier(addr)
+	return err
+}
+
+// carrier returns a live carrier for addr, dialing one if needed, or
+// plain=true for peers that must be dialed per-session.
+func (p *MuxPool) carrier(addr string) (m *muxConn, plain bool, err error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, false, ErrPoolClosed
+	}
+	if p.entries == nil {
+		p.entries = make(map[string]*poolEntry)
+	}
+	e := p.entries[addr]
+	if e == nil {
+		e = &poolEntry{}
+		p.entries[addr] = e
+	}
+	p.mu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.plainOnly {
+		p.fallbacks.Add(1)
+		return nil, true, nil
+	}
+	if e.m != nil && e.m.alive() {
+		p.reuses.Add(1)
+		return e.m, false, nil
+	}
+	m, err = p.dialCarrier(addr)
+	if err != nil {
+		if errors.Is(err, errMuxUnsupported) {
+			// Memoized: every later session to this peer dials plain
+			// without re-probing. (A connection cut during negotiation
+			// lands here too — the cost is plain dialing against a v3
+			// peer, which remains correct, just unpooled.)
+			e.plainOnly = true
+			p.fallbacks.Add(1)
+			return nil, true, nil
+		}
+		return nil, false, err
+	}
+	e.m = m
+	return m, false, nil
+}
+
+// dialCarrier dials addr and negotiates an RSYN v3 carrier on it.
+func (p *MuxPool) dialCarrier(addr string) (*muxConn, error) {
+	network := p.network()
+	conn, err := p.transport().DialTimeout(network, addr, p.dialTimeout())
+	if err != nil {
+		return nil, fmt.Errorf("session: dial %s %s: %w", network, addr, err)
+	}
+	p.dials.Add(1)
+	// Negotiation shares the dial budget; the deadline comes off once
+	// the carrier is up (streams carry their own).
+	conn.SetDeadline(time.Now().Add(p.dialTimeout())) //nolint:errcheck
+	w := netproto.NewWire(conn)
+	err = netproto.InitiateMux(w)
+	w.Release()
+	if err != nil {
+		conn.Close()
+		// A pre-v3 server fails version negotiation and drops the
+		// connection without an accept; a v3 server with mux disabled
+		// does the same, and one that serves carriers elsewhere answers
+		// StatusMuxUnavailable. All mean: dial this peer plain.
+		return nil, fmt.Errorf("%w: %v", errMuxUnsupported, err)
+	}
+	conn.SetDeadline(time.Time{}) //nolint:errcheck
+	m := newMuxConn(conn, nil)
+	if t := p.sessionTimeout(); t > 0 {
+		// Bounds each carrier write so a peer that stops draining the
+		// shared connection cannot wedge every stream forever.
+		m.writeTimeout = t
+	}
+	go m.readLoop()
+	return m, nil
+}
+
+// runStream runs one session on a fresh stream of a live carrier. The
+// hello and the handler's first protocol frames go out immediately; the
+// accept is verified on the session's first read (netproto's pipelined
+// initiation), collapsing the opening exchange into one round trip.
+func (p *MuxPool) runStream(m *muxConn, set string, h netproto.Handler) (transport.Stats, error) {
+	st, err := m.OpenStream()
+	if err != nil {
+		return transport.Stats{}, err
+	}
+	defer st.Close()
+	if t := p.sessionTimeout(); t > 0 {
+		st.setTimeout(t)
+	}
+	w := netproto.NewWire(st)
+	defer w.Release()
+	pend, err := netproto.InitiateSetPipelined(w, h, set)
+	if err != nil {
+		return w.Stats(), err
+	}
+	if err := h.Run(pend.Conn()); err != nil {
+		return w.Stats(), err
+	}
+	// Every protocol reads at least one response, so the accept has
+	// normally been verified by now; this covers degenerate handlers
+	// that never read.
+	if err := pend.Complete(); err != nil {
+		return w.Stats(), err
+	}
+	return w.Stats(), nil
+}
+
+// plainDo runs one session over its own connection, exactly as the
+// pre-mux client would (the wire bytes are identical to Dialer.Do).
+func (p *MuxPool) plainDo(addr, set string, h netproto.Handler) (transport.Stats, error) {
+	p.dials.Add(1)
+	d := Dialer{
+		Network:        p.Network,
+		Addr:           addr,
+		Set:            set,
+		DialTimeout:    p.DialTimeout,
+		SessionTimeout: p.SessionTimeout,
+		Transport:      p.Transport,
+	}
+	return d.Do(h)
+}
+
+// Close shuts down every pooled carrier; in-flight streams fail with
+// ErrPoolClosed and later Do calls are refused. Idempotent.
+func (p *MuxPool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	entries := make([]*poolEntry, 0, len(p.entries))
+	for _, e := range p.entries {
+		entries = append(entries, e)
+	}
+	p.mu.Unlock()
+	for _, e := range entries {
+		e.mu.Lock()
+		if e.m != nil {
+			e.m.shutdown(ErrPoolClosed)
+		}
+		e.mu.Unlock()
+	}
+	return nil
+}

@@ -39,6 +39,12 @@ type Config struct {
 	// (successfully or not), from the session's goroutine. Use it to
 	// harvest typed results from the session's Handler.
 	OnSession func(*Session)
+	// DisableMux makes the server behave like a pre-v3 peer: an RSYN v3
+	// carrier hello is dropped without an accept (byte-identically to an
+	// old server failing version negotiation), so v3 dialers fall back
+	// to one plain connection per session. Plain v1/v2 hellos are served
+	// either way.
+	DisableMux bool
 	// Resolver, when set, resolves named-set hellos (RSYN v2) that no
 	// statically registered factory covers — typically
 	// netproto.StoreResolver over a multi-tenant store. It is consulted
@@ -64,8 +70,9 @@ type Server struct {
 	mu        sync.Mutex
 	factories map[factoryKey]func() netproto.Handler
 	listeners map[net.Listener]struct{}
-	conns     map[net.Conn]struct{} // in-flight session connections
-	idle      *sync.Cond            // lazily built; signalled when conns drains (Quiesce)
+	conns     map[net.Conn]struct{} // in-flight session and carrier connections
+	busy      int                   // in-flight session units (plain conns + mux streams)
+	idle      *sync.Cond            // lazily built; signalled when busy drains (Quiesce)
 	closed    bool
 	serveErr  error // first terminal Serve failure
 
@@ -284,6 +291,7 @@ func (s *Server) Serve(l net.Listener) error {
 		}
 		s.wg.Add(1)
 		s.conns[conn] = struct{}{}
+		s.busy++
 		s.mu.Unlock()
 		go s.serveConn(conn)
 	}
@@ -298,15 +306,22 @@ func (s *Server) ListenAndServe(network, addr string) error {
 	return s.Serve(l)
 }
 
-// serveConn negotiates and runs one session.
+// serveConn negotiates and runs one connection: a plain v1/v2 hello is
+// one session, an RSYN v3 carrier hello turns the connection into a
+// long-lived mux whose streams are the sessions.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	// billed: this connection counts as one in-flight session unit. A
+	// carrier stops being one after negotiation — its streams are the
+	// units Quiesce waits on — but stays in s.conns so Shutdown's
+	// force-close still reaches it.
+	billed := true
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
-		if len(s.conns) == 0 && s.idle != nil {
-			s.idle.Broadcast()
+		if billed {
+			s.unbillLocked()
 		}
 		s.mu.Unlock()
 	}()
@@ -326,7 +341,12 @@ func (s *Server) serveConn(conn net.Conn) {
 	case <-s.done:
 		return
 	}
-	defer func() { <-s.sem }()
+	semHeld := true
+	defer func() {
+		if semHeld {
+			<-s.sem
+		}
+	}()
 
 	if s.cfg.SessionTimeout > 0 {
 		conn.SetDeadline(time.Now().Add(s.cfg.SessionTimeout)) //nolint:errcheck
@@ -349,6 +369,42 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.finish(sess, fmt.Errorf("session: bad hello: %w", err))
 		return
 	}
+	if hello.Mux {
+		if s.cfg.DisableMux {
+			// Byte-identical to a pre-v3 server, which fails version
+			// negotiation and drops the connection without an accept;
+			// the dialer's pool falls back to plain per-session dials.
+			s.finish(sess, fmt.Errorf("session: v3 carrier hello refused (mux disabled)"))
+			return
+		}
+		if err := netproto.SendAccept(w, netproto.StatusOK, 0); err != nil {
+			s.finish(sess, err)
+			return
+		}
+		w.Release()
+		// The carrier is long-lived: it is not bound by the session
+		// deadline (each stream gets its own), holds no concurrency
+		// slot (each stream takes one), and is not a session unit
+		// (Quiesce waits on its streams instead).
+		conn.SetDeadline(time.Time{}) //nolint:errcheck
+		<-s.sem
+		semHeld = false
+		s.mu.Lock()
+		s.unbillLocked()
+		s.mu.Unlock()
+		billed = false
+		s.cfg.Logf("session: mux carrier up for %s", sess.peer)
+		s.serveMux(conn)
+		s.cfg.Logf("session: mux carrier down for %s", sess.peer)
+		return
+	}
+	s.runHello(w, hello, sess)
+}
+
+// runHello dispatches and runs one session whose (plain v1/v2) hello
+// has been read from w; it always routes through finish, and returns
+// the session's terminal error for the caller's teardown decisions.
+func (s *Server) runHello(w *netproto.Wire, hello netproto.Hello, sess *Session) error {
 	sess.proto = hello.Proto
 	sess.set = hello.Set
 	factory, setKnown := s.factoryFor(hello.Set, hello.Proto, hello.Role)
@@ -370,26 +426,136 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 		}
 		netproto.SendAccept(w, st, 0) //nolint:errcheck
-		s.finish(sess, fmt.Errorf("session: no handler in set %q for %v as peer of %v: %v", hello.Set, hello.Proto, hello.Role, st))
-		return
+		err := fmt.Errorf("session: no handler in set %q for %v as peer of %v: %v", hello.Set, hello.Proto, hello.Role, st)
+		s.finish(sess, err)
+		return err
 	}
 	h := factory()
 	sess.handler = h
 	sess.role = h.Role()
 	if h.Digest() != hello.Digest {
 		netproto.SendAccept(w, netproto.StatusDigestMismatch, h.Digest()) //nolint:errcheck
-		s.finish(sess, fmt.Errorf("session: %v digest mismatch (local %#x, peer %#x)",
-			hello.Proto, h.Digest(), hello.Digest))
-		return
+		err := fmt.Errorf("session: %v digest mismatch (local %#x, peer %#x)",
+			hello.Proto, h.Digest(), hello.Digest)
+		s.finish(sess, err)
+		return err
 	}
 	if err := netproto.SendAccept(w, netproto.StatusOK, h.Digest()); err != nil {
 		s.finish(sess, err)
-		return
+		return err
 	}
 	s.active.Add(1)
-	err = h.Run(w)
+	err := h.Run(w)
 	s.active.Add(-1)
 	s.finish(sess, err)
+	return err
+}
+
+// serveMux demultiplexes a negotiated RSYN v3 carrier until the
+// connection dies. Each peer-opened stream is billed as a session unit
+// synchronously from the carrier's read loop — before any of the
+// stream's bytes are readable — so a Quiesce barrier that has observed
+// an initiator's result cannot miss the responder's still-running
+// stream.
+func (s *Server) serveMux(conn net.Conn) {
+	var m *muxConn
+	m = newMuxConn(conn, func(st *muxStream) {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			st.fail(ErrServerClosed)
+			m.forget(st)
+			return
+		}
+		s.wg.Add(1)
+		s.busy++
+		s.mu.Unlock()
+		go s.serveStream(m, st)
+	})
+	if s.cfg.SessionTimeout > 0 {
+		// Bounds each carrier write so one wedged peer cannot block the
+		// shared connection forever.
+		m.writeTimeout = s.cfg.SessionTimeout
+	}
+	// A healthy idle carrier never ends on its own; drain it when the
+	// server closes so Close/Shutdown do not hang on a pooled peer.
+	watch := make(chan struct{})
+	go func() {
+		select {
+		case <-s.done:
+			m.drain()
+		case <-watch:
+		}
+	}()
+	m.readLoop()
+	close(watch)
+}
+
+// serveStream runs one multiplexed session: the stream carries exactly
+// the byte stream a dedicated v1/v2 connection would.
+func (s *Server) serveStream(m *muxConn, st *muxStream) {
+	defer s.wg.Done()
+	// Clean exits close quietly: the protocol's terminal frame already
+	// released the initiator, and it closes the stream itself — an
+	// announced close here would be the carrier's only spontaneous
+	// responder write, racing the next stream's traffic. Error exits
+	// announce, so an initiator blocked mid-protocol fails now rather
+	// than at its session deadline (the mux analogue of the dedicated
+	// connection's teardown close).
+	sessErr := errors.New("session: stream aborted before negotiation")
+	defer func() {
+		if sessErr != nil {
+			st.Close()
+		} else {
+			st.closeQuiet()
+		}
+		s.mu.Lock()
+		s.unbillLocked()
+		s.mu.Unlock()
+	}()
+
+	// Concurrency slot, exactly as for a dedicated connection: streams
+	// queue for capacity rather than being rejected.
+	select {
+	case s.sem <- struct{}{}:
+	case <-s.done:
+		return
+	}
+	defer func() { <-s.sem }()
+
+	if s.cfg.SessionTimeout > 0 {
+		st.setTimeout(s.cfg.SessionTimeout)
+	}
+	w := netproto.NewWire(st)
+	defer w.Release()
+	sess := &Session{
+		id:    s.nextID.Add(1),
+		peer:  fmt.Sprintf("%s#%d", m.peerName, st.id),
+		wire:  w,
+		start: time.Now(),
+	}
+	hello, err := netproto.ReadHello(w)
+	if err != nil {
+		sessErr = fmt.Errorf("session: bad hello: %w", err)
+		s.finish(sess, sessErr)
+		return
+	}
+	if hello.Mux {
+		netproto.SendAccept(w, netproto.StatusMuxUnavailable, 0) //nolint:errcheck
+		sessErr = fmt.Errorf("session: nested carrier hello on mux stream")
+		s.finish(sess, sessErr)
+		return
+	}
+	sessErr = s.runHello(w, hello, sess)
+}
+
+// unbillLocked retires one in-flight session unit, waking Quiesce when
+// the last one drains. Caller holds s.mu.
+func (s *Server) unbillLocked() {
+	s.busy--
+	if s.busy == 0 && s.idle != nil {
+		s.idle.Broadcast()
+	}
 }
 
 // finish closes out a session: accounting, callback, log line.
@@ -445,14 +611,15 @@ func (s *Server) Active() int64 { return s.active.Load() }
 // dials race the call.
 func (s *Server) Quiesce() {
 	s.mu.Lock()
-	for len(s.conns) > 0 {
+	for s.busy > 0 {
 		s.idleWait().Wait()
 	}
 	s.mu.Unlock()
 }
 
-// idleWait returns the cond signalled when the in-flight connection set
-// drains. Caller holds s.mu.
+// idleWait returns the cond signalled when the in-flight session units
+// (plain connections and mux streams; idle carriers don't count) drain.
+// Caller holds s.mu.
 func (s *Server) idleWait() *sync.Cond {
 	if s.idle == nil {
 		s.idle = sync.NewCond(&s.mu)

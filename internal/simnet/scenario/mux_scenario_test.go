@@ -1,0 +1,72 @@
+package scenario
+
+import "testing"
+
+// TestMuxDialAmortization is the dial-economy gate for pooled RSYN v3
+// carriers: the same scenario at the same seed, run once as shipped
+// (mux) and once with DisableMux, must converge identically while the
+// mux run amortizes dialing. Plain dials once per session; a pooled
+// mesh front-loads its dials (round 0, plus prewarm when pipelined)
+// and its steady rounds must dial at least 5x less than plain's.
+func TestMuxDialAmortization(t *testing.T) {
+	for _, name := range []string{"asymmetric-latency", "mesh-10-latency"} {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			sc, ok := Lookup(name)
+			if !ok {
+				t.Fatalf("scenario %q not registered", name)
+			}
+			mux, err := Run(sc, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plainSc := sc
+			plainSc.DisableMux = true
+			plain, err := Run(plainSc, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for side, res := range map[string]*Result{"mux": mux, "plain": plain} {
+				if !res.Ok() {
+					t.Fatalf("%s run failed invariants:\n%s", side, res.TraceText())
+				}
+				if res.ConvergedRound < 0 {
+					t.Fatalf("%s run never converged", side)
+				}
+			}
+			// Transport economy must not change what converges or how much
+			// work it takes: same rounds, same session count.
+			if mux.ConvergedRound != plain.ConvergedRound || mux.Sessions != plain.Sessions {
+				t.Fatalf("transports diverged: mux converged=%d sessions=%d, plain converged=%d sessions=%d",
+					mux.ConvergedRound, mux.Sessions, plain.ConvergedRound, plain.Sessions)
+			}
+			// Plain has no pool: every session is a dial, spread evenly
+			// across the rounds.
+			if plain.Dials != plain.Sessions {
+				t.Fatalf("plain run pooled connections: %d dials for %d sessions", plain.Dials, plain.Sessions)
+			}
+			// Mux dials strictly less in total...
+			if mux.Dials >= plain.Dials {
+				t.Fatalf("mux did not reduce dials: %d mux vs %d plain", mux.Dials, plain.Dials)
+			}
+			// ...and ≥5x less per steady round: once the carriers exist
+			// (after round 0), reconciliation rides them.
+			if len(mux.DialsByRound) < 2 || len(plain.DialsByRound) != len(mux.DialsByRound) {
+				t.Fatalf("per-round dial shape mismatch: mux %v vs plain %v", mux.DialsByRound, plain.DialsByRound)
+			}
+			var muxSteady, plainSteady uint64
+			for _, d := range mux.DialsByRound[1:] {
+				muxSteady += d
+			}
+			for _, d := range plain.DialsByRound[1:] {
+				plainSteady += d
+			}
+			if muxSteady*5 > plainSteady {
+				t.Fatalf("steady rounds not ≥5x cheaper: mux dialed %d vs plain %d after round 0 (mux per-round %v, plain %v)",
+					muxSteady, plainSteady, mux.DialsByRound, plain.DialsByRound)
+			}
+			t.Logf("%s: mux %d dials / %d sessions (per-round %v); plain %d dials (per-round %v)",
+				name, mux.Dials, mux.Sessions, mux.DialsByRound, plain.Dials, plain.DialsByRound)
+		})
+	}
+}

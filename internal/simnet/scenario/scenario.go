@@ -97,6 +97,25 @@ type Scenario struct {
 	// Streak is how many consecutive all-converged rounds end the run
 	// (default 1).
 	Streak int
+	// DisableMux runs the whole mesh on RSYN v2 networking — one
+	// dedicated connection per session — instead of the default pooled
+	// v3 carriers. It is the before-side of the dial-amortization
+	// comparison: same scenario, same seed, only the transport economy
+	// differs.
+	DisableMux bool
+	// Pipeline is each node's in-round reconcile concurrency
+	// (cluster.Config.Pipeline; default 1 = strictly sequential). When
+	// > 1, the harness prewarms every node's carrier pool before
+	// driving, so the dial trace stays deterministic while sessions
+	// overlap on the established carriers.
+	Pipeline int
+	// LatencyMin/LatencyMax, when set, install a per-write latency
+	// window on every link of the mesh before any connection is dialed.
+	// Scheduled latency faults only affect connections dialed after
+	// they apply (a pair freezes its faults at dial time) — build-time
+	// installation is what prices long-lived carriers and per-session
+	// dials under identical link conditions.
+	LatencyMin, LatencyMax time.Duration
 }
 
 // Result is one run's outcome: the deterministic trace, the round
@@ -112,7 +131,19 @@ type Result struct {
 	// Failures lists violated invariants (empty on success; every entry
 	// is also a trace line, so trace diffs catch them too).
 	Failures []string
-	trace    []string
+	// Dials / Sessions total the mesh's outbound connection economy
+	// over the driven rounds (canary excluded): connections actually
+	// dialed vs. sessions run. With pooled carriers Sessions >> Dials;
+	// with DisableMux they are equal.
+	Dials    uint64
+	Sessions uint64
+	// DialsByRound breaks Dials down per driven round (round 0 includes
+	// any prewarm dials). Pooled carriers front-load dialing — steady
+	// rounds after the first dial little to nothing — while DisableMux
+	// dials every round; the per-round shape is what the
+	// dial-amortization gate asserts on.
+	DialsByRound []uint64
+	trace        []string
 }
 
 // Ok reports whether every invariant held.
@@ -223,6 +254,18 @@ func Run(sc Scenario, seed uint64) (*Result, error) {
 
 // buildMesh plants the stores and starts one cluster node per host.
 func (r *run) buildMesh() error {
+	if r.sc.LatencyMax > 0 {
+		// Base link latency goes in before anything dials: a pair
+		// freezes its fault window at dial time, so this is the only
+		// ordering under which pooled carriers and per-session dials
+		// price the same links.
+		for i := 0; i < r.sc.Nodes; i++ {
+			for j := i + 1; j < r.sc.Nodes; j++ {
+				r.net.SetLatency(host(i), host(j), r.sc.LatencyMin, r.sc.LatencyMax)
+			}
+		}
+		r.tracef("latency: all links %v..%v", r.sc.LatencyMin, r.sc.LatencyMax)
+	}
 	space := metric.HammingCube(scenarioDim)
 	for i := 0; i < r.sc.Nodes; i++ {
 		st := store.New()
@@ -253,6 +296,8 @@ func (r *run) buildMesh() error {
 			Seed:           r.seed + uint64(i)*0x9e37,
 			DialTimeout:    5 * time.Second,
 			SessionTimeout: 30 * time.Second,
+			DisableMux:     r.sc.DisableMux,
+			Pipeline:       r.sc.Pipeline,
 			Transport:      r.net.Host(host(i)),
 		})
 		if err != nil {
@@ -271,6 +316,15 @@ func (r *run) buildMesh() error {
 			}
 		}
 		n.SetPeers(peers)
+	}
+	if r.sc.Pipeline > 1 && !r.sc.DisableMux {
+		// Pipelined rounds overlap sessions; establishing every carrier
+		// now, sequentially and in node order, keeps the dial events in
+		// the trace deterministic when the overlapped sessions start.
+		for _, n := range r.nodes {
+			n.Prewarm()
+		}
+		r.tracef("prewarm: pooled carriers established mesh-wide")
 	}
 	return nil
 }
@@ -432,6 +486,14 @@ func (r *run) drive() {
 		}
 		line, converged := r.fingerprintLine()
 		r.tracef("state: %s", line)
+		var dialed uint64
+		for _, n := range r.nodes {
+			dialed += n.NetStats().Dials
+		}
+		for _, prev := range r.res.DialsByRound {
+			dialed -= prev
+		}
+		r.res.DialsByRound = append(r.res.DialsByRound, dialed)
 		if converged && round >= r.sc.ChurnRounds {
 			streak++
 			if streak >= r.sc.Streak {
@@ -463,6 +525,22 @@ func (r *run) drive() {
 			r.tracef("metrics: node %d set %s: %v", i, display, m[name])
 		}
 	}
+	// Connection economy across the mesh: under pooled carriers the
+	// dial count stays near the peer-pair count while sessions grow
+	// with rounds × sets; with DisableMux every session is a dial. The
+	// line is part of the trace, so a regression in reuse (an
+	// accidentally re-dialing pool, a carrier dropped per round) shows
+	// up as a trace diff, not just a slower run.
+	var dials, sessions, reuses, fallbacks uint64
+	for _, n := range r.nodes {
+		st := n.NetStats()
+		dials += st.Dials
+		sessions += st.Sessions
+		reuses += st.Reuses
+		fallbacks += st.Fallbacks
+	}
+	r.res.Dials, r.res.Sessions = dials, sessions
+	r.tracef("net: %d sessions over %d dials (%d reused, %d plain fallback)", sessions, dials, reuses, fallbacks)
 }
 
 // checkGroundTruth verifies every node's every set equals the union the

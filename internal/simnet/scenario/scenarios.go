@@ -68,6 +68,21 @@ func Builtin() []Scenario {
 			ChurnRounds: 3,
 			Streak:      1,
 		},
+		{
+			Name:  "mesh-10-latency",
+			Desc:  "mesh-10 on a uniformly slow WAN: every link carries 40..120µs per write and a dial costs a full round trip, so the mesh is latency-bound — pooled v3 carriers with pipelined (Pipeline=4) rounds must amortize dials across sets and still converge exactly.",
+			Nodes: 10,
+			Sets: []SetSpec{
+				{Name: "", Base: 16, PerNode: 3, Capacity: 512},
+				{Name: "alpha", Base: 12, PerNode: 2, EMD: true, Capacity: 256},
+			},
+			Rounds:      40,
+			ChurnRounds: 2,
+			Streak:      1,
+			Pipeline:    4,
+			LatencyMin:  40 * time.Microsecond,
+			LatencyMax:  120 * time.Microsecond,
+		},
 	}
 }
 

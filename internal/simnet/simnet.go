@@ -379,7 +379,27 @@ func (h *Host) DialTimeout(network, addr string, timeout time.Duration) (net.Con
 	lk.pairs = append(lk.pairs, p)
 	n.open += 2
 	n.emitLocked(Event{Kind: "dial", From: h.name, To: to})
+	// A dial costs one round trip on a latency-faulted link (the
+	// handshake analogue): two one-way samples, slept before the
+	// connection is usable. Wall-clock only, nothing extra is traced —
+	// this is what makes dial-per-set latency-bound, so connection
+	// reuse shows up as time saved from nothing but a seed. The samples
+	// come from the pair's own RNG (not yet shared: the server end is
+	// handed off below), keeping every draw deterministic.
+	var rtt time.Duration
+	if p.latMax > 0 {
+		for i := 0; i < 2; i++ {
+			d := p.latMin
+			if span := p.latMax - p.latMin; span > 0 {
+				d += time.Duration(p.latSrc.Uint64n(uint64(span) + 1))
+			}
+			rtt += d
+		}
+	}
 	n.mu.Unlock()
+	if rtt > 0 {
+		time.Sleep(rtt)
+	}
 
 	// Hand the server end to the listener. The buffer makes this
 	// immediate in the common case; a full backlog waits for an accept,
