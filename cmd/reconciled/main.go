@@ -45,6 +45,19 @@
 //	reconciled -cluster-demo 3                    # in-process 3-node mesh:
 //	                                              # diverge, churn, converge
 //
+// With -data-dir the cluster modes become crash-recoverable: every
+// named set keeps a write-ahead journal plus epoch snapshots under the
+// directory (see internal/store/durable), -fsync picks the journal
+// sync policy (always | batch | off), startup recovers whatever state
+// a previous life left behind, and graceful shutdown drains into a
+// final snapshot so the next boot replays nothing. A killed process
+// restarts from its journal with bit-identical sketches and catches up
+// with the mesh through the ordinary delta tiers.
+//
+//	reconciled -listen :7441 -cluster :7442 -data-dir /var/lib/reconciled
+//	reconciled -cluster-demo 3 -data-dir /tmp/rd  # converge, drain, then
+//	                                              # verify recovery matches
+//
 // On SIGINT/SIGTERM every serving mode stops accepting, drains
 // in-flight sessions for up to -drain, force-closes stragglers, and
 // prints final stats before exiting.
@@ -64,6 +77,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the -pprof server
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
@@ -79,6 +93,7 @@ import (
 	"repro/internal/session"
 	"repro/internal/setsets"
 	"repro/internal/store"
+	"repro/internal/store/durable"
 	"repro/internal/workload"
 )
 
@@ -266,6 +281,8 @@ func main() {
 	setNames := flag.String("sets", "alpha,beta", "named sets hosted in cluster mode (comma-separated)")
 	interval := flag.Duration("interval", time.Second, "anti-entropy round period (cluster mode)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
+	dataDir := flag.String("data-dir", "", "durable state directory (cluster modes): WAL + snapshots, recovery on startup")
+	fsyncPolicy := flag.String("fsync", "batch", "journal fsync policy with -data-dir: always | batch | off")
 
 	d := flag.Int("d", 128, "EMD dimension (gap uses 4d)")
 	n := flag.Int("n", 64, "points / children per party")
@@ -311,9 +328,9 @@ func main() {
 
 	switch {
 	case *clusterDemo > 0:
-		runClusterDemo(cfg, f, *clusterDemo, *setNames, *drain)
+		runClusterDemo(cfg, f, *clusterDemo, *setNames, *drain, *dataDir, *fsyncPolicy)
 	case *listen != "" && *clusterPeers != "":
-		runCluster(cfg, f, *listen, *clusterPeers, *setNames, *interval, *drain)
+		runCluster(cfg, f, *listen, *clusterPeers, *setNames, *interval, *drain, *dataDir, *fsyncPolicy)
 	case *listen != "":
 		runServer(cfg, f, *listen, *drain)
 	case *connect != "":
@@ -480,9 +497,22 @@ func churnBudget(cfg config) int {
 // named set also maintains an EMD sketch to exercise the live-emd tier.
 func newClusterStore(cfg config, f *fixture, names []string, nodes int, nodeTag uint64) (*store.Store, error) {
 	st := store.New()
-	sync := &live.SyncConfig{Seed: f.syncParams.Seed}
-	if _, err := st.Create("", live.Config{Sync: sync}, f.emdSA); err != nil {
+	if err := populateClusterStore(cfg, f, names, nodes, nodeTag, st); err != nil {
 		return nil, err
+	}
+	return st, nil
+}
+
+// populateClusterStore creates the member's sets in st, skipping any
+// that are already present — a durable member recovers its sets from
+// disk first, and only the ones its previous life never created get
+// the fresh-start content.
+func populateClusterStore(cfg config, f *fixture, names []string, nodes int, nodeTag uint64, st *store.Store) error {
+	sync := &live.SyncConfig{Seed: f.syncParams.Seed}
+	if _, ok := st.Get(""); !ok {
+		if _, err := st.Create("", live.Config{Sync: sync}, f.emdSA); err != nil {
+			return err
+		}
 	}
 	space := metric.HammingCube(cfg.d)
 	// Capacity must absorb the union: shared base + every member's
@@ -491,6 +521,9 @@ func newClusterStore(cfg config, f *fixture, names []string, nodes int, nodeTag 
 	// digest-relevant via emd.Params.N).
 	capacity := cfg.n + nodes*(cfg.diff+churnBudget(cfg)) + 64
 	for i, name := range names {
+		if _, ok := st.Get(name); ok {
+			continue
+		}
 		c := live.Config{Sync: sync}
 		if i == 0 {
 			p := emd.DefaultParams(space, capacity, cfg.k, cfg.seed+9)
@@ -500,10 +533,31 @@ func newClusterStore(cfg config, f *fixture, names []string, nodes int, nodeTag 
 		base := clusterPoints(space, cfg.n, cfg.seed+uint64(i)*31+101)
 		extras := clusterPoints(space, cfg.diff, nodeTag+uint64(i)*17+1)
 		if _, err := st.Create(name, c, append(base, extras...)); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return st, nil
+	return nil
+}
+
+// openDurable opens the durability layer under dir, recovers whatever
+// a previous life persisted into st, and attaches the persister so
+// every set created from here on is journaled too.
+func openDurable(dir, policy string, st *store.Store, logf func(string, ...any)) *durable.Store {
+	pol, err := durable.ParseFsyncPolicy(policy)
+	if err != nil {
+		fail("%v", err)
+	}
+	d, err := durable.Open(dir, durable.Options{Fsync: pol, Logf: logf})
+	if err != nil {
+		fail("durable: %v", err)
+	}
+	stats, err := d.Recover(st)
+	if err != nil {
+		fail("recovery: %v", err)
+	}
+	st.SetPersister(d)
+	logf("durable state in %s (fsync %s): recovered %s", dir, pol, stats)
+	return d
 }
 
 func parseSets(csv string) []string {
@@ -516,7 +570,7 @@ func parseSets(csv string) []string {
 	return names
 }
 
-func runCluster(cfg config, f *fixture, addr, peersCSV, setsCSV string, interval, drain time.Duration) {
+func runCluster(cfg config, f *fixture, addr, peersCSV, setsCSV string, interval, drain time.Duration, dataDir, fsyncPolicy string) {
 	logger := log.New(os.Stderr, "reconciled: ", log.LstdFlags|log.Lmicroseconds)
 	peers := parseSets(peersCSV)
 	names := parseSets(setsCSV)
@@ -524,8 +578,12 @@ func runCluster(cfg config, f *fixture, addr, peersCSV, setsCSV string, interval
 		fail("-cluster needs at least one set in -sets")
 	}
 	network, host := splitAddr(addr)
-	st, err := newClusterStore(cfg, f, names, len(peers)+1, hashAddr(addr))
-	if err != nil {
+	st := store.New()
+	var dur *durable.Store
+	if dataDir != "" {
+		dur = openDurable(dataDir, fsyncPolicy, st, logger.Printf)
+	}
+	if err := populateClusterStore(cfg, f, names, len(peers)+1, hashAddr(addr), st); err != nil {
 		fail("cluster store: %v", err)
 	}
 	node, err := cluster.New(cluster.Config{
@@ -590,6 +648,15 @@ func runCluster(cfg config, f *fixture, addr, peersCSV, setsCSV string, interval
 	if err := node.Close(drain); err != nil {
 		logger.Printf("close: %v", err)
 	}
+	if dur != nil {
+		// Snapshot-on-drain: seal every journal at its final epoch so the
+		// next boot replays nothing.
+		if err := dur.Close(); err != nil {
+			logger.Printf("durable close: %v", err)
+		} else {
+			logger.Printf("durable state drained: final snapshots written to %s", dataDir)
+		}
+	}
 	for name, m := range node.Metrics() {
 		if name == "" {
 			name = "<default>"
@@ -606,8 +673,12 @@ func runCluster(cfg config, f *fixture, addr, peersCSV, setsCSV string, interval
 // stores, a churn phase racing anti-entropy, then settle rounds until
 // every set is fingerprint-identical on every node — plus one v1 client
 // session against the default namespace to prove interop survived the
-// multi-tenant refactor. Exit status reports convergence.
-func runClusterDemo(cfg config, f *fixture, count int, setsCSV string, drain time.Duration) {
+// multi-tenant refactor. With -data-dir every node journals under
+// <dir>/node<i>, and after the drain the demo reopens node 0's
+// directory and verifies recovery reproduces its fingerprints exactly
+// (use a fresh directory per demo run). Exit status reports
+// convergence.
+func runClusterDemo(cfg config, f *fixture, count int, setsCSV string, drain time.Duration, dataDir, fsyncPolicy string) {
 	names := parseSets(setsCSV)
 	if len(names) == 0 {
 		fail("-cluster-demo needs at least one set in -sets")
@@ -615,12 +686,17 @@ func runClusterDemo(cfg config, f *fixture, count int, setsCSV string, drain tim
 	if count < 2 {
 		fail("-cluster-demo needs at least 2 nodes")
 	}
+	logf := func(string, ...any) {}
 	nodes := make([]*cluster.Node, count)
 	stores := make([]*store.Store, count)
+	durables := make([]*durable.Store, count)
 	addrs := make([]string, count)
 	for i := range nodes {
-		st, err := newClusterStore(cfg, f, names, count, uint64(i+1)*0x9e3779b9)
-		if err != nil {
+		st := store.New()
+		if dataDir != "" {
+			durables[i] = openDurable(filepath.Join(dataDir, fmt.Sprintf("node%d", i)), fsyncPolicy, st, logf)
+		}
+		if err := populateClusterStore(cfg, f, names, count, uint64(i+1)*0x9e3779b9, st); err != nil {
 			fail("cluster store %d: %v", i, err)
 		}
 		stores[i] = st
@@ -642,7 +718,9 @@ func runClusterDemo(cfg config, f *fixture, count int, setsCSV string, drain tim
 	}
 	defer func() {
 		for _, n := range nodes {
-			n.Close(drain) //nolint:errcheck
+			if n != nil {
+				n.Close(drain) //nolint:errcheck
+			}
 		}
 	}()
 	for i, n := range nodes {
@@ -738,6 +816,44 @@ func runClusterDemo(cfg config, f *fixture, count int, setsCSV string, drain tim
 		net.Sessions += ns.Sessions
 	}
 	fmt.Printf("cluster-demo: net: %s\n", net)
+	if dataDir != "" {
+		// Drain the mesh, then prove durability end to end: reopening
+		// node 0's directory must reproduce its converged fingerprints
+		// from snapshots alone (the drain sealed every journal).
+		for i, n := range nodes {
+			n.Close(drain) //nolint:errcheck
+			nodes[i] = nil
+		}
+		for i, d := range durables {
+			if err := d.Close(); err != nil {
+				fail("durable close node%d: %v", i, err)
+			}
+		}
+		reopened, err := durable.Open(filepath.Join(dataDir, "node0"), durable.Options{Fsync: durable.FsyncOff})
+		if err != nil {
+			fail("reopen: %v", err)
+		}
+		rst := store.New()
+		stats, err := reopened.Recover(rst)
+		if err != nil {
+			fail("recovery: %v", err)
+		}
+		if stats.Replayed != 0 {
+			fail("drain left %d unsnapshotted records in the journal", stats.Replayed)
+		}
+		for _, name := range append([]string{""}, names...) {
+			want, _ := stores[0].Get(name)
+			got, ok := rst.Get(name)
+			if !ok || got.IDFingerprint() != want.IDFingerprint() || got.Epoch() != want.Epoch() {
+				fail("recovery mismatch for set %q", name)
+			}
+		}
+		if err := reopened.Close(); err != nil {
+			fail("reopened close: %v", err)
+		}
+		fmt.Printf("cluster-demo: recovery verified: %d sets reopened from %s with matching fingerprints (%s)\n",
+			1+len(names), dataDir, stats)
+	}
 	fmt.Printf("cluster-demo: converged in %d settle rounds, %v total\n",
 		rounds, time.Since(start).Round(time.Millisecond))
 }

@@ -54,12 +54,29 @@ type Config struct {
 	// retained for delta sync (default 256). A peer whose last synced
 	// epoch has aged out receives a full transfer.
 	JournalEpochs int
+	// Logger, when set, receives every mutation write-ahead (see
+	// Logger). The initial point set is NOT logged — persistence layers
+	// snapshot it at creation instead.
+	Logger Logger
 }
 
 // Op is one batch mutation.
 type Op struct {
 	Remove bool
 	Point  metric.Point
+}
+
+// Logger receives every committed mutation as a write-ahead hook: it is
+// called under the set's write lock, in epoch order, AFTER the mutation
+// has been validated but BEFORE any in-memory state changes. epoch is
+// the generation the mutation will close (current epoch + 1); ops is
+// the exact batch, never mutated afterwards but only valid for the
+// duration of the call (clone points that must be retained). A non-nil
+// error aborts the mutation: nothing is applied and the error is
+// returned to the mutator — the contract a durable journal needs so an
+// unwritable disk can never let memory and journal diverge.
+type Logger interface {
+	LogOps(epoch uint64, ops []Op) error
 }
 
 // entry is one distinct point's live state.
@@ -86,6 +103,7 @@ type Set struct {
 	strata *iblt.Strata
 
 	mu      sync.RWMutex
+	logger  Logger // write-ahead hook, called under mu before applying
 	byKey   map[string]*entry
 	byID    map[uint64]*entry // fingerprint → entry (Sync only)
 	idFP    uint64            // XOR of mixed distinct-point fingerprints
@@ -136,6 +154,7 @@ func NewSet(cfg Config, initial metric.PointSet) (*Set, error) {
 	}
 	s := &Set{
 		cfg:     cfg,
+		logger:  cfg.Logger,
 		byKey:   make(map[string]*entry, len(initial)),
 		journal: make(map[uint64][]emd.CellRef),
 		epoch:   1,
@@ -267,6 +286,9 @@ func (s *Set) Add(pt metric.Point) error {
 	if err := s.checkAdd(1); err != nil {
 		return err
 	}
+	if err := s.log([]Op{{Point: pt}}); err != nil {
+		return err
+	}
 	refs := s.add(pt)
 	s.bump(refs)
 	return nil
@@ -279,6 +301,9 @@ func (s *Set) Remove(pt metric.Point) error {
 	defer s.mu.Unlock()
 	if s.byKey[pointKey(pt)] == nil {
 		return fmt.Errorf("live: remove of absent point %v", pt)
+	}
+	if err := s.log([]Op{{Remove: true, Point: pt}}); err != nil {
+		return err
 	}
 	refs := s.remove(pt)
 	s.bump(refs)
@@ -314,6 +339,9 @@ func (s *Set) ApplyBatch(ops []Op) error {
 			size++
 		}
 	}
+	if err := s.log(ops); err != nil {
+		return err
+	}
 	var refs []emd.CellRef
 	for _, op := range ops {
 		if op.Remove {
@@ -323,6 +351,48 @@ func (s *Set) ApplyBatch(ops []Op) error {
 		}
 	}
 	s.bump(refs)
+	return nil
+}
+
+// log invokes the write-ahead logger for a validated mutation about to
+// close epoch s.epoch+1. Caller holds the write lock.
+func (s *Set) log(ops []Op) error {
+	if s.logger == nil {
+		return nil
+	}
+	if err := s.logger.LogOps(s.epoch+1, ops); err != nil {
+		return fmt.Errorf("live: journal epoch %d: %w", s.epoch+1, err)
+	}
+	return nil
+}
+
+// SetLogger installs (or clears) the write-ahead mutation hook. A
+// recovery pass rebuilds a set logger-less — replayed ops must not be
+// re-journaled — and attaches the journal only once replay is done.
+func (s *Set) SetLogger(l Logger) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logger = l
+}
+
+// RestoreEpoch fast-forwards the epoch counter to e without mutating
+// any state, so a set rebuilt from a persisted snapshot taken at epoch
+// e resumes the pre-crash generation numbering (journal replay then
+// continues at e+1, and peers' cached epochs stay monotonic). It fails
+// if e is behind the current epoch. The churned-cell journal is NOT
+// back-filled: DeltaCells for ranges crossing the restore point reports
+// no history, so returning peers take the full-transfer path — the safe
+// answer after a restart.
+func (s *Set) RestoreEpoch(e uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e < s.epoch {
+		return fmt.Errorf("live: cannot restore epoch %d behind current %d", e, s.epoch)
+	}
+	if e != s.epoch {
+		s.epoch = e
+		s.snap = nil
+	}
 	return nil
 }
 
@@ -527,6 +597,13 @@ func (s *Set) MergeAbsent(pts metric.PointSet) (int, error) {
 		return 0, nil
 	}
 	if err := s.checkAdd(len(fresh)); err != nil {
+		return 0, err
+	}
+	ops := make([]Op, len(fresh))
+	for i, pt := range fresh {
+		ops[i] = Op{Point: pt}
+	}
+	if err := s.log(ops); err != nil {
 		return 0, err
 	}
 	var refs []emd.CellRef

@@ -19,6 +19,8 @@ package scenario
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -29,8 +31,10 @@ import (
 	"repro/internal/live"
 	"repro/internal/metric"
 	"repro/internal/rng"
+	"repro/internal/session"
 	"repro/internal/simnet"
 	"repro/internal/store"
+	"repro/internal/store/durable"
 	"repro/internal/transport"
 	"repro/internal/workload"
 )
@@ -52,10 +56,15 @@ type SetSpec struct {
 }
 
 // Fault is one scheduled fault-schedule entry, applied at the start of
-// its round. From/To are node indices.
+// its round. From/To are node indices. The "kill" and "restart" kinds
+// require Scenario.Durable: kill crashes node From (listener closed,
+// journal abandoned without a final snapshot — exactly what a process
+// kill leaves on disk), restart recovers it from its data directory,
+// asserts the recovered fingerprints match the kill-time state, and
+// rejoins it to the mesh.
 type Fault struct {
 	Round int
-	Kind  string // "partition" | "heal" | "latency" | "bandwidth" | "drop" | "down" | "up"
+	Kind  string // "partition" | "heal" | "latency" | "bandwidth" | "drop" | "down" | "up" | "kill" | "restart"
 
 	Groups   [][]int       // partition: node-index groups (unlisted nodes form a remainder group)
 	From, To int           // link faults
@@ -116,6 +125,11 @@ type Scenario struct {
 	// installation is what prices long-lived carriers and per-session
 	// dials under identical link conditions.
 	LatencyMin, LatencyMax time.Duration
+	// Durable backs every node's store with a write-ahead journal and
+	// epoch snapshots (internal/store/durable) in a per-run temp
+	// directory, enabling "kill"/"restart" faults. The directory path
+	// never enters the trace, so replay determinism is unaffected.
+	Durable bool
 }
 
 // Result is one run's outcome: the deterministic trace, the round
@@ -161,12 +175,23 @@ type run struct {
 	sc    Scenario
 	seed  uint64
 	net   *simnet.Network
-	nodes []*cluster.Node
+	nodes []*cluster.Node // nil entry = node currently killed
 	// expected is the ground-truth union per set: base + every node's
 	// extras + every churn survivor, maintained as points are planted.
 	expected map[string]metric.PointSet
 	churnSrc *rng.Source
 	flakySrc *rng.Source
+
+	// Durable-scenario state: per-node durable stores rooted under
+	// dataDir, kill-time fingerprints for the restart assertion, which
+	// nodes came back from disk (for the delta-not-full check), and the
+	// network counters of dead incarnations (their pools are gone, but
+	// the run totals must still add up).
+	dataDir   string
+	durables  []*durable.Store
+	killFP    map[int]map[string]uint64
+	restarted map[int]bool
+	netBase   session.PoolStats
 
 	traceMu sync.Mutex // tracef is called from network-event goroutines too
 	res     *Result
@@ -219,6 +244,11 @@ func Run(sc Scenario, seed uint64) (*Result, error) {
 	if sc.Flaky != nil && sc.Flaky.MaxOffset <= 0 {
 		return nil, fmt.Errorf("scenario %q: Flaky.MaxOffset must be positive", sc.Name)
 	}
+	for _, f := range sc.Faults {
+		if (f.Kind == "kill" || f.Kind == "restart") && !sc.Durable {
+			return nil, fmt.Errorf("scenario %q: %q fault requires Durable", sc.Name, f.Kind)
+		}
+	}
 	if sc.Streak <= 0 {
 		sc.Streak = 1
 	}
@@ -237,18 +267,40 @@ func Run(sc Scenario, seed uint64) (*Result, error) {
 	r.net.OnEvent = func(e simnet.Event) { r.tracef("  net: %s", e) }
 	r.tracef("# scenario %s seed %d: %d nodes, %d sets, <=%d rounds", sc.Name, seed, sc.Nodes, len(sc.Sets), sc.Rounds)
 
+	if sc.Durable {
+		dir, err := os.MkdirTemp("", "scenario-durable-")
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		r.dataDir = dir
+		r.durables = make([]*durable.Store, sc.Nodes)
+		r.killFP = make(map[int]map[string]uint64)
+		r.restarted = make(map[int]bool)
+		defer os.RemoveAll(dir)
+	}
 	if err := r.buildMesh(); err != nil {
 		// Nodes started before the failure hold listeners and accept
 		// goroutines; a long-lived caller must not accumulate them.
 		for _, n := range r.nodes {
-			n.Close(0) //nolint:errcheck
+			if n != nil {
+				n.Close(0) //nolint:errcheck
+			}
 		}
 		return nil, err
 	}
 	r.drive()
+	r.checkRecovered()
 	r.checkGroundTruth()
 	r.canaryRound()
 	r.drain()
+	// Snapshot-on-drain, after every node stopped mutating: the next
+	// process (there is none — the temp dir dies with the run) would
+	// recover with zero replay.
+	for _, d := range r.durables {
+		if d != nil {
+			d.Close() //nolint:errcheck
+		}
+	}
 	return r.res, nil
 }
 
@@ -267,8 +319,17 @@ func (r *run) buildMesh() error {
 		r.tracef("latency: all links %v..%v", r.sc.LatencyMin, r.sc.LatencyMax)
 	}
 	space := metric.HammingCube(scenarioDim)
+	r.nodes = make([]*cluster.Node, r.sc.Nodes)
 	for i := 0; i < r.sc.Nodes; i++ {
 		st := store.New()
+		if r.sc.Durable {
+			d, err := durable.Open(filepath.Join(r.dataDir, host(i)), durable.Options{Fsync: durable.FsyncOff})
+			if err != nil {
+				return fmt.Errorf("scenario %q: %w", r.sc.Name, err)
+			}
+			r.durables[i] = d
+			st.SetPersister(d)
+		}
 		for si, spec := range r.sc.Sets {
 			base := r.points(spec.Base, uint64(si+1)*0xb45e)
 			extras := r.points(spec.PerNode, uint64(si+1)*0xe57a+uint64(i+1)*0x101)
@@ -289,33 +350,12 @@ func (r *run) buildMesh() error {
 				r.expected[spec.Name] = append(r.expected[spec.Name], base...)
 			}
 		}
-		n, err := cluster.New(cluster.Config{
-			Store:          st,
-			Network:        "sim",
-			Interval:       -1, // harness-driven rounds
-			Seed:           r.seed + uint64(i)*0x9e37,
-			DialTimeout:    5 * time.Second,
-			SessionTimeout: 30 * time.Second,
-			DisableMux:     r.sc.DisableMux,
-			Pipeline:       r.sc.Pipeline,
-			Transport:      r.net.Host(host(i)),
-		})
-		if err != nil {
+		if err := r.startNode(i, st); err != nil {
 			return err
 		}
-		if _, err := n.Start(host(i) + ":1"); err != nil {
-			return err
-		}
-		r.nodes = append(r.nodes, n)
 	}
 	for i, n := range r.nodes {
-		var peers []string
-		for j := 0; j < r.sc.Nodes; j++ {
-			if j != i {
-				peers = append(peers, host(j)+":1")
-			}
-		}
-		n.SetPeers(peers)
+		n.SetPeers(r.peersOf(i))
 	}
 	if r.sc.Pipeline > 1 && !r.sc.DisableMux {
 		// Pipelined rounds overlap sessions; establishing every carrier
@@ -327,6 +367,42 @@ func (r *run) buildMesh() error {
 		r.tracef("prewarm: pooled carriers established mesh-wide")
 	}
 	return nil
+}
+
+// startNode builds and starts node i over its store. The cluster seed
+// derives only from the run seed and the index, so a restarted
+// incarnation makes the same peer choices a never-killed one would.
+func (r *run) startNode(i int, st *store.Store) error {
+	n, err := cluster.New(cluster.Config{
+		Store:          st,
+		Network:        "sim",
+		Interval:       -1, // harness-driven rounds
+		Seed:           r.seed + uint64(i)*0x9e37,
+		DialTimeout:    5 * time.Second,
+		SessionTimeout: 30 * time.Second,
+		DisableMux:     r.sc.DisableMux,
+		Pipeline:       r.sc.Pipeline,
+		Transport:      r.net.Host(host(i)),
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := n.Start(host(i) + ":1"); err != nil {
+		return err
+	}
+	r.nodes[i] = n
+	return nil
+}
+
+// peersOf lists every other node's address.
+func (r *run) peersOf(i int) []string {
+	var peers []string
+	for j := 0; j < r.sc.Nodes; j++ {
+		if j != i {
+			peers = append(peers, host(j)+":1")
+		}
+	}
+	return peers
 }
 
 // applyFaults installs every fault scheduled for the round.
@@ -363,6 +439,10 @@ func (r *run) applyFaults(round int) {
 		case "up":
 			r.tracef("fault: up %s--%s", host(f.From), host(f.To))
 			r.net.SetDown(host(f.From), host(f.To), false)
+		case "kill":
+			r.killNode(f.From)
+		case "restart":
+			r.restartNode(f.From)
 		default:
 			r.failf("unknown fault kind %q at round %d", f.Kind, f.Round)
 		}
@@ -379,12 +459,87 @@ func (r *run) applyFaults(round int) {
 	}
 }
 
+// killNode crashes node i: record its per-set fingerprints (the ground
+// truth recovery must reproduce), close the node, and abandon its
+// durable store without a final snapshot — the disk is left exactly as
+// a process kill would leave it.
+func (r *run) killNode(i int) {
+	n := r.nodes[i]
+	if n == nil {
+		r.failf("kill: node %d is already down", i)
+		return
+	}
+	fps := make(map[string]uint64, len(r.sc.Sets))
+	for _, spec := range r.sc.Sets {
+		if ls, ok := storeGet(n, spec.Name); ok {
+			fps[spec.Name] = ls.IDFingerprint()
+		}
+	}
+	r.killFP[i] = fps
+	// Fold the dead incarnation's connection economy into the run
+	// totals before its pool disappears.
+	st := n.NetStats()
+	r.netBase.Dials += st.Dials
+	r.netBase.Sessions += st.Sessions
+	r.netBase.Reuses += st.Reuses
+	r.netBase.Fallbacks += st.Fallbacks
+	n.Close(0) //nolint:errcheck
+	r.durables[i].Crash()
+	r.nodes[i] = nil
+	r.tracef("fault: kill %s", host(i))
+}
+
+// restartNode brings node i back from its data directory: recover the
+// store, assert every set's fingerprint equals the kill-time value
+// (journal ground truth), and rejoin the mesh. The recovery stats go
+// into the trace — replay counts are as deterministic as the mutation
+// history that produced them.
+func (r *run) restartNode(i int) {
+	if r.nodes[i] != nil {
+		r.failf("restart: node %d is not down", i)
+		return
+	}
+	d, err := durable.Open(filepath.Join(r.dataDir, host(i)), durable.Options{Fsync: durable.FsyncOff})
+	if err != nil {
+		r.failf("restart node %d: %v", i, err)
+		return
+	}
+	st := store.New()
+	stats, err := d.Recover(st)
+	if err != nil {
+		r.failf("restart node %d: recover: %v", i, err)
+		return
+	}
+	for _, spec := range r.sc.Sets {
+		ls, ok := st.Get(spec.Name)
+		if !ok {
+			r.failf("restart node %d: set %q not recovered", i, spec.Name)
+			continue
+		}
+		if got, want := ls.IDFingerprint(), r.killFP[i][spec.Name]; got != want {
+			r.failf("restart node %d: set %q recovered fingerprint %016x != kill-time %016x", i, spec.Name, got, want)
+		}
+	}
+	st.SetPersister(d)
+	r.durables[i] = d
+	if err := r.startNode(i, st); err != nil {
+		r.failf("restart node %d: %v", i, err)
+		return
+	}
+	r.nodes[i].SetPeers(r.peersOf(i))
+	r.restarted[i] = true
+	r.tracef("fault: restart %s (recovered %v)", host(i), stats)
+}
+
 // churn applies the add-wins-safe churn pattern on every node and set,
 // extending the ground-truth union with the surviving point of each
 // batch (the removed point dies inside its own batch and is never
 // replicated).
 func (r *run) churn(round int) {
 	for i, n := range r.nodes {
+		if n == nil {
+			continue // killed nodes churn nothing
+		}
 		for si, spec := range r.sc.Sets {
 			ls, ok := storeGet(n, spec.Name)
 			if !ok {
@@ -418,7 +573,9 @@ func storeGet(n *cluster.Node, name string) (*live.Set, bool) {
 // sessions, so state reads and the next sessions see settled sets.
 func (r *run) quiesce() {
 	for _, n := range r.nodes {
-		n.Quiesce()
+		if n != nil {
+			n.Quiesce()
+		}
 	}
 }
 
@@ -429,16 +586,19 @@ func (r *run) fingerprintLine() (string, bool) {
 	all := true
 	for si, spec := range r.sc.Sets {
 		var fp uint64
-		match := true
-		for i, n := range r.nodes {
+		match, first := true, true
+		for _, n := range r.nodes {
+			if n == nil {
+				continue // killed nodes sit out the comparison
+			}
 			ls, ok := storeGet(n, spec.Name)
 			if !ok {
 				match = false
 				continue
 			}
 			f := ls.IDFingerprint()
-			if i == 0 {
-				fp = f
+			if first {
+				fp, first = f, false
 			} else if f != fp {
 				match = false
 			}
@@ -472,6 +632,10 @@ func (r *run) drive() {
 			r.churn(round)
 		}
 		for i, n := range r.nodes {
+			if n == nil {
+				r.tracef("node %d: down", i)
+				continue
+			}
 			repaired, err := n.ReconcileOnce()
 			// Barrier: a repair responder applies its merge after the
 			// initiator's session returned, so the next node's round (and
@@ -486,9 +650,11 @@ func (r *run) drive() {
 		}
 		line, converged := r.fingerprintLine()
 		r.tracef("state: %s", line)
-		var dialed uint64
+		dialed := r.netBase.Dials
 		for _, n := range r.nodes {
-			dialed += n.NetStats().Dials
+			if n != nil {
+				dialed += n.NetStats().Dials
+			}
 		}
 		for _, prev := range r.res.DialsByRound {
 			dialed -= prev
@@ -511,6 +677,9 @@ func (r *run) drive() {
 	// Per-set metrics, sorted, once the mesh settles: a deterministic
 	// summary that widens the trace's nondeterminism-detection surface.
 	for i, n := range r.nodes {
+		if n == nil {
+			continue
+		}
 		m := n.Metrics()
 		names := make([]string, 0, len(m))
 		for name := range m {
@@ -531,8 +700,12 @@ func (r *run) drive() {
 	// line is part of the trace, so a regression in reuse (an
 	// accidentally re-dialing pool, a carrier dropped per round) shows
 	// up as a trace diff, not just a slower run.
-	var dials, sessions, reuses, fallbacks uint64
+	dials, sessions := r.netBase.Dials, r.netBase.Sessions
+	reuses, fallbacks := r.netBase.Reuses, r.netBase.Fallbacks
 	for _, n := range r.nodes {
+		if n == nil {
+			continue
+		}
 		st := n.NetStats()
 		dials += st.Dials
 		sessions += st.Sessions
@@ -541,6 +714,37 @@ func (r *run) drive() {
 	}
 	r.res.Dials, r.res.Sessions = dials, sessions
 	r.tracef("net: %d sessions over %d dials (%d reused, %d plain fallback)", sessions, dials, reuses, fallbacks)
+}
+
+// checkRecovered asserts the durable-recovery convergence economy:
+// every restarted node re-converged via delta repair, not a full
+// transfer — the points it received after restart are bounded by what
+// it could actually have missed (everything planted beyond the shared
+// base), and a full-set transfer of base plus extras would blow the
+// bound.
+func (r *run) checkRecovered() {
+	for i := range r.nodes {
+		if r.nodes[i] == nil {
+			r.failf("node %d still down at end of run", i)
+		}
+	}
+	for i := range r.restarted {
+		n := r.nodes[i]
+		if n == nil {
+			continue
+		}
+		m := n.Metrics()
+		for _, spec := range r.sc.Sets {
+			bound := uint64(len(r.expected[spec.Name]) - spec.Base)
+			if got := m[spec.Name].PointsReceived; got > bound {
+				r.failf("restarted node %d set %q received %d points, delta bound %d (full transfer?)",
+					i, spec.Name, got, bound)
+			}
+		}
+	}
+	if len(r.restarted) > 0 {
+		r.tracef("recovery: %d restarted nodes re-converged within the delta bound", len(r.restarted))
+	}
 }
 
 // checkGroundTruth verifies every node's every set equals the union the
@@ -556,6 +760,9 @@ func (r *run) checkGroundTruth() {
 		}
 		fp, distinct := ref.IDFingerprint(), ref.Distinct()
 		for i, n := range r.nodes {
+			if n == nil {
+				continue // already failed in checkRecovered
+			}
 			ls, ok := storeGet(n, spec.Name)
 			if !ok {
 				r.failf("node %d lost set %q", i, spec.Name)
@@ -595,6 +802,9 @@ func (r *run) canaryRound() {
 	}
 	release := PoisonPool(16, 4096)
 	for i, n := range r.nodes {
+		if n == nil {
+			continue
+		}
 		if _, err := n.ReconcileOnce(); err != nil {
 			r.failf("canary: node %d round errored: %v", i, err)
 		}
@@ -637,6 +847,9 @@ func PoisonPool(count, size int) (release func()) {
 // network for leaked connections.
 func (r *run) drain() {
 	for i, n := range r.nodes {
+		if n == nil {
+			continue
+		}
 		if err := n.Close(2 * time.Second); err != nil {
 			r.failf("drain: node %d close: %v", i, err)
 		}

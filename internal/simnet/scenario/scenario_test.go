@@ -166,3 +166,53 @@ func TestLatencyScenarioBounded(t *testing.T) {
 		t.Fatalf("asymmetric-latency took %v; injected latency is compounding somewhere", d)
 	}
 }
+
+// TestCrashRecoverScenario pins the durable kill/restart semantics:
+// the killed node sits out its down rounds, restarts with fingerprints
+// matching the kill-time journal ground truth (a mismatch is a Failure,
+// so Ok() covers it), re-converges within the delta bound, and the
+// whole run replays byte-identically from its seed.
+func TestCrashRecoverScenario(t *testing.T) {
+	sc, ok := Lookup("crash-recover")
+	if !ok {
+		t.Fatal("crash-recover scenario missing from catalog")
+	}
+	a, err := Run(sc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Ok() {
+		for _, f := range a.Failures {
+			t.Errorf("invariant: %s", f)
+		}
+		t.Fatalf("trace:\n%s", a.TraceText())
+	}
+	trace := a.TraceText()
+	for _, want := range []string{
+		"fault: kill node2",
+		"node 2: down",
+		"fault: restart node2 (recovered 2 sets",
+		"recovery: 1 restarted nodes re-converged within the delta bound",
+	} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace is missing %q", want)
+		}
+	}
+	b, err := Run(sc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace != b.TraceText() {
+		t.Fatalf("crash-recover trace is not replay-deterministic")
+	}
+}
+
+// TestKillRequiresDurable rejects kill/restart faults on a
+// non-durable scenario at validation time.
+func TestKillRequiresDurable(t *testing.T) {
+	sc, _ := Lookup("crash-recover")
+	sc.Durable = false
+	if _, err := Run(sc, 1); err == nil {
+		t.Fatal("kill fault accepted without Durable")
+	}
+}

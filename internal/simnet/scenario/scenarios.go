@@ -69,6 +69,23 @@ func Builtin() []Scenario {
 			Streak:      1,
 		},
 		{
+			Name:  "crash-recover",
+			Desc:  "3-node durable mesh; node 2 is killed mid-churn (journal abandoned, no final snapshot), restarts from disk at round 6 with fingerprints matching the journal ground truth, and must re-converge via delta repair — the points it pulls after restart are bounded by what it actually missed, never a full transfer.",
+			Nodes: 3,
+			Sets: []SetSpec{
+				{Name: "", Base: 120, PerNode: 6, Capacity: 512},
+				{Name: "alpha", Base: 100, PerNode: 4, EMD: true, Capacity: 256},
+			},
+			Rounds:      30,
+			ChurnRounds: 6,
+			Durable:     true,
+			Faults: []Fault{
+				{Round: 2, Kind: "kill", From: 2},
+				{Round: 6, Kind: "restart", From: 2},
+			},
+			Streak: 2,
+		},
+		{
 			Name:  "mesh-10-latency",
 			Desc:  "mesh-10 on a uniformly slow WAN: every link carries 40..120µs per write and a dial costs a full round trip, so the mesh is latency-bound — pooled v3 carriers with pipelined (Pipeline=4) rounds must amortize dials across sets and still converge exactly.",
 			Nodes: 10,

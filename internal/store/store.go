@@ -60,11 +60,28 @@ func (s Stats) String() string {
 		s.Sets, s.Points, s.Distinct, s.Epochs)
 }
 
+// Persister receives set-lifecycle hooks so a durability layer can
+// shadow the registry on disk (see internal/store/durable). OnCreate
+// runs before the live set is built: it persists the configuration and
+// initial points and returns the write-ahead Logger the new set commits
+// every mutation through (nil for none). OnDrop runs after a set leaves
+// the registry and removes its persisted state.
+type Persister interface {
+	OnCreate(name string, cfg live.Config, initial metric.PointSet) (live.Logger, error)
+	OnDrop(name string)
+}
+
 // Store is a concurrent registry of named live sets. The zero value is
 // not usable; construct with New.
 type Store struct {
 	mu   sync.RWMutex
 	sets map[string]*live.Set
+	// createMu serializes Create/Drop when a persister is attached: the
+	// on-disk lifecycle (mkdir, snapshot, remove) must not interleave
+	// between two racing administrative calls on one name. Lookups are
+	// unaffected.
+	createMu  sync.Mutex
+	persister Persister
 }
 
 // New builds an empty store.
@@ -72,33 +89,85 @@ func New() *Store {
 	return &Store{sets: make(map[string]*live.Set)}
 }
 
+// SetPersister attaches the durability hooks. Install it before any
+// Create; sets created earlier are not retroactively persisted.
+func (s *Store) SetPersister(p Persister) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.persister = p
+}
+
 // Create builds a live set over the initial points and registers it
 // under name. It fails on an invalid name, a duplicate, or a set
 // configuration the live layer rejects. The build runs outside the
 // registry lock (it may shard a full sketch construction), so concurrent
 // lookups of other sets never stall; two racing Creates of one name
-// resolve to one winner and one duplicate error.
+// resolve to one winner and one duplicate error. With a persister
+// attached, the set's config and initial points are persisted first and
+// the returned journal logger is wired into the set before it commits
+// any mutation.
 func (s *Store) Create(name string, cfg live.Config, initial metric.PointSet) (*live.Set, error) {
 	if !ValidName(name) {
 		return nil, fmt.Errorf("store: invalid set name %q", name)
 	}
 	s.mu.RLock()
 	_, dup := s.sets[name]
+	p := s.persister
 	s.mu.RUnlock()
 	if dup {
 		return nil, fmt.Errorf("store: set %q already exists", name)
 	}
+	if p != nil {
+		// Serialize persisted creations: the disk state for name must be
+		// created exactly once, and a loser of the registration race must
+		// be able to roll its directory back without touching the
+		// winner's.
+		s.createMu.Lock()
+		defer s.createMu.Unlock()
+		s.mu.RLock()
+		_, dup = s.sets[name]
+		s.mu.RUnlock()
+		if dup {
+			return nil, fmt.Errorf("store: set %q already exists", name)
+		}
+		logger, err := p.OnCreate(name, cfg, initial)
+		if err != nil {
+			return nil, fmt.Errorf("store: set %q: persist: %w", name, err)
+		}
+		cfg.Logger = logger
+	}
 	ls, err := live.NewSet(cfg, initial)
 	if err != nil {
+		if p != nil {
+			p.OnDrop(name)
+		}
 		return nil, fmt.Errorf("store: set %q: %w", name, err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.sets[name]; dup {
+		// Unreachable with a persister (createMu held); without one the
+		// loser simply discards its build.
 		return nil, fmt.Errorf("store: set %q already exists", name)
 	}
 	s.sets[name] = ls
 	return ls, nil
+}
+
+// Attach registers an existing live set without invoking the persister
+// — the recovery path: a set rebuilt from its own persisted state must
+// not re-create that state.
+func (s *Store) Attach(name string, ls *live.Set) error {
+	if !ValidName(name) {
+		return fmt.Errorf("store: invalid set name %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.sets[name]; dup {
+		return fmt.Errorf("store: set %q already exists", name)
+	}
+	s.sets[name] = ls
+	return nil
 }
 
 // Get resolves a name to its live set.
@@ -115,9 +184,15 @@ func (s *Store) Get(name string) (*live.Set, bool) {
 // rejected with an unknown-set status.
 func (s *Store) Drop(name string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	_, ok := s.sets[name]
 	delete(s.sets, name)
+	p := s.persister
+	s.mu.Unlock()
+	if ok && p != nil {
+		s.createMu.Lock()
+		p.OnDrop(name)
+		s.createMu.Unlock()
+	}
 	return ok
 }
 
