@@ -58,6 +58,24 @@
 //	reconciled -cluster-demo 3 -data-dir /tmp/rd  # converge, drain, then
 //	                                              # verify recovery matches
 //
+// With -join the mesh becomes self-organising: the daemon gossips a
+// SWIM-style member table with the listed seed members (any -cluster
+// list contributes extra seeds), and a consistent-hash ring over the
+// live membership decides which of the -sets shards each member hosts
+// (-replication owners per shard; see internal/gossip and
+// internal/placement). A member that gains ownership pulls the shard
+// through the ordinary repair path; one that loses it drops only
+// after handoff confirms every owner holds the content; SIGINT/
+// SIGTERM announces a graceful leave so shards move immediately, not
+// after a suspicion timeout. Every member must run the same workload
+// flags, -sets list, -replication and -seed (the ring's hash family);
+// -advertise (default: the -listen address) is the address other
+// members dial — the node's gossip identity — so give each member a
+// reachable host:port.
+//
+//	reconciled -listen :7441 -advertise h1:7441 -join h2:7442,h3:7443
+//	reconciled -listen :7442 -advertise h2:7442 -join h1:7441 -replication 2
+//
 // On SIGINT/SIGTERM every serving mode stops accepting, drains
 // in-flight sessions for up to -drain, force-closes stragglers, and
 // prints final stats before exiting.
@@ -86,9 +104,11 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/emd"
 	"repro/internal/gap"
+	"repro/internal/gossip"
 	"repro/internal/live"
 	"repro/internal/metric"
 	"repro/internal/netproto"
+	"repro/internal/placement"
 	"repro/internal/rng"
 	"repro/internal/session"
 	"repro/internal/setsets"
@@ -277,6 +297,9 @@ func main() {
 	proto := flag.String("proto", "emd", "client protocol: emd | gap | sync | setsets | live-emd (with -mutate)")
 	demo := flag.Int("demo", 0, "in-process demo: serve and run N concurrent mixed clients")
 	clusterPeers := flag.String("cluster", "", "comma-separated peer addresses: join an anti-entropy mesh (needs -listen)")
+	join := flag.String("join", "", "comma-separated gossip seed members: self-organising sharded mesh (needs -listen; any -cluster list adds seeds)")
+	advertise := flag.String("advertise", "", "address other members dial — the gossip identity (default: the -listen address)")
+	replication := flag.Int("replication", 3, "owners per shard on the placement ring (gossip mode)")
 	clusterDemo := flag.Int("cluster-demo", 0, "in-process anti-entropy demo: N nodes diverge, churn, converge")
 	setNames := flag.String("sets", "alpha,beta", "named sets hosted in cluster mode (comma-separated)")
 	interval := flag.Duration("interval", time.Second, "anti-entropy round period (cluster mode)")
@@ -329,8 +352,8 @@ func main() {
 	switch {
 	case *clusterDemo > 0:
 		runClusterDemo(cfg, f, *clusterDemo, *setNames, *drain, *dataDir, *fsyncPolicy)
-	case *listen != "" && *clusterPeers != "":
-		runCluster(cfg, f, *listen, *clusterPeers, *setNames, *interval, *drain, *dataDir, *fsyncPolicy)
+	case *listen != "" && (*clusterPeers != "" || *join != ""):
+		runCluster(cfg, f, *listen, *clusterPeers, *join, *advertise, *setNames, *interval, *drain, *dataDir, *fsyncPolicy, *replication)
 	case *listen != "":
 		runServer(cfg, f, *listen, *drain)
 	case *connect != "":
@@ -503,36 +526,114 @@ func newClusterStore(cfg config, f *fixture, names []string, nodes int, nodeTag 
 	return st, nil
 }
 
-// populateClusterStore creates the member's sets in st, skipping any
-// that are already present — a durable member recovers its sets from
-// disk first, and only the ones its previous life never created get
-// the fresh-start content.
-func populateClusterStore(cfg config, f *fixture, names []string, nodes int, nodeTag uint64, st *store.Store) error {
+// clusterCatalog is the mesh-wide set catalog every member derives
+// from the shared flags: each named set's exact live configuration.
+// The static mesh (populateClusterStore) and the gossip placement
+// path (-join) both build set configs here, so a set hosted by any
+// member carries an identical parameter digest — two owners with
+// different configs would never fingerprint-match. nodes is the
+// member budget the capacity formula absorbs: capacity must hold the
+// union of the shared base, every member's extras, and every member's
+// bounded churn budget (see churnBudget), and it is digest-relevant
+// via emd.Params.N — so it must derive from flags and an agreed
+// budget, never from a member's local view of the topology.
+func clusterCatalog(cfg config, f *fixture, names []string, nodes int) []cluster.CatalogSet {
 	sync := &live.SyncConfig{Seed: f.syncParams.Seed}
-	if _, ok := st.Get(""); !ok {
-		if _, err := st.Create("", live.Config{Sync: sync}, f.emdSA); err != nil {
-			return err
-		}
-	}
 	space := metric.HammingCube(cfg.d)
-	// Capacity must absorb the union: shared base + every member's
-	// extras + every member's bounded churn budget (see churnBudget).
-	// All terms are flag-derived, so members agree (capacity is
-	// digest-relevant via emd.Params.N).
 	capacity := cfg.n + nodes*(cfg.diff+churnBudget(cfg)) + 64
+	out := make([]cluster.CatalogSet, len(names))
 	for i, name := range names {
-		if _, ok := st.Get(name); ok {
-			continue
-		}
 		c := live.Config{Sync: sync}
 		if i == 0 {
 			p := emd.DefaultParams(space, capacity, cfg.k, cfg.seed+9)
 			p.Workers = cfg.workers
 			c.EMD = &p
 		}
-		base := clusterPoints(space, cfg.n, cfg.seed+uint64(i)*31+101)
-		extras := clusterPoints(space, cfg.diff, nodeTag+uint64(i)*17+1)
-		if _, err := st.Create(name, c, append(base, extras...)); err != nil {
+		out[i] = cluster.CatalogSet{Name: name, Config: c}
+	}
+	return out
+}
+
+// setContent is set i's fresh-start points: shared base every member
+// agrees on, plus nodeTag-derived divergent extras, so a fresh mesh
+// visibly converges.
+func setContent(cfg config, i int, nodeTag uint64) metric.PointSet {
+	space := metric.HammingCube(cfg.d)
+	base := clusterPoints(space, cfg.n, cfg.seed+uint64(i)*31+101)
+	extras := clusterPoints(space, cfg.diff, nodeTag+uint64(i)*17+1)
+	return append(base, extras...)
+}
+
+// populateClusterStore creates the member's sets in st, skipping any
+// that are already present — a durable member recovers its sets from
+// disk first, and only the ones its previous life never created get
+// the fresh-start content.
+func populateClusterStore(cfg config, f *fixture, names []string, nodes int, nodeTag uint64, st *store.Store) error {
+	if _, ok := st.Get(""); !ok {
+		if _, err := st.Create("", live.Config{Sync: &live.SyncConfig{Seed: f.syncParams.Seed}}, f.emdSA); err != nil {
+			return err
+		}
+	}
+	for i, cs := range clusterCatalog(cfg, f, names, nodes) {
+		if _, ok := st.Get(cs.Name); ok {
+			continue
+		}
+		if _, err := st.Create(cs.Name, cs.Config, setContent(cfg, i, nodeTag)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gossipCapacityNodes is the agreed member budget gossip-mode
+// capacity assumes. Members may pass different -join seed lists and
+// the membership grows at runtime, so — unlike the static mesh, where
+// len(peers)+1 is flag-derived — the capacity formula cannot depend
+// on any local view of the topology. A fixed budget keeps every
+// member's catalog identical; it bounds how many distinct members can
+// plant fresh-start extras into one set over its lifetime.
+const gossipCapacityNodes = 64
+
+// populateGossipStore seeds a gossip-mode member's store: the default
+// v1 set always (skipped if durable recovery restored it), plus
+// fresh-start content for the named sets the bootstrap ring — self
+// plus the seed members — assigns to this member. The authoritative
+// hosted roster follows the gossiped membership once rounds run:
+// ApplyPlacement creates missing owned sets empty and the repair path
+// fills them, and anything planted here that ownership moves away
+// from reaches its owners through handoff before the local copy
+// drops.
+func populateGossipStore(cfg config, f *fixture, names []string, self string, seeds []string, replication int, st *store.Store) error {
+	if _, ok := st.Get(""); !ok {
+		if _, err := st.Create("", live.Config{Sync: &live.SyncConfig{Seed: f.syncParams.Seed}}, f.emdSA); err != nil {
+			return err
+		}
+	}
+	members := []string{self}
+	seen := map[string]bool{self: true}
+	for _, s := range seeds {
+		if !seen[s] {
+			seen[s] = true
+			members = append(members, s)
+		}
+	}
+	ring := placement.New(members, 0, cfg.seed)
+	assign := ring.Assign(names, replication, 0)
+	for i, cs := range clusterCatalog(cfg, f, names, gossipCapacityNodes) {
+		owned := false
+		for _, o := range assign[cs.Name] {
+			if o == self {
+				owned = true
+				break
+			}
+		}
+		if !owned {
+			continue
+		}
+		if _, ok := st.Get(cs.Name); ok {
+			continue
+		}
+		if _, err := st.Create(cs.Name, cs.Config, setContent(cfg, i, hashAddr(self))); err != nil {
 			return err
 		}
 	}
@@ -570,12 +671,12 @@ func parseSets(csv string) []string {
 	return names
 }
 
-func runCluster(cfg config, f *fixture, addr, peersCSV, setsCSV string, interval, drain time.Duration, dataDir, fsyncPolicy string) {
+func runCluster(cfg config, f *fixture, addr, peersCSV, joinCSV, advertise, setsCSV string, interval, drain time.Duration, dataDir, fsyncPolicy string, replication int) {
 	logger := log.New(os.Stderr, "reconciled: ", log.LstdFlags|log.Lmicroseconds)
 	peers := parseSets(peersCSV)
 	names := parseSets(setsCSV)
 	if len(names) == 0 {
-		fail("-cluster needs at least one set in -sets")
+		fail("cluster modes need at least one set in -sets")
 	}
 	network, host := splitAddr(addr)
 	st := store.New()
@@ -583,10 +684,7 @@ func runCluster(cfg config, f *fixture, addr, peersCSV, setsCSV string, interval
 	if dataDir != "" {
 		dur = openDurable(dataDir, fsyncPolicy, st, logger.Printf)
 	}
-	if err := populateClusterStore(cfg, f, names, len(peers)+1, hashAddr(addr), st); err != nil {
-		fail("cluster store: %v", err)
-	}
-	node, err := cluster.New(cluster.Config{
+	ccfg := cluster.Config{
 		Store:      st,
 		Peers:      peers,
 		Network:    network,
@@ -600,7 +698,41 @@ func runCluster(cfg config, f *fixture, addr, peersCSV, setsCSV string, interval
 			Logf:           logger.Printf,
 		},
 		SessionTimeout: cfg.timeout,
-	})
+	}
+	gossiping := joinCSV != ""
+	if gossiping {
+		self := advertise
+		if self == "" {
+			self = addr
+		}
+		// The static -cluster list doubles as extra gossip seeds: a
+		// mixed invocation bootstraps from both.
+		seeds := append(parseSets(joinCSV), peers...)
+		if err := populateGossipStore(cfg, f, names, self, seeds, replication, st); err != nil {
+			fail("cluster store: %v", err)
+		}
+		g, err := gossip.New(gossip.Config{
+			Self:  self,
+			Seeds: seeds,
+			Seed:  cfg.seed ^ hashAddr(self),
+			Logf:  logger.Printf,
+		})
+		if err != nil {
+			fail("gossip: %v", err)
+		}
+		// Peer list and hosted roster are gossip-fed from here on; the
+		// ring's hash family (PlacementSeed) is the shared -seed flag, so
+		// every member computes identical owner sets.
+		ccfg.Peers = nil
+		ccfg.Seed = cfg.seed ^ hashAddr(self)
+		ccfg.Membership = g
+		ccfg.Catalog = clusterCatalog(cfg, f, names, gossipCapacityNodes)
+		ccfg.Replication = replication
+		ccfg.PlacementSeed = cfg.seed
+	} else if err := populateClusterStore(cfg, f, names, len(peers)+1, hashAddr(addr), st); err != nil {
+		fail("cluster store: %v", err)
+	}
+	node, err := cluster.New(ccfg)
 	if err != nil {
 		fail("cluster: %v", err)
 	}
@@ -608,8 +740,13 @@ func runCluster(cfg config, f *fixture, addr, peersCSV, setsCSV string, interval
 	if err != nil {
 		fail("cluster listen: %v", err)
 	}
-	logger.Printf("cluster member on %s %s: %d peers, sets %v + default, round every %v; %s",
-		network, l.Addr(), len(peers), names, interval, st.Stats())
+	if gossiping {
+		logger.Printf("gossip member on %s %s: %d seeds, %d-shard catalog at R=%d, round every %v; %s",
+			network, l.Addr(), len(parseSets(joinCSV))+len(peers), len(names), replication, interval, st.Stats())
+	} else {
+		logger.Printf("cluster member on %s %s: %d peers, sets %v + default, round every %v; %s",
+			network, l.Addr(), len(peers), names, interval, st.Stats())
+	}
 	if cfg.mutate > 0 {
 		go func() {
 			tick := time.NewTicker(time.Second / time.Duration(cfg.mutate))
@@ -644,9 +781,19 @@ func runCluster(cfg config, f *fixture, addr, peersCSV, setsCSV string, interval
 	}
 	sig := <-signalChan()
 	logger.Printf("received %v", sig)
-	logger.Printf("closing cluster node (drain %v)", drain)
-	if err := node.Close(drain); err != nil {
-		logger.Printf("close: %v", err)
+	if gossiping {
+		// Graceful departure: final push to co-owners, Left announcement
+		// to every active member, then close — shards move immediately
+		// instead of after a suspicion timeout.
+		logger.Printf("leaving mesh (drain %v)", drain)
+		if err := node.Leave(drain); err != nil {
+			logger.Printf("leave: %v", err)
+		}
+	} else {
+		logger.Printf("closing cluster node (drain %v)", drain)
+		if err := node.Close(drain); err != nil {
+			logger.Printf("close: %v", err)
+		}
 	}
 	if dur != nil {
 		// Snapshot-on-drain: seal every journal at its final epoch so the
@@ -656,6 +803,11 @@ func runCluster(cfg config, f *fixture, addr, peersCSV, setsCSV string, interval
 		} else {
 			logger.Printf("durable state drained: final snapshots written to %s", dataDir)
 		}
+	}
+	if gossiping {
+		p := node.Placement()
+		logger.Printf("placement: %d acquired, %d dropped after handoff, %d still relinquishing",
+			p.Acquired, p.Dropped, p.Relinquishing)
 	}
 	for name, m := range node.Metrics() {
 		if name == "" {

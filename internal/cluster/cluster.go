@@ -47,6 +47,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/gossip"
 	"repro/internal/live"
 	"repro/internal/netproto"
 	"repro/internal/rng"
@@ -105,6 +106,39 @@ type Config struct {
 	Transport session.Transport
 	// Logf, when set, receives reconciler progress lines.
 	Logf func(format string, args ...any)
+
+	// Membership, when set, switches the node to gossip-fed placement
+	// mode (see membership.go): the peer list follows the member table,
+	// and — with a Catalog — the hosted-set roster follows the
+	// consistent-hash ring. The node registers the gossip responder on
+	// its server and drives exchanges from its reconciler loop; the
+	// instance's Self address is this node's identity.
+	Membership *gossip.Gossip
+	// Catalog is the full set universe every member agrees on: names
+	// and the exact live configuration each set uses (two owners with
+	// different configs would never fingerprint-match). Ignored without
+	// Membership.
+	Catalog []CatalogSet
+	// Replication is the ring's owner count R per set (default 3,
+	// clamped to the member count).
+	Replication int
+	// VNodes is the ring's virtual-node count per member (default
+	// placement.DefaultVNodes).
+	VNodes int
+	// PlacementSlack is the bounded-loads headroom ε (default
+	// placement.DefaultSlack).
+	PlacementSlack float64
+	// PlacementSeed selects the ring's hash family. Every member must
+	// use the same value, or two nodes would compute different owner
+	// sets from one member list.
+	PlacementSeed uint64
+}
+
+// CatalogSet names one set of the cluster-wide catalog and the live
+// configuration every owner must build it with.
+type CatalogSet struct {
+	Name   string
+	Config live.Config
 }
 
 // Tier labels which protocol a reconciliation round ran.
@@ -171,11 +205,23 @@ type Node struct {
 	// disabled, so NetStats stays meaningful in both modes.
 	plainDials atomic.Uint64
 
+	// catalog / catalogNames mirror Config.Catalog for placement mode.
+	catalog      map[string]live.Config
+	catalogNames []string
+
 	mu      sync.Mutex
 	peers   []string
 	src     *rng.Source
 	metrics map[string]*SetMetrics
 	caches  map[string]map[string]*netproto.EMDCache // set → peer addr → sketch cache
+	// owners maps each catalog set to its current co-owners (self
+	// excluded); relinquish flags sets awaiting handoff confirmation.
+	// Both are maintained by ApplyPlacement (membership.go).
+	owners           map[string][]string
+	relinquish       map[string]bool
+	appliedVersion   uint64
+	placementApplied bool
+	placeStats       PlacementStats
 
 	loopCancel chan struct{}
 	loopDone   chan struct{}
@@ -216,6 +262,9 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 3
+	}
 	cfg.Session.Resolver = netproto.StoreResolver(cfg.Store)
 	// One mux knob for the whole node: disabling it reverts both
 	// directions (outbound pool and inbound carrier acceptance) to v2.
@@ -237,10 +286,24 @@ func New(cfg Config) (*Node, error) {
 			SessionTimeout: cfg.SessionTimeout,
 			Transport:      cfg.Transport,
 		},
-		peers:   append([]string(nil), cfg.Peers...),
-		src:     rng.New(cfg.Seed),
-		metrics: make(map[string]*SetMetrics),
-		caches:  make(map[string]map[string]*netproto.EMDCache),
+		peers:      append([]string(nil), cfg.Peers...),
+		src:        rng.New(cfg.Seed),
+		metrics:    make(map[string]*SetMetrics),
+		caches:     make(map[string]map[string]*netproto.EMDCache),
+		owners:     make(map[string][]string),
+		relinquish: make(map[string]bool),
+	}
+	if cfg.Membership != nil {
+		n.srv.Handle(cfg.Membership.ResponderFactory())
+		n.catalog = make(map[string]live.Config, len(cfg.Catalog))
+		for _, cs := range cfg.Catalog {
+			if _, dup := n.catalog[cs.Name]; dup {
+				return nil, fmt.Errorf("cluster: catalog set %q listed twice", cs.Name)
+			}
+			n.catalog[cs.Name] = cs.Config
+			n.catalogNames = append(n.catalogNames, cs.Name)
+		}
+		sort.Strings(n.catalogNames)
 	}
 	if !cfg.DisableMux {
 		n.pool = &session.MuxPool{
@@ -316,6 +379,7 @@ func (n *Node) loop() {
 		case <-n.loopCancel:
 			return
 		case <-tick.C:
+			n.GossipOnce()
 			n.ReconcileOnce()
 		}
 	}
@@ -378,10 +442,11 @@ func (n *Node) ReconcileOnce() (repaired int, err error) {
 	// schedule for a given seed is identical whether the execution
 	// phase below runs sequentially or pipelined.
 	type setJob struct {
-		name  string
-		ls    *live.Set
-		m     *SetMetrics
-		peers []string
+		name    string
+		ls      *live.Set
+		m       *SetMetrics
+		peers   []string
+		handoff bool
 	}
 	var jobs []setJob
 	for _, name := range n.store.Names() {
@@ -398,12 +463,40 @@ func (n *Node) ReconcileOnce() (repaired int, err error) {
 			m.Skipped++
 			m.Streak = 0
 		}
-		peers := n.pickPeersLocked(n.cfg.Choices)
+		// Peer pool: the set's co-owner replica group when placement
+		// manages it, the whole mesh otherwise. A relinquishing set
+		// probes ALL owners — the handoff confirmation needs every one
+		// of them, not a d-sample.
+		coOwners, managed := n.owners[name]
+		handoff := n.relinquish[name]
+		var peers []string
+		switch {
+		case handoff:
+			peers = append([]string(nil), coOwners...)
+		case managed:
+			peers = n.pickFromLocked(coOwners, n.cfg.Choices)
+		default:
+			peers = n.pickFromLocked(n.peers, n.cfg.Choices)
+		}
 		n.mu.Unlock()
-		if skip || len(peers) == 0 {
+		if handoff && ls.Size() == 0 {
+			// Nothing to hand off: an empty set the ring moved away
+			// drops without ceremony.
+			n.dropHandedOff(name)
 			continue
 		}
-		jobs = append(jobs, setJob{name, ls, m, peers})
+		if skip || len(peers) == 0 {
+			if managed && !handoff && !skip && len(peers) == 0 {
+				// Sole owner (R clamped to 1 live member): trivially
+				// converged with its whole replica group.
+				n.mu.Lock()
+				m.Noops++
+				m.Streak++
+				n.mu.Unlock()
+			}
+			continue
+		}
+		jobs = append(jobs, setJob{name, ls, m, peers, handoff})
 	}
 
 	// Execution phase: probe + escalate per set. Pipeline > 1 overlaps
@@ -417,7 +510,7 @@ func (n *Node) ReconcileOnce() (repaired int, err error) {
 	results := make([]setResult, len(jobs))
 	if width := min(n.cfg.Pipeline, len(jobs)); width <= 1 {
 		for i, j := range jobs {
-			results[i].exchanged, results[i].err = n.reconcileSet(j.name, j.ls, j.m, j.peers)
+			results[i].exchanged, results[i].err = n.reconcileSet(j.name, j.ls, j.m, j.peers, j.handoff)
 		}
 	} else {
 		var next atomic.Int64
@@ -432,7 +525,7 @@ func (n *Node) ReconcileOnce() (repaired int, err error) {
 						return
 					}
 					j := jobs[i]
-					results[i].exchanged, results[i].err = n.reconcileSet(j.name, j.ls, j.m, j.peers)
+					results[i].exchanged, results[i].err = n.reconcileSet(j.name, j.ls, j.m, j.peers, j.handoff)
 				}
 			}()
 		}
@@ -454,7 +547,10 @@ func (n *Node) ReconcileOnce() (repaired int, err error) {
 // reconcileSet runs one set's round against its selected candidate
 // peers: probe all, then escalate against the most divergent. It
 // reports whether state was exchanged and the first error encountered.
-func (n *Node) reconcileSet(name string, ls *live.Set, m *SetMetrics, peers []string) (exchanged bool, err error) {
+// With handoff set the peers are the set's full owner group and a
+// round where every owner answered with a matching fingerprint
+// completes the handoff by dropping the local copy.
+func (n *Node) reconcileSet(name string, ls *live.Set, m *SetMetrics, peers []string, handoff bool) (exchanged bool, err error) {
 	// Probe phase: cheap divergence estimate per candidate peer.
 	type candidate struct {
 		addr  string
@@ -516,6 +612,12 @@ func (n *Node) reconcileSet(name string, ls *live.Set, m *SetMetrics, peers []st
 		}
 		m.backoff = 0
 		n.mu.Unlock()
+		if handoff && failures == 0 {
+			// Every owner answered and matched: they provably hold
+			// everything this copy holds (repair is a union exchange, so
+			// fingerprint equality is content equality). Handoff done.
+			n.dropHandedOff(name)
+		}
 		return false, err
 	}
 	m.Streak = 0
@@ -649,6 +751,17 @@ func (n *Node) Prewarm() {
 	}
 }
 
+// ResetPool drops every pooled outbound carrier so the next session per
+// peer dials fresh (session.MuxPool.Reset). Deterministic harnesses call
+// it right after changing connectivity — a severed carrier is otherwise
+// detected asynchronously, and detection racing the next use makes the
+// dial trace nondeterministic. No-op when mux is disabled.
+func (n *Node) ResetPool() {
+	if n.pool != nil {
+		n.pool.Reset()
+	}
+}
+
 // metricsFor returns (creating if needed) the set's metrics struct.
 func (n *Node) metricsFor(name string) *SetMetrics {
 	n.mu.Lock()
@@ -679,26 +792,29 @@ func (n *Node) cacheFor(set, addr string) *netproto.EMDCache {
 	return c
 }
 
-// pickPeersLocked draws up to d distinct random peers. Caller holds
+// pickFromLocked draws up to d distinct random peers from the pool
+// (the whole mesh, or one set's co-owner group in placement mode). No
+// RNG is consumed when the pool already fits within d, so the draw
+// schedule for a given seed is stable across pool shapes. Caller holds
 // n.mu.
-func (n *Node) pickPeersLocked(d int) []string {
-	if len(n.peers) == 0 {
+func (n *Node) pickFromLocked(pool []string, d int) []string {
+	if len(pool) == 0 {
 		return nil
 	}
-	if d >= len(n.peers) {
-		out := append([]string(nil), n.peers...)
+	if d >= len(pool) {
+		out := append([]string(nil), pool...)
 		sort.Strings(out)
 		return out
 	}
 	idx := make(map[int]bool, d)
 	out := make([]string, 0, d)
 	for len(out) < d {
-		i := n.src.Intn(len(n.peers))
+		i := n.src.Intn(len(pool))
 		if idx[i] {
 			continue
 		}
 		idx[i] = true
-		out = append(out, n.peers[i])
+		out = append(out, pool[i])
 	}
 	return out
 }

@@ -1,0 +1,105 @@
+package gossip
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// encodeSnapshot / decodeSnapshot are byte-level wrappers over the
+// frame codec, shared by the unit and fuzz tests.
+func encodeSnapshot(members []Member) []byte {
+	e := transport.NewEncoder()
+	encodeMembers(e, members)
+	data, _ := e.Pack()
+	return append([]byte(nil), data...)
+}
+
+func decodeSnapshot(data []byte) ([]Member, error) {
+	return decodeMembers(transport.NewDecoder(data))
+}
+
+func fuzzTableBytes() []byte {
+	return encodeSnapshot([]Member{
+		{Addr: "10.0.0.1:7000", Incarnation: 0, State: StateAlive},
+		{Addr: "10.0.0.2:7000", Incarnation: 3, State: StateSuspect},
+		{Addr: "10.0.0.3:7000", Incarnation: 1, State: StateDead},
+		{Addr: "10.0.0.4:7000", Incarnation: 7, State: StateLeft},
+	})
+}
+
+// FuzzMemberTable hardens the gossip frame reader: arbitrary bytes must
+// either fail cleanly or decode to a table that is strictly sorted,
+// within state range, and survives an encode/decode round trip
+// value-identically. A decoded table must also merge without panicking.
+func FuzzMemberTable(f *testing.F) {
+	f.Add(fuzzTableBytes())
+	f.Add(encodeSnapshot(nil))
+	f.Add([]byte{})
+	// Member-count bomb: 2^31 members in a 5-byte frame.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x7f})
+	// One member with an address-length bomb.
+	f.Add([]byte{0x01, 0xff, 0xff, 0xff, 0x7f})
+	f.Add(fuzzTableBytes()[:7])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		members, err := decodeSnapshot(data)
+		if err != nil {
+			return // rejected cleanly
+		}
+		for i, m := range members {
+			if m.Addr == "" || len(m.Addr) > maxAddrLen {
+				t.Fatalf("accepted address length %d", len(m.Addr))
+			}
+			if m.State > StateLeft {
+				t.Fatalf("accepted state %d", m.State)
+			}
+			if i > 0 && members[i-1].Addr >= m.Addr {
+				t.Fatalf("accepted unsorted table: %q before %q", members[i-1].Addr, m.Addr)
+			}
+		}
+		enc := encodeSnapshot(members)
+		members2, err := decodeSnapshot(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted table failed: %v", err)
+		}
+		if !reflect.DeepEqual(members, members2) {
+			t.Fatalf("round trip changed table:\n%+v\n%+v", members, members2)
+		}
+		g, err := New(Config{Self: "fuzz-self"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Merge(members)
+	})
+}
+
+// TestGenerateGossipFuzzCorpus regenerates the checked-in seed corpus
+// under testdata/fuzz (run with GEN_FUZZ_CORPUS=1; skipped otherwise),
+// matching the discipline of the netproto and durable corpora.
+func TestGenerateGossipFuzzCorpus(t *testing.T) {
+	if os.Getenv("GEN_FUZZ_CORPUS") == "" {
+		t.Skip("set GEN_FUZZ_CORPUS=1 to regenerate the checked-in corpus")
+	}
+	write := func(name string, data []byte) {
+		dir := filepath.Join("testdata", "fuzz", "FuzzMemberTable")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("valid", fuzzTableBytes())
+	write("empty-table", encodeSnapshot(nil))
+	write("count-bomb", []byte{0xff, 0xff, 0xff, 0xff, 0x7f})
+	write("addr-length-bomb", []byte{0x01, 0xff, 0xff, 0xff, 0x7f})
+	write("truncated", fuzzTableBytes()[:7])
+	write("out-of-order", encodeSnapshot([]Member{{Addr: "b", State: StateAlive}, {Addr: "a", State: StateAlive}}))
+	write("bad-state", encodeSnapshot([]Member{{Addr: "a", State: State(200)}}))
+}

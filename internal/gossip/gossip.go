@@ -1,0 +1,361 @@
+// Package gossip is SWIM-style cluster membership: every node keeps a
+// table of members (address, incarnation, state) and swaps it push-pull
+// with a few random partners per round over the session engine
+// (netproto.ProtoGossip). Join, leave, suspicion, and failure all
+// travel as ordinary table entries, so one merge rule drives the whole
+// lifecycle:
+//
+//   - a higher incarnation always wins;
+//   - at equal incarnations the "worse" state wins
+//     (alive < suspect < dead < left).
+//
+// Failure detection is direct: a failed exchange marks the target
+// suspect, suspicion spreads by gossip, and a member that stays suspect
+// for SuspectRounds rounds is declared dead. The suspected node refutes
+// by incarnation: when a merge shows this node anything but alive at
+// its current incarnation, it bumps the incarnation and re-announces
+// alive — which is also how a crashed-and-restarted or rejoining member
+// overrides its own stale dead/left entry.
+//
+// The package is deliberately round-driven and timer-free: Tick ages
+// suspicion, Targets draws exchange partners from a seeded RNG, and
+// every state transition happens inside a caller-driven call — the same
+// (seed, call sequence) always yields the same membership history,
+// which is what the deterministic simnet scenarios replay.
+package gossip
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// State is a member's lifecycle state. The numeric order is the
+// precedence order at equal incarnations: a larger value overrides.
+type State uint8
+
+const (
+	// StateAlive: the member answers exchanges.
+	StateAlive State = iota
+	// StateSuspect: an exchange with the member failed; it is still a
+	// placement owner (damping: transient failures must not reshuffle
+	// the ring) but will be declared dead unless it refutes.
+	StateSuspect
+	// StateDead: suspicion aged out without refutation.
+	StateDead
+	// StateLeft: the member announced a graceful departure.
+	StateLeft
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	case StateLeft:
+		return "left"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Member is one table entry: the address other members dial is the
+// identity.
+type Member struct {
+	Addr        string
+	Incarnation uint64
+	State       State
+}
+
+// Config tunes a Gossip instance. Self is required.
+type Config struct {
+	// Self is this node's advertised address — its member identity.
+	Self string
+	// Seeds are addresses entered into the table at construction (the
+	// bootstrap list; typically the static -cluster peers, or one
+	// long-lived seed node). Unknown or dead seeds are harmless: they
+	// just never answer.
+	Seeds []string
+	// Fanout is how many push-pull partners each round draws
+	// (default 2).
+	Fanout int
+	// SuspectRounds is how many rounds a member stays suspect before
+	// being declared dead (default 3).
+	SuspectRounds int
+	// Seed feeds the partner-selection RNG (default 1).
+	Seed uint64
+	// Logf, when set, receives membership transitions.
+	Logf func(format string, args ...any)
+}
+
+// entry is a Member plus local bookkeeping that never goes on the wire.
+type entry struct {
+	Member
+	// suspectAge counts Ticks since the entry entered StateSuspect.
+	suspectAge int
+}
+
+// Gossip is one node's membership state. Construct with New; all
+// methods are safe for concurrent use (responder-side merges run on
+// server goroutines).
+type Gossip struct {
+	cfg Config
+
+	mu        sync.Mutex
+	src       *rng.Source
+	inc       uint64 // self incarnation
+	self      State  // StateAlive, or StateLeft after SetLeft
+	members   map[string]*entry
+	version   uint64 // bumped on any table change (cheap change detection)
+	deadProbe int    // round-robin cursor over dead members (resurrection probe)
+}
+
+// New builds a gossip instance over the seed list. Seeds start alive at
+// incarnation 0; real state arrives with the first exchanges.
+func New(cfg Config) (*Gossip, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("gossip: Config.Self is required")
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 2
+	}
+	if cfg.SuspectRounds <= 0 {
+		cfg.SuspectRounds = 3
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	g := &Gossip{
+		cfg:     cfg,
+		src:     rng.New(cfg.Seed),
+		self:    StateAlive,
+		members: make(map[string]*entry),
+	}
+	for _, addr := range cfg.Seeds {
+		if addr == "" || addr == cfg.Self {
+			continue
+		}
+		if _, ok := g.members[addr]; !ok {
+			g.members[addr] = &entry{Member: Member{Addr: addr, State: StateAlive}}
+		}
+	}
+	return g, nil
+}
+
+// Self returns this node's member identity.
+func (g *Gossip) Self() string { return g.cfg.Self }
+
+// Version returns a counter that increases on every table change.
+// Callers poll it to skip recomputing membership-derived state (ring
+// assignments) when nothing moved.
+func (g *Gossip) Version() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.version
+}
+
+// Snapshot returns the full table — self included — sorted by address:
+// the canonical wire order, and the deterministic iteration order every
+// caller shares.
+func (g *Gossip) Snapshot() []Member {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.snapshotLocked()
+}
+
+func (g *Gossip) snapshotLocked() []Member {
+	out := make([]Member, 0, len(g.members)+1)
+	out = append(out, Member{Addr: g.cfg.Self, Incarnation: g.inc, State: g.self})
+	for _, e := range g.members {
+		out = append(out, e.Member)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Active returns the sorted addresses of members that count for
+// placement and peer selection: alive and suspect (damping — a suspect
+// stays an owner until confirmed dead), self included unless it has
+// left.
+func (g *Gossip) Active() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.members)+1)
+	if g.self == StateAlive {
+		out = append(out, g.cfg.Self)
+	}
+	for addr, e := range g.members {
+		if e.State == StateAlive || e.State == StateSuspect {
+			out = append(out, addr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AliveCount returns how many members (self included) are alive or
+// suspect, and the total table size — the numbers operators watch.
+func (g *Gossip) AliveCount() (active, total int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	active, total = 0, len(g.members)+1
+	if g.self == StateAlive {
+		active++
+	}
+	for _, e := range g.members {
+		if e.State == StateAlive || e.State == StateSuspect {
+			active++
+		}
+	}
+	return active, total
+}
+
+// Targets draws the round's exchange partners: up to fanout distinct
+// members from the alive+suspect pool (a suspect must be probed, or it
+// could never refute), plus at most one dead member as a resurrection
+// probe — rotating through the dead list round-robin. Without that
+// probe a symmetric partition is fatal: each side declares the other
+// dead, dead members are never contacted, and the mesh stays split
+// after the network heals. One extra (usually failing) exchange per
+// round is the price of guaranteed re-merge. Left members are truly
+// final and never probed. The draw consumes the instance RNG, so a
+// fixed seed yields a fixed partner schedule.
+func (g *Gossip) Targets(fanout int) []string {
+	if fanout <= 0 {
+		fanout = g.cfg.Fanout
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	pool := make([]string, 0, len(g.members))
+	var dead []string
+	for addr, e := range g.members {
+		switch e.State {
+		case StateAlive, StateSuspect:
+			pool = append(pool, addr)
+		case StateDead:
+			dead = append(dead, addr)
+		}
+	}
+	sort.Strings(pool)
+	if len(pool) > fanout {
+		// Partial Fisher-Yates: the first fanout slots are a uniform
+		// sample, drawn in deterministic order.
+		for i := 0; i < fanout; i++ {
+			j := i + g.src.Intn(len(pool)-i)
+			pool[i], pool[j] = pool[j], pool[i]
+		}
+		pool = pool[:fanout]
+	}
+	if len(dead) > 0 {
+		sort.Strings(dead)
+		pool = append(pool, dead[g.deadProbe%len(dead)])
+		g.deadProbe++
+	}
+	return pool
+}
+
+// Merge folds a remote table into ours under the SWIM precedence rules
+// and reports whether anything changed. Entries about self never enter
+// the table: anything but alive-at-current-incarnation is refuted by
+// bumping the incarnation (unless this node has left — left is final
+// for this instance; a rejoin constructs a fresh one).
+func (g *Gossip) Merge(remote []Member) (changed bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, m := range remote {
+		if m.Addr == "" {
+			continue
+		}
+		if m.Addr == g.cfg.Self {
+			if g.self == StateAlive && (m.Incarnation > g.inc || (m.Incarnation == g.inc && m.State != StateAlive)) {
+				// Someone is spreading a stale or slanderous entry about
+				// us: out-bid it.
+				g.inc = m.Incarnation + 1
+				g.version++
+				changed = true
+				g.cfg.Logf("gossip: refuted %s rumor, incarnation now %d", m.State, g.inc)
+			}
+			continue
+		}
+		e := g.members[m.Addr]
+		if e == nil {
+			g.members[m.Addr] = &entry{Member: m}
+			g.version++
+			changed = true
+			g.cfg.Logf("gossip: learned %s (%s, inc %d)", m.Addr, m.State, m.Incarnation)
+			continue
+		}
+		if m.Incarnation > e.Incarnation || (m.Incarnation == e.Incarnation && m.State > e.State) {
+			old := e.State
+			e.Member = m
+			e.suspectAge = 0
+			g.version++
+			changed = true
+			if old != m.State {
+				g.cfg.Logf("gossip: %s %s -> %s (inc %d)", m.Addr, old, m.State, m.Incarnation)
+			}
+		}
+	}
+	return changed
+}
+
+// MarkFailed records a failed exchange with addr: an alive member
+// becomes suspect at its current incarnation. Already-suspect members
+// are left to age (Tick), dead/left ones are not news.
+func (g *Gossip) MarkFailed(addr string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e := g.members[addr]
+	if e == nil || e.State != StateAlive {
+		return
+	}
+	e.State = StateSuspect
+	e.suspectAge = 0
+	g.version++
+	g.cfg.Logf("gossip: %s suspected (exchange failed, inc %d)", addr, e.Incarnation)
+}
+
+// Tick advances suspicion by one round: every suspect entry ages, and
+// one that has been suspect for SuspectRounds rounds is declared dead.
+// Call it once per gossip round, after the round's exchanges.
+func (g *Gossip) Tick() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for addr, e := range g.members {
+		if e.State != StateSuspect {
+			continue
+		}
+		e.suspectAge++
+		if e.suspectAge >= g.cfg.SuspectRounds {
+			e.State = StateDead
+			g.version++
+			g.cfg.Logf("gossip: %s declared dead (suspect for %d rounds, inc %d)",
+				addr, e.suspectAge, e.Incarnation)
+		}
+	}
+}
+
+// SetLeft marks this node as gracefully departing: its table entry
+// becomes left at the current incarnation, which subsequent exchanges
+// (the caller should push at least one) spread to the mesh. Left is
+// final for this instance — it stops refuting rumors, so the departure
+// sticks; a rejoin builds a fresh Gossip whose first merge sees the old
+// left entry and out-bids it.
+func (g *Gossip) SetLeft() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.self == StateLeft {
+		return
+	}
+	g.self = StateLeft
+	g.version++
+	g.cfg.Logf("gossip: leaving (inc %d)", g.inc)
+}

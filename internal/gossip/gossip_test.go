@@ -1,0 +1,228 @@
+package gossip
+
+import (
+	"reflect"
+	"testing"
+)
+
+func mustNew(t *testing.T, cfg Config) *Gossip {
+	t.Helper()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewRequiresSelf(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted an empty Self")
+	}
+}
+
+func TestSnapshotSortedWithSelf(t *testing.T) {
+	g := mustNew(t, Config{Self: "n2", Seeds: []string{"n3", "n1", "n2", ""}})
+	snap := g.Snapshot()
+	want := []Member{
+		{Addr: "n1", State: StateAlive},
+		{Addr: "n2", State: StateAlive},
+		{Addr: "n3", State: StateAlive},
+	}
+	if !reflect.DeepEqual(snap, want) {
+		t.Fatalf("snapshot = %+v, want %+v", snap, want)
+	}
+}
+
+func TestMergePrecedence(t *testing.T) {
+	g := mustNew(t, Config{Self: "me", Seeds: []string{"a"}})
+
+	// Same incarnation, worse state wins.
+	if !g.Merge([]Member{{Addr: "a", Incarnation: 0, State: StateSuspect}}) {
+		t.Fatal("suspect at equal incarnation did not apply")
+	}
+	// Same incarnation, better state loses.
+	if g.Merge([]Member{{Addr: "a", Incarnation: 0, State: StateAlive}}) {
+		t.Fatal("alive did not lose to suspect at equal incarnation")
+	}
+	// Higher incarnation always wins, even downgrading the state.
+	if !g.Merge([]Member{{Addr: "a", Incarnation: 1, State: StateAlive}}) {
+		t.Fatal("higher incarnation alive did not override suspect")
+	}
+	// Lower incarnation never applies.
+	if g.Merge([]Member{{Addr: "a", Incarnation: 0, State: StateDead}}) {
+		t.Fatal("stale incarnation applied")
+	}
+	snap := g.Snapshot()
+	if snap[0].Addr != "a" || snap[0].State != StateAlive || snap[0].Incarnation != 1 {
+		t.Fatalf("final entry = %+v", snap[0])
+	}
+}
+
+func TestSelfRefutation(t *testing.T) {
+	g := mustNew(t, Config{Self: "me"})
+	// A rumor says we are dead at incarnation 3: refute by out-bidding.
+	if !g.Merge([]Member{{Addr: "me", Incarnation: 3, State: StateDead}}) {
+		t.Fatal("refutation did not register as a change")
+	}
+	snap := g.Snapshot()
+	if snap[0].Incarnation != 4 || snap[0].State != StateAlive {
+		t.Fatalf("self after refutation = %+v, want alive inc 4", snap[0])
+	}
+	// An alive rumor at our current incarnation is not news.
+	if g.Merge([]Member{{Addr: "me", Incarnation: 4, State: StateAlive}}) {
+		t.Fatal("current alive rumor counted as change")
+	}
+}
+
+func TestLeftIsFinal(t *testing.T) {
+	g := mustNew(t, Config{Self: "me"})
+	g.SetLeft()
+	if g.Merge([]Member{{Addr: "me", Incarnation: 0, State: StateDead}}) {
+		t.Fatal("left node refuted a rumor")
+	}
+	snap := g.Snapshot()
+	if snap[0].State != StateLeft {
+		t.Fatalf("self = %+v, want left", snap[0])
+	}
+	if got := g.Active(); len(got) != 0 {
+		t.Fatalf("left node still active: %v", got)
+	}
+}
+
+func TestFailureDetectionLifecycle(t *testing.T) {
+	g := mustNew(t, Config{Self: "me", Seeds: []string{"a", "b"}, SuspectRounds: 2})
+	g.MarkFailed("a")
+	if got := g.Active(); !reflect.DeepEqual(got, []string{"a", "b", "me"}) {
+		t.Fatalf("suspect dropped from active set: %v", got)
+	}
+	g.Tick() // age 1
+	g.Tick() // age 2 → dead
+	snap := g.Snapshot()
+	if snap[0].Addr != "a" || snap[0].State != StateDead {
+		t.Fatalf("a = %+v, want dead", snap[0])
+	}
+	if got := g.Active(); !reflect.DeepEqual(got, []string{"b", "me"}) {
+		t.Fatalf("active after death = %v", got)
+	}
+	// Refutation: the node comes back at a higher incarnation.
+	if !g.Merge([]Member{{Addr: "a", Incarnation: 1, State: StateAlive}}) {
+		t.Fatal("rejoin did not apply")
+	}
+	if got := g.Active(); !reflect.DeepEqual(got, []string{"a", "b", "me"}) {
+		t.Fatalf("active after rejoin = %v", got)
+	}
+}
+
+func TestMarkFailedOnSuspectKeepsAge(t *testing.T) {
+	g := mustNew(t, Config{Self: "me", Seeds: []string{"a"}, SuspectRounds: 2})
+	g.MarkFailed("a")
+	g.Tick()          // age 1
+	g.MarkFailed("a") // no-op: already suspect
+	g.Tick()          // age 2 → dead
+	if snap := g.Snapshot(); snap[0].State != StateDead {
+		t.Fatalf("a = %+v, want dead after 2 ticks", snap[0])
+	}
+}
+
+func TestTargetsDeterministicAndBounded(t *testing.T) {
+	seeds := []string{"a", "b", "c", "d", "e"}
+	g1 := mustNew(t, Config{Self: "me", Seeds: seeds, Seed: 7})
+	g2 := mustNew(t, Config{Self: "me", Seeds: seeds, Seed: 7})
+	for round := 0; round < 10; round++ {
+		t1, t2 := g1.Targets(2), g2.Targets(2)
+		if !reflect.DeepEqual(t1, t2) {
+			t.Fatalf("round %d: schedules diverged: %v vs %v", round, t1, t2)
+		}
+		if len(t1) != 2 {
+			t.Fatalf("round %d: %d targets, want 2", round, len(t1))
+		}
+		if t1[0] == t1[1] {
+			t.Fatalf("round %d: duplicate target %q", round, t1[0])
+		}
+	}
+	// Small pool: everyone is a target, no RNG consumed.
+	g3 := mustNew(t, Config{Self: "me", Seeds: []string{"x"}})
+	if got := g3.Targets(2); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Fatalf("small-pool targets = %v", got)
+	}
+}
+
+func TestTargetsResurrectionProbeNeverLeft(t *testing.T) {
+	g := mustNew(t, Config{Self: "me", Seeds: []string{"a", "b", "c", "d"}})
+	g.Merge([]Member{
+		{Addr: "a", Incarnation: 1, State: StateDead},
+		{Addr: "b", Incarnation: 1, State: StateDead},
+		{Addr: "c", Incarnation: 1, State: StateLeft},
+	})
+	// Left members are final and never probed; dead members get exactly
+	// one resurrection probe per draw, round-robin so both take turns.
+	probed := map[string]int{}
+	for i := 0; i < 6; i++ {
+		tgts := g.Targets(3)
+		if tgts[0] != "d" {
+			t.Fatalf("draw %d: live pool = %v, want leading %q", i, tgts, "d")
+		}
+		if len(tgts) != 2 {
+			t.Fatalf("draw %d: %d targets, want live + one dead probe: %v", i, len(tgts), tgts)
+		}
+		switch tgts[1] {
+		case "a", "b":
+			probed[tgts[1]]++
+		default:
+			t.Fatalf("draw %d: probed %q, want a dead member", i, tgts[1])
+		}
+	}
+	if probed["a"] != 3 || probed["b"] != 3 {
+		t.Fatalf("dead probes not round-robin: %v", probed)
+	}
+}
+
+func TestVersionTracksChanges(t *testing.T) {
+	g := mustNew(t, Config{Self: "me", Seeds: []string{"a"}})
+	v0 := g.Version()
+	g.Merge([]Member{{Addr: "a", Incarnation: 0, State: StateAlive}}) // no news
+	if g.Version() != v0 {
+		t.Fatal("no-op merge bumped version")
+	}
+	g.MarkFailed("a")
+	if g.Version() == v0 {
+		t.Fatal("MarkFailed did not bump version")
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	g := mustNew(t, Config{Self: "n1", Seeds: []string{"n2", "n3"}})
+	g.MarkFailed("n2")
+	g.Merge([]Member{{Addr: "n3", Incarnation: 5, State: StateLeft}})
+	snap := g.Snapshot()
+
+	enc := encodeSnapshot(snap)
+	got, err := decodeSnapshot(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Fatalf("round trip: %+v != %+v", got, snap)
+	}
+}
+
+func TestDecodeRejectsHostileFrames(t *testing.T) {
+	good := encodeSnapshot([]Member{
+		{Addr: "a", Incarnation: 1, State: StateAlive},
+		{Addr: "b", Incarnation: 2, State: StateSuspect},
+	})
+	cases := map[string][]byte{
+		"count bomb":    {0xff, 0xff, 0xff, 0xff, 0x7f},
+		"truncated":     good[:len(good)-2],
+		"empty":         nil,
+		"out of order":  encodeSnapshot([]Member{{Addr: "b"}, {Addr: "a"}}),
+		"duplicate":     encodeSnapshot([]Member{{Addr: "a"}, {Addr: "a"}}),
+		"bad state":     encodeSnapshot([]Member{{Addr: "a", State: State(9)}}),
+		"empty address": encodeSnapshot([]Member{{Addr: ""}}),
+	}
+	for name, data := range cases {
+		if _, err := decodeSnapshot(data); err == nil {
+			t.Errorf("%s: decode accepted hostile frame", name)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package placement maps set namespaces to owner nodes with a
+// consistent-hash ring under a bounded-loads discipline.
+//
+// Each node projects VNodes virtual points onto a 64-bit ring; a set
+// hashes to a ring position and walks clockwise collecting R distinct
+// owners. Consistent hashing alone keeps reassignment minimal when the
+// member list changes (only sets adjacent to moved vnodes change
+// owners), but its load balance is poor at small node counts — so the
+// walk skips nodes that have already reached their capacity
+//
+//	ceil((1+Slack) · R · #sets / #nodes)
+//
+// (Mirrokni et al.'s consistent hashing with bounded loads), which
+// turns the ~(R·sets/nodes)·(1+ε) per-node bound from a hope into a
+// construction invariant. Every input is explicit — member list, set
+// catalog, vnode count, seed — so any two nodes with the same view
+// compute the identical assignment with no coordination.
+package placement
+
+import (
+	"sort"
+
+	"repro/internal/hashx"
+)
+
+// DefaultVNodes is the virtual-node count per member when the caller
+// passes 0. More vnodes smooth the ring at the cost of a larger sort;
+// 16 keeps a 100-node ring at 1600 points.
+const DefaultVNodes = 16
+
+// DefaultSlack is the capacity headroom ε when the caller passes 0:
+// per-node load is bounded by ceil((1+ε)·R·sets/nodes).
+const DefaultSlack = 0.25
+
+// ringSeed namespaces the ring's hash family away from other Mixer
+// uses of the same user seed.
+const ringSeed = 0x51a9ce
+
+// Ring is an immutable consistent-hash ring over one member list.
+// Build with New; an updated member list is a new Ring (construction
+// is cheap — sorting #nodes·vnodes points).
+type Ring struct {
+	mixer  hashx.Mixer
+	nodes  []string
+	points []point // sorted by hash
+	vnodes int
+}
+
+type point struct {
+	hash uint64
+	node int // index into nodes
+}
+
+// New builds a ring over the member addresses. The list is deduplicated
+// and sorted internally, so any permutation of the same members yields
+// an identical ring. vnodes ≤ 0 means DefaultVNodes; seed selects the
+// hash family (all members must agree on it).
+func New(members []string, vnodes int, seed uint64) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	nodes := make([]string, 0, len(members))
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		nodes = append(nodes, m)
+	}
+	sort.Strings(nodes)
+	r := &Ring{
+		mixer:  hashx.MixerFromSeed(seed ^ ringSeed),
+		nodes:  nodes,
+		points: make([]point, 0, len(nodes)*vnodes),
+		vnodes: vnodes,
+	}
+	for i, n := range nodes {
+		base := r.mixer.HashBytes([]byte(n))
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: r.mixer.Hash(base + uint64(v)), node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties (vanishingly rare) break by node index so the ring
+		// stays order-independent of the input permutation.
+		return r.points[a].node < r.points[b].node
+	})
+	return r
+}
+
+// Nodes returns the ring's deduplicated, sorted member list.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Capacity returns the bounded-loads per-node set budget for nSets sets
+// at replication rf with the given slack (≤ 0 means DefaultSlack):
+// ceil((1+slack)·rf·nSets/#nodes). The ceiling makes the aggregate
+// budget at least rf·nSets, so a full assignment always fits.
+func (r *Ring) Capacity(nSets, rf int, slack float64) int {
+	if len(r.nodes) == 0 || nSets == 0 {
+		return 0
+	}
+	if slack <= 0 {
+		slack = DefaultSlack
+	}
+	load := float64(rf) * float64(nSets) / float64(len(r.nodes))
+	budget := int((1 + slack) * load)
+	if float64(budget) < (1+slack)*load {
+		budget++ // ceil
+	}
+	return budget
+}
+
+// Assign maps every set to its rf owner addresses (sorted), walking the
+// ring clockwise from each set's hash and skipping nodes already at
+// capacity. rf is clamped to the member count; slack ≤ 0 means
+// DefaultSlack. Sets are processed in sorted-name order, so the
+// assignment is a pure function of (members, sets, rf, vnodes, slack,
+// seed): every node computes the same map locally.
+//
+// The capacity skip can — on small meshes with adversarial hash
+// placement — exhaust the walk before rf distinct under-capacity
+// owners are found; the remainder then comes from the least-loaded
+// non-owners in (load, name) order, preserving both determinism and
+// the load bound.
+func (r *Ring) Assign(sets []string, rf int, slack float64) map[string][]string {
+	out := make(map[string][]string, len(sets))
+	if len(r.nodes) == 0 || len(sets) == 0 {
+		return out
+	}
+	if rf < 1 {
+		rf = 1
+	}
+	if rf > len(r.nodes) {
+		rf = len(r.nodes)
+	}
+	ordered := append([]string(nil), sets...)
+	sort.Strings(ordered)
+	capPerNode := r.Capacity(len(ordered), rf, slack)
+	load := make([]int, len(r.nodes))
+	for _, set := range ordered {
+		if _, dup := out[set]; dup {
+			continue
+		}
+		h := r.mixer.HashBytes([]byte(set))
+		start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+		owners := make([]int, 0, rf)
+		isOwner := make(map[int]bool, rf)
+		for off := 0; off < len(r.points) && len(owners) < rf; off++ {
+			p := r.points[(start+off)%len(r.points)]
+			if isOwner[p.node] || load[p.node] >= capPerNode {
+				continue
+			}
+			isOwner[p.node] = true
+			owners = append(owners, p.node)
+		}
+		for len(owners) < rf {
+			// Walk exhausted under the capacity skip: take the least-
+			// loaded non-owner (ties by node order = address order).
+			best := -1
+			for i := range r.nodes {
+				if isOwner[i] {
+					continue
+				}
+				if best < 0 || load[i] < load[best] {
+					best = i
+				}
+			}
+			isOwner[best] = true
+			owners = append(owners, best)
+		}
+		addrs := make([]string, len(owners))
+		for i, n := range owners {
+			load[n]++
+			addrs[i] = r.nodes[n]
+		}
+		sort.Strings(addrs)
+		out[set] = addrs
+	}
+	return out
+}
+
+// Owners returns one set's owner list without materializing the full
+// assignment — but note it ignores the bounded-loads discipline (which
+// needs the whole catalog) and is therefore only a hint, suitable for
+// diagnostics. Authoritative placement always goes through Assign.
+func (r *Ring) Owners(set string, rf int) []string {
+	m := r.Assign([]string{set}, rf, 0)
+	return m[set]
+}

@@ -1,0 +1,173 @@
+package placement
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func nodeList(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node-%03d", i)
+	}
+	return out
+}
+
+func setList(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("set-%02d", i)
+	}
+	return out
+}
+
+func TestRingOrderIndependent(t *testing.T) {
+	a := New([]string{"c", "a", "b", "a", ""}, 8, 42)
+	b := New([]string{"b", "c", "a"}, 8, 42)
+	if !reflect.DeepEqual(a.Nodes(), []string{"a", "b", "c"}) {
+		t.Fatalf("nodes = %v", a.Nodes())
+	}
+	sa := a.Assign(setList(10), 2, 0)
+	sb := b.Assign(setList(10), 2, 0)
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatalf("assignment depends on member order:\n%v\n%v", sa, sb)
+	}
+}
+
+func TestAssignDeterministic(t *testing.T) {
+	nodes, sets := nodeList(20), setList(40)
+	a := New(nodes, 16, 7).Assign(sets, 3, 0.25)
+	b := New(nodes, 16, 7).Assign(sets, 3, 0.25)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same inputs produced different assignments")
+	}
+	// A different seed produces a different ring (overwhelmingly).
+	c := New(nodes, 16, 8).Assign(sets, 3, 0.25)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("seed had no effect on assignment")
+	}
+}
+
+func TestAssignExactlyROwners(t *testing.T) {
+	r := New(nodeList(10), 16, 1)
+	for _, rf := range []int{1, 2, 3} {
+		asn := r.Assign(setList(24), rf, 0)
+		if len(asn) != 24 {
+			t.Fatalf("rf=%d: %d sets assigned, want 24", rf, len(asn))
+		}
+		for set, owners := range asn {
+			if len(owners) != rf {
+				t.Fatalf("rf=%d: set %q has %d owners: %v", rf, set, len(owners), owners)
+			}
+			if !sort.StringsAreSorted(owners) {
+				t.Fatalf("owners not sorted: %v", owners)
+			}
+			for i := 1; i < len(owners); i++ {
+				if owners[i] == owners[i-1] {
+					t.Fatalf("duplicate owner for %q: %v", set, owners)
+				}
+			}
+		}
+	}
+}
+
+func TestReplicationClampedToMembers(t *testing.T) {
+	r := New(nodeList(2), 16, 1)
+	asn := r.Assign(setList(6), 3, 0)
+	for set, owners := range asn {
+		if len(owners) != 2 {
+			t.Fatalf("set %q: %d owners with 2 members: %v", set, len(owners), owners)
+		}
+	}
+}
+
+func TestLoadBound(t *testing.T) {
+	for _, tc := range []struct{ nodes, sets, rf int }{
+		{100, 24, 3},
+		{10, 50, 3},
+		{4, 40, 2},
+		{3, 7, 3}, // capacity floor: rf ≥ nodes·ish edge
+	} {
+		r := New(nodeList(tc.nodes), 16, 9)
+		asn := r.Assign(setList(tc.sets), tc.rf, 0.25)
+		budget := r.Capacity(tc.sets, min(tc.rf, tc.nodes), 0.25)
+		load := map[string]int{}
+		for _, owners := range asn {
+			for _, o := range owners {
+				load[o]++
+			}
+		}
+		for node, l := range load {
+			if l > budget {
+				t.Fatalf("%d nodes/%d sets/rf=%d: node %s holds %d sets, budget %d",
+					tc.nodes, tc.sets, tc.rf, node, l, budget)
+			}
+		}
+	}
+}
+
+func TestMinimalDisruption(t *testing.T) {
+	sets := setList(48)
+	before := New(nodeList(20), 16, 3).Assign(sets, 3, 0.25)
+	// Drop one node of twenty.
+	after := New(nodeList(20)[:19], 16, 3).Assign(sets, 3, 0.25)
+	moved := 0
+	for _, set := range sets {
+		b, a := before[set], after[set]
+		for _, owner := range a {
+			found := false
+			for _, o := range b {
+				if o == owner {
+					found = true
+					break
+				}
+			}
+			if !found {
+				moved++
+			}
+		}
+	}
+	// 48 sets × rf 3 = 144 replicas; the departed node held ≤ 9
+	// (capacity), and bounded-loads ripple can move a few more. Anything
+	// beyond ~1/3 of replicas means the ring is rehashing the world.
+	if moved > 48 {
+		t.Fatalf("%d of 144 replicas moved after losing 1 of 20 nodes", moved)
+	}
+	t.Logf("replicas moved: %d / 144", moved)
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if got := New(nil, 0, 1).Assign(setList(3), 2, 0); len(got) != 0 {
+		t.Fatalf("assignment over empty ring: %v", got)
+	}
+	if got := New(nodeList(3), 0, 1).Assign(nil, 2, 0); len(got) != 0 {
+		t.Fatalf("assignment of no sets: %v", got)
+	}
+	if c := New(nodeList(3), 0, 1).Capacity(0, 2, 0); c != 0 {
+		t.Fatalf("capacity for 0 sets = %d", c)
+	}
+}
+
+func TestMesh100Shape(t *testing.T) {
+	// The mesh-100 scenario's exact shape: 100 nodes, 24 sets, rf 3.
+	// Every node budget is ceil(1.25·3·24/100) = 1: the walk must still
+	// find 3 distinct owners per set and never exceed one set per node.
+	r := New(nodeList(100), 16, 1)
+	asn := r.Assign(setList(24), 3, 0.25)
+	load := map[string]int{}
+	for set, owners := range asn {
+		if len(owners) != 3 {
+			t.Fatalf("set %q: owners %v", set, owners)
+		}
+		for _, o := range owners {
+			load[o]++
+		}
+	}
+	for node, l := range load {
+		if l > 1 {
+			t.Fatalf("node %s holds %d sets, budget 1", node, l)
+		}
+	}
+}

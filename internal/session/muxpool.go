@@ -270,6 +270,36 @@ func (p *MuxPool) plainDo(addr, set string, h netproto.Handler) (transport.Stats
 	return d.Do(h)
 }
 
+// errPoolReset fails whatever streams are still live on a carrier the
+// pool dropped via Reset.
+var errPoolReset = errors.New("session: pool reset")
+
+// Reset drops every pooled carrier: each is shut down and forgotten, so
+// the next session per address dials fresh. The pool stays open and the
+// plain-only memo survives (v3 support is a peer property, not a
+// connection one). The point is determinism around network faults: a
+// carrier severed by a partition is detected asynchronously by its read
+// loop, so whether the next session sees "carrier failed" or a fresh
+// dial is a race — a caller that knows connectivity just changed (the
+// scenario harness applying a fault round) resets instead, making every
+// post-fault session start from the same cold state.
+func (p *MuxPool) Reset() {
+	p.mu.Lock()
+	entries := make([]*poolEntry, 0, len(p.entries))
+	for _, e := range p.entries {
+		entries = append(entries, e)
+	}
+	p.mu.Unlock()
+	for _, e := range entries {
+		e.mu.Lock()
+		if e.m != nil {
+			e.m.shutdown(errPoolReset)
+			e.m = nil
+		}
+		e.mu.Unlock()
+	}
+}
+
 // Close shuts down every pooled carrier; in-flight streams fail with
 // ErrPoolClosed and later Do calls are refused. Idempotent.
 func (p *MuxPool) Close() error {

@@ -1,0 +1,44 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkChoicesSweep sweeps the power-of-d-choices knob over a
+// fixed-seed sharded mesh and reports rounds-to-converge against
+// probes-per-round — the load/latency trade the knob buys. The mesh
+// runs at R=5 so every shard has 4 co-owners and d=1..4 are all
+// distinct (d clamps to the co-owner pool); no faults, so the sweep
+// isolates the probing policy. Runs are seed-deterministic, so the
+// metrics are exact, not sampled.
+func BenchmarkChoicesSweep(b *testing.B) {
+	for d := 1; d <= 4; d++ {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				sc := Scenario{
+					Name:        fmt.Sprintf("choices-sweep-d%d", d),
+					Nodes:       10,
+					Sets:        gossipSets(8, 16, 3, 256),
+					Rounds:      60,
+					ChurnRounds: 3,
+					Gossip:      true,
+					Replication: 5,
+					Choices:     d,
+					Streak:      1,
+				}
+				r, err := Run(sc, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !r.Ok() {
+					b.Fatalf("d=%d: invariants failed: %v", d, r.Failures)
+				}
+				res = r
+			}
+			b.ReportMetric(float64(res.ConvergedRound+1), "rounds-to-converge")
+			b.ReportMetric(float64(res.Probes)/float64(res.RoundsRun), "probes/round")
+		})
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package scenario
+
+// raceEnabled reports whether the race detector is compiled in. The
+// heavyweight mesh-100 gates skip under race (the dedicated CI step
+// replays mesh-100 without instrumentation; the smaller sharded
+// scenario carries the race coverage).
+const raceEnabled = false

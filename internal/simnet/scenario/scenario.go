@@ -28,8 +28,10 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/emd"
+	"repro/internal/gossip"
 	"repro/internal/live"
 	"repro/internal/metric"
+	"repro/internal/placement"
 	"repro/internal/rng"
 	"repro/internal/session"
 	"repro/internal/simnet"
@@ -39,7 +41,9 @@ import (
 	"repro/internal/workload"
 )
 
-// SetSpec declares one named set hosted by every node.
+// SetSpec declares one named set. In the default (static) mode every
+// node hosts every set; in Gossip mode the set is a catalog entry and
+// only its ring-assigned owners host it.
 type SetSpec struct {
 	// Name is the set's namespace ("" = the default set).
 	Name string
@@ -61,10 +65,14 @@ type SetSpec struct {
 // journal abandoned without a final snapshot — exactly what a process
 // kill leaves on disk), restart recovers it from its data directory,
 // asserts the recovered fingerprints match the kill-time state, and
-// rejoins it to the mesh.
+// rejoins it to the mesh. The "leave" and "join" kinds require
+// Scenario.Gossip: leave departs node From gracefully (final push,
+// departure announcement, shutdown — its sets move to new owners via
+// the ring), join boots a fresh empty-store node in a previously
+// departed slot, bootstrapping its member table from node 0 alone.
 type Fault struct {
 	Round int
-	Kind  string // "partition" | "heal" | "latency" | "bandwidth" | "drop" | "down" | "up" | "kill" | "restart"
+	Kind  string // "partition" | "heal" | "latency" | "bandwidth" | "drop" | "down" | "up" | "kill" | "restart" | "leave" | "join"
 
 	Groups   [][]int       // partition: node-index groups (unlisted nodes form a remainder group)
 	From, To int           // link faults
@@ -130,6 +138,33 @@ type Scenario struct {
 	// directory, enabling "kill"/"restart" faults. The directory path
 	// never enters the trace, so replay determinism is unaffected.
 	Durable bool
+	// Gossip shards the mesh: membership is maintained by SWIM-style
+	// gossip (internal/gossip) and each set is hosted only by its
+	// consistent-hash ring owners (internal/placement). The harness
+	// plants initial points only into owners, drives a gossip round
+	// before each reconcile round, and judges convergence per replica
+	// group: every set on exactly min(Replication, live nodes) hosts,
+	// fingerprint-equal, with no handoff pending and no node over the
+	// bounded-loads budget. Enables the "leave"/"join" faults.
+	Gossip bool
+	// Replication is the ring replication factor R (default 3).
+	Replication int
+	// VNodes is the ring's virtual-node count per member (default
+	// placement.DefaultVNodes).
+	VNodes int
+	// PlacementSlack is the bounded-loads headroom ε (default
+	// placement.DefaultSlack).
+	PlacementSlack float64
+	// GossipFanout is the push-pull partners per gossip round
+	// (default 2).
+	GossipFanout int
+	// SuspectRounds is how long suspicion ages before a member is
+	// declared dead (default 3).
+	SuspectRounds int
+	// Choices is the power-of-d probe width per set per round
+	// (cluster.Config.Choices; default 2). Exposed so the choices-sweep
+	// benchmark can run the same scenario at d=1..4.
+	Choices int
 }
 
 // Result is one run's outcome: the deterministic trace, the round
@@ -151,6 +186,10 @@ type Result struct {
 	// with DisableMux they are equal.
 	Dials    uint64
 	Sessions uint64
+	// Probes totals the mesh's outbound probe sessions over the driven
+	// rounds — the denominator of the rounds-to-converge vs probes/round
+	// trade the choices sweep measures.
+	Probes uint64
 	// DialsByRound breaks Dials down per driven round (round 0 includes
 	// any prewarm dials). Pooled carriers front-load dialing — steady
 	// rounds after the first dial little to nothing — while DisableMux
@@ -192,6 +231,12 @@ type run struct {
 	killFP    map[int]map[string]uint64
 	restarted map[int]bool
 	netBase   session.PoolStats
+
+	// Gossip-scenario state: nodes that left gracefully (a nil entry in
+	// nodes that is NOT a failure at end of run — unless rejoined), and
+	// each node's membership handle for trace counters.
+	departed map[int]bool
+	gossips  []*gossip.Gossip
 
 	traceMu sync.Mutex // tracef is called from network-event goroutines too
 	res     *Result
@@ -248,6 +293,25 @@ func Run(sc Scenario, seed uint64) (*Result, error) {
 		if (f.Kind == "kill" || f.Kind == "restart") && !sc.Durable {
 			return nil, fmt.Errorf("scenario %q: %q fault requires Durable", sc.Name, f.Kind)
 		}
+		if (f.Kind == "leave" || f.Kind == "join") && !sc.Gossip {
+			return nil, fmt.Errorf("scenario %q: %q fault requires Gossip", sc.Name, f.Kind)
+		}
+		if (f.Kind == "kill" || f.Kind == "restart") && sc.Gossip {
+			// A durable restart rejoins via SetPeers; gossip nodes get
+			// their peers from the member table. The combination is a
+			// later PR, not a silent half-working mode.
+			return nil, fmt.Errorf("scenario %q: %q fault is not supported with Gossip", sc.Name, f.Kind)
+		}
+	}
+	if sc.Gossip {
+		if sc.Replication <= 0 {
+			sc.Replication = 3
+		}
+		for _, spec := range sc.Sets {
+			if spec.Name == "" {
+				return nil, fmt.Errorf("scenario %q: Gossip mode needs named sets (the catalog keys on names)", sc.Name)
+			}
+		}
 	}
 	if sc.Streak <= 0 {
 		sc.Streak = 1
@@ -266,6 +330,10 @@ func Run(sc Scenario, seed uint64) (*Result, error) {
 	}
 	r.net.OnEvent = func(e simnet.Event) { r.tracef("  net: %s", e) }
 	r.tracef("# scenario %s seed %d: %d nodes, %d sets, <=%d rounds", sc.Name, seed, sc.Nodes, len(sc.Sets), sc.Rounds)
+	if sc.Gossip {
+		r.departed = make(map[int]bool)
+		r.gossips = make([]*gossip.Gossip, sc.Nodes)
+	}
 
 	if sc.Durable {
 		dir, err := os.MkdirTemp("", "scenario-durable-")
@@ -304,6 +372,59 @@ func Run(sc Scenario, seed uint64) (*Result, error) {
 	return r.res, nil
 }
 
+// setCfg builds one spec's live.Config — identical wherever the set is
+// instantiated (plant-time, catalog, ground-truth reference), which the
+// fingerprint comparisons require.
+func setCfg(spec SetSpec) live.Config {
+	cfg := live.Config{Sync: &live.SyncConfig{Seed: scenarioSyncSeed}}
+	if spec.EMD {
+		capacity := spec.Capacity
+		if capacity <= 0 {
+			capacity = 4096
+		}
+		p := emd.DefaultParams(metric.HammingCube(scenarioDim), capacity, 4, 7)
+		cfg.EMD = &p
+	}
+	return cfg
+}
+
+// addr is node i's dialable address.
+func addr(i int) string { return host(i) + ":1" }
+
+// allAddrs lists every node's address in index order.
+func (r *run) allAddrs() []string {
+	out := make([]string, r.sc.Nodes)
+	for i := range out {
+		out[i] = addr(i)
+	}
+	return out
+}
+
+// setNames lists the scenario's set names.
+func (r *run) setNames() []string {
+	out := make([]string, len(r.sc.Sets))
+	for i, spec := range r.sc.Sets {
+		out[i] = spec.Name
+	}
+	return out
+}
+
+// catalog builds the cluster catalog every gossip node shares.
+func (r *run) catalog() []cluster.CatalogSet {
+	out := make([]cluster.CatalogSet, len(r.sc.Sets))
+	for i, spec := range r.sc.Sets {
+		out[i] = cluster.CatalogSet{Name: spec.Name, Config: setCfg(spec)}
+	}
+	return out
+}
+
+// ringOver builds the placement ring the harness-side invariant checks
+// use — same inputs as every node's own ApplyPlacement, so the
+// assignments agree.
+func (r *run) ringOver(members []string) *placement.Ring {
+	return placement.New(members, r.sc.VNodes, r.seed)
+}
+
 // buildMesh plants the stores and starts one cluster node per host.
 func (r *run) buildMesh() error {
 	if r.sc.LatencyMax > 0 {
@@ -318,7 +439,9 @@ func (r *run) buildMesh() error {
 		}
 		r.tracef("latency: all links %v..%v", r.sc.LatencyMin, r.sc.LatencyMax)
 	}
-	space := metric.HammingCube(scenarioDim)
+	if r.sc.Gossip {
+		return r.buildGossipMesh()
+	}
 	r.nodes = make([]*cluster.Node, r.sc.Nodes)
 	for i := 0; i < r.sc.Nodes; i++ {
 		st := store.New()
@@ -333,16 +456,7 @@ func (r *run) buildMesh() error {
 		for si, spec := range r.sc.Sets {
 			base := r.points(spec.Base, uint64(si+1)*0xb45e)
 			extras := r.points(spec.PerNode, uint64(si+1)*0xe57a+uint64(i+1)*0x101)
-			capacity := spec.Capacity
-			if capacity <= 0 {
-				capacity = 4096
-			}
-			cfg := live.Config{Sync: &live.SyncConfig{Seed: scenarioSyncSeed}}
-			if spec.EMD {
-				p := emd.DefaultParams(space, capacity, 4, 7)
-				cfg.EMD = &p
-			}
-			if _, err := st.Create(spec.Name, cfg, append(base.Clone(), extras...)); err != nil {
+			if _, err := st.Create(spec.Name, setCfg(spec), append(base.Clone(), extras...)); err != nil {
 				return fmt.Errorf("scenario %q: %w", r.sc.Name, err)
 			}
 			r.expected[spec.Name] = append(r.expected[spec.Name], extras...)
@@ -350,7 +464,7 @@ func (r *run) buildMesh() error {
 				r.expected[spec.Name] = append(r.expected[spec.Name], base...)
 			}
 		}
-		if err := r.startNode(i, st); err != nil {
+		if err := r.startNode(i, st, nil); err != nil {
 			return err
 		}
 	}
@@ -369,25 +483,94 @@ func (r *run) buildMesh() error {
 	return nil
 }
 
+// buildGossipMesh starts the sharded variant: every node boots with an
+// empty store plus full-bootstrap gossip seeds, the harness plants each
+// set's initial points only into the nodes the ring assigns it to (the
+// same assignment every node computes locally), and ApplyPlacement
+// wires owner pools before the first round.
+func (r *run) buildGossipMesh() error {
+	addrs := r.allAddrs()
+	asn := r.ringOver(addrs).Assign(r.setNames(), r.sc.Replication, r.sc.PlacementSlack)
+	r.nodes = make([]*cluster.Node, r.sc.Nodes)
+	for i := 0; i < r.sc.Nodes; i++ {
+		st := store.New()
+		for si, spec := range r.sc.Sets {
+			owners := asn[spec.Name]
+			owner := false
+			for _, o := range owners {
+				if o == addrs[i] {
+					owner = true
+					break
+				}
+			}
+			if !owner {
+				continue
+			}
+			base := r.points(spec.Base, uint64(si+1)*0xb45e)
+			extras := r.points(spec.PerNode, uint64(si+1)*0xe57a+uint64(i+1)*0x101)
+			if _, err := st.Create(spec.Name, setCfg(spec), append(base.Clone(), extras...)); err != nil {
+				return fmt.Errorf("scenario %q: %w", r.sc.Name, err)
+			}
+			r.expected[spec.Name] = append(r.expected[spec.Name], extras...)
+			if owners[0] == addrs[i] {
+				r.expected[spec.Name] = append(r.expected[spec.Name], base...)
+			}
+		}
+		if err := r.startNode(i, st, addrs); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.nodes {
+		n.ApplyPlacement()
+	}
+	budget := r.ringOver(addrs).Capacity(len(r.sc.Sets), r.sc.Replication, r.sc.PlacementSlack)
+	r.tracef("placement: %d sets over %d nodes, R=%d, per-node budget %d",
+		len(r.sc.Sets), r.sc.Nodes, r.sc.Replication, budget)
+	return nil
+}
+
 // startNode builds and starts node i over its store. The cluster seed
 // derives only from the run seed and the index, so a restarted
-// incarnation makes the same peer choices a never-killed one would.
-func (r *run) startNode(i int, st *store.Store) error {
-	n, err := cluster.New(cluster.Config{
+// incarnation makes the same peer choices a never-killed one would. In
+// Gossip mode, seeds is the bootstrap member list for a fresh gossip
+// instance (full mesh at build, node 0 for a later join).
+func (r *run) startNode(i int, st *store.Store, seeds []string) error {
+	cfg := cluster.Config{
 		Store:          st,
 		Network:        "sim",
 		Interval:       -1, // harness-driven rounds
 		Seed:           r.seed + uint64(i)*0x9e37,
+		Choices:        r.sc.Choices,
 		DialTimeout:    5 * time.Second,
 		SessionTimeout: 30 * time.Second,
 		DisableMux:     r.sc.DisableMux,
 		Pipeline:       r.sc.Pipeline,
 		Transport:      r.net.Host(host(i)),
-	})
+	}
+	if r.sc.Gossip {
+		g, err := gossip.New(gossip.Config{
+			Self:          addr(i),
+			Seeds:         seeds,
+			Fanout:        r.sc.GossipFanout,
+			SuspectRounds: r.sc.SuspectRounds,
+			Seed:          r.seed ^ (0x6055 + uint64(i)*0x101),
+		})
+		if err != nil {
+			return err
+		}
+		r.gossips[i] = g
+		cfg.Membership = g
+		cfg.Catalog = r.catalog()
+		cfg.Replication = r.sc.Replication
+		cfg.VNodes = r.sc.VNodes
+		cfg.PlacementSlack = r.sc.PlacementSlack
+		cfg.PlacementSeed = r.seed
+	}
+	n, err := cluster.New(cfg)
 	if err != nil {
 		return err
 	}
-	if _, err := n.Start(host(i) + ":1"); err != nil {
+	if _, err := n.Start(addr(i)); err != nil {
 		return err
 	}
 	r.nodes[i] = n
@@ -405,12 +588,21 @@ func (r *run) peersOf(i int) []string {
 	return peers
 }
 
-// applyFaults installs every fault scheduled for the round.
+// applyFaults installs every fault scheduled for the round. In Gossip
+// mode a fault round ends with a mesh-wide carrier-pool reset: faults
+// sever pooled carriers, and a severed carrier's death is detected
+// asynchronously by its read loop — whether the next session sees
+// "carrier failed" or a fresh dial would otherwise be a race in the
+// trace. (The sharded mesh is what leaves carriers idle across a
+// partition: placement reassigns probes within each side, so the cut
+// carrier's first use — and the race — happens rounds later, at heal.)
 func (r *run) applyFaults(round int) {
+	applied := false
 	for _, f := range r.sc.Faults {
 		if f.Round != round {
 			continue
 		}
+		applied = true
 		switch f.Kind {
 		case "partition":
 			groups := make([][]string, len(f.Groups))
@@ -443,9 +635,21 @@ func (r *run) applyFaults(round int) {
 			r.killNode(f.From)
 		case "restart":
 			r.restartNode(f.From)
+		case "leave":
+			r.leaveNode(f.From)
+		case "join":
+			r.joinNode(f.From)
 		default:
 			r.failf("unknown fault kind %q at round %d", f.Kind, f.Round)
 		}
+	}
+	if applied && r.sc.Gossip {
+		for _, n := range r.nodes {
+			if n != nil {
+				n.ResetPool()
+			}
+		}
+		r.tracef("fault: carrier pools reset mesh-wide")
 	}
 	if fl := r.sc.Flaky; fl != nil && round < fl.Rounds {
 		a := r.flakySrc.Intn(r.sc.Nodes)
@@ -522,7 +726,7 @@ func (r *run) restartNode(i int) {
 	}
 	st.SetPersister(d)
 	r.durables[i] = d
-	if err := r.startNode(i, st); err != nil {
+	if err := r.startNode(i, st, nil); err != nil {
 		r.failf("restart node %d: %v", i, err)
 		return
 	}
@@ -531,11 +735,60 @@ func (r *run) restartNode(i int) {
 	r.tracef("fault: restart %s (recovered %v)", host(i), stats)
 }
 
+// leaveNode departs node i gracefully: Leave pushes its state to every
+// set's co-owners, spreads the departure announcement, and shuts the
+// node down. Its slot stays empty (departed) unless a later "join"
+// fault reuses it.
+func (r *run) leaveNode(i int) {
+	n := r.nodes[i]
+	if n == nil {
+		r.failf("leave: node %d is already down", i)
+		return
+	}
+	r.tracef("fault: leave %s", host(i))
+	if err := n.Leave(2 * time.Second); err != nil {
+		r.failf("leave node %d: %v", i, err)
+	}
+	// Fold the departed incarnation's connection economy into the run
+	// totals before its pool disappears.
+	st := n.NetStats()
+	r.netBase.Dials += st.Dials
+	r.netBase.Sessions += st.Sessions
+	r.netBase.Reuses += st.Reuses
+	r.netBase.Fallbacks += st.Fallbacks
+	r.nodes[i] = nil
+	r.gossips[i] = nil
+	r.departed[i] = true
+	r.quiesce() // Leave ran sessions against the whole mesh; settle them
+}
+
+// joinNode boots a fresh node with an empty store in a departed slot,
+// seeding its member table from node 0 alone — the realistic bootstrap:
+// a joiner knows one long-lived address, pulls the full table in its
+// first exchange (refuting its own stale left/dead entry by incarnation
+// along the way), and only then computes a placement from the complete
+// view. The harness deliberately skips the build-time ApplyPlacement
+// here: the node's first GossipOnce applies placement after the table
+// sync, so it never acts on the two-member bootstrap view.
+func (r *run) joinNode(i int) {
+	if r.nodes[i] != nil {
+		r.failf("join: node %d is not down", i)
+		return
+	}
+	if err := r.startNode(i, store.New(), []string{addr(0)}); err != nil {
+		r.failf("join node %d: %v", i, err)
+		return
+	}
+	delete(r.departed, i)
+	r.tracef("fault: join %s (seeded from %s)", host(i), host(0))
+}
+
 // churn applies the add-wins-safe churn pattern on every node and set,
 // extending the ground-truth union with the surviving point of each
 // batch (the removed point dies inside its own batch and is never
 // replicated).
 func (r *run) churn(round int) {
+	churned := 0
 	for i, n := range r.nodes {
 		if n == nil {
 			continue // killed nodes churn nothing
@@ -543,9 +796,13 @@ func (r *run) churn(round int) {
 		for si, spec := range r.sc.Sets {
 			ls, ok := storeGet(n, spec.Name)
 			if !ok {
+				if r.sc.Gossip {
+					continue // non-owners legitimately don't host the set
+				}
 				r.failf("node %d lost set %q", i, spec.Name)
 				continue
 			}
+			churned++
 			for b := 0; b < r.sc.ChurnBatches; b++ {
 				fresh := r.points(2, 0xcafe+uint64(round)*0x10000+uint64(i)*0x100+uint64(si)*0x10+uint64(b))
 				err := ls.ApplyBatch([]live.Op{
@@ -561,7 +818,11 @@ func (r *run) churn(round int) {
 			}
 		}
 	}
-	r.tracef("churn: %d nodes x %d sets x %d batches", len(r.nodes), len(r.sc.Sets), r.sc.ChurnBatches)
+	if r.sc.Gossip {
+		r.tracef("churn: %d hosted (node,set) pairs x %d batches", churned, r.sc.ChurnBatches)
+	} else {
+		r.tracef("churn: %d nodes x %d sets x %d batches", len(r.nodes), len(r.sc.Sets), r.sc.ChurnBatches)
+	}
 }
 
 // storeGet resolves a node's named set.
@@ -620,16 +881,128 @@ func (r *run) fingerprintLine() (string, bool) {
 	return b.String(), all
 }
 
+// gossipLine is the sharded-mode convergence summary: each set must be
+// hosted by exactly min(Replication, live nodes) hosts with equal
+// fingerprints, and no node may have a handoff pending. The per-set
+// field shows fingerprint/hostcount; a trailing "!" flags a wrong host
+// count, and a handoff=N field appears while relinquishes are pending.
+func (r *run) gossipLine() (string, bool) {
+	live, pending := 0, 0
+	for _, n := range r.nodes {
+		if n == nil {
+			continue
+		}
+		live++
+		pending += n.Placement().Relinquishing
+	}
+	want := r.sc.Replication
+	if want > live {
+		want = live
+	}
+	all := pending == 0
+	var b strings.Builder
+	for si, spec := range r.sc.Sets {
+		hosts := 0
+		var fp uint64
+		match, first := true, true
+		for _, n := range r.nodes {
+			if n == nil {
+				continue
+			}
+			ls, ok := storeGet(n, spec.Name)
+			if !ok {
+				continue
+			}
+			hosts++
+			f := ls.IDFingerprint()
+			if first {
+				fp, first = f, false
+			} else if f != fp {
+				match = false
+			}
+		}
+		if si > 0 {
+			b.WriteString(" ")
+		}
+		switch {
+		case !match:
+			fmt.Fprintf(&b, "%s=DIVERGED/%d", spec.Name, hosts)
+			all = false
+		case hosts != want:
+			fmt.Fprintf(&b, "%s=%016x/%d!", spec.Name, fp, hosts)
+			all = false
+		default:
+			fmt.Fprintf(&b, "%s=%016x/%d", spec.Name, fp, hosts)
+		}
+	}
+	if pending > 0 {
+		fmt.Fprintf(&b, " handoff=%d", pending)
+	}
+	return b.String(), all
+}
+
+// stateLine picks the mode's convergence summary.
+func (r *run) stateLine() (string, bool) {
+	if r.sc.Gossip {
+		return r.gossipLine()
+	}
+	return r.fingerprintLine()
+}
+
+// gossipRound drives one membership round across the mesh and traces
+// the aggregate: exchange economy plus the min/max active-member count
+// every node currently believes (they converge to live/live).
+func (r *run) gossipRound() {
+	exchanged, failed, changed := 0, 0, 0
+	minActive, maxActive, total := -1, 0, 0
+	for _, n := range r.nodes {
+		if n == nil {
+			continue
+		}
+		st := n.GossipOnce()
+		exchanged += st.Exchanged
+		failed += st.Failed
+		if st.Changed {
+			changed++
+		}
+		if minActive < 0 || st.Active < minActive {
+			minActive = st.Active
+		}
+		if st.Active > maxActive {
+			maxActive = st.Active
+		}
+		total = st.Total
+	}
+	r.quiesce() // responder-side merges finish before anyone reads tables
+	if minActive < 0 {
+		minActive = 0
+	}
+	r.tracef("gossip: %d exchanged, %d failed, %d tables changed, active %d..%d of %d",
+		exchanged, failed, changed, minActive, maxActive, total)
+}
+
 // drive runs the scheduled rounds until the convergence streak or the
 // round cap.
 func (r *run) drive() {
 	streak := 0
+	// The streak only counts once churn is done AND every scheduled
+	// fault has been applied: a mesh that looks converged at round 3
+	// must not end a run whose partition is scheduled for round 4.
+	minConverge := r.sc.ChurnRounds
+	for _, f := range r.sc.Faults {
+		if f.Round > minConverge {
+			minConverge = f.Round
+		}
+	}
 	for round := 0; round < r.sc.Rounds; round++ {
 		r.res.RoundsRun = round + 1
 		r.tracef("[round %03d]", round)
 		r.applyFaults(round)
 		if round < r.sc.ChurnRounds {
 			r.churn(round)
+		}
+		if r.sc.Gossip {
+			r.gossipRound()
 		}
 		for i, n := range r.nodes {
 			if n == nil {
@@ -648,7 +1021,7 @@ func (r *run) drive() {
 				r.tracef("node %d: reconcile repaired=%d", i, repaired)
 			}
 		}
-		line, converged := r.fingerprintLine()
+		line, converged := r.stateLine()
 		r.tracef("state: %s", line)
 		dialed := r.netBase.Dials
 		for _, n := range r.nodes {
@@ -660,7 +1033,7 @@ func (r *run) drive() {
 			dialed -= prev
 		}
 		r.res.DialsByRound = append(r.res.DialsByRound, dialed)
-		if converged && round >= r.sc.ChurnRounds {
+		if converged && round >= minConverge {
 			streak++
 			if streak >= r.sc.Streak {
 				r.res.ConvergedRound = round
@@ -691,6 +1064,7 @@ func (r *run) drive() {
 			if display == "" {
 				display = "<default>"
 			}
+			r.res.Probes += m[name].Probes
 			r.tracef("metrics: node %d set %s: %v", i, display, m[name])
 		}
 	}
@@ -724,7 +1098,7 @@ func (r *run) drive() {
 // bound.
 func (r *run) checkRecovered() {
 	for i := range r.nodes {
-		if r.nodes[i] == nil {
+		if r.nodes[i] == nil && !r.departed[i] {
 			r.failf("node %d still down at end of run", i)
 		}
 	}
@@ -748,7 +1122,10 @@ func (r *run) checkRecovered() {
 }
 
 // checkGroundTruth verifies every node's every set equals the union the
-// harness planted: same distinct count, same ID fingerprint.
+// harness planted: same distinct count, same ID fingerprint. In Gossip
+// mode only the hosting owners are compared (non-owners legitimately
+// don't carry the set) and checkPlacement then pins hosting to the
+// exact ring assignment.
 func (r *run) checkGroundTruth() {
 	for _, spec := range r.sc.Sets {
 		// A reference set built straight from the planted union is the
@@ -765,6 +1142,9 @@ func (r *run) checkGroundTruth() {
 			}
 			ls, ok := storeGet(n, spec.Name)
 			if !ok {
+				if r.sc.Gossip {
+					continue // non-owners checked by checkPlacement
+				}
 				r.failf("node %d lost set %q", i, spec.Name)
 				continue
 			}
@@ -777,6 +1157,60 @@ func (r *run) checkGroundTruth() {
 		}
 	}
 	r.tracef("ground truth: %d sets checked against planted unions", len(r.sc.Sets))
+	if r.sc.Gossip {
+		r.checkPlacement()
+	}
+}
+
+// checkPlacement is the sharding acceptance invariant: the harness
+// recomputes the ring over the final live member list (same inputs the
+// nodes use) and requires every set to be hosted by exactly its
+// assigned owners — no stragglers, no freeloaders — with every node at
+// or under the bounded-loads budget.
+func (r *run) checkPlacement() {
+	var liveAddrs []string
+	for i, n := range r.nodes {
+		if n != nil {
+			liveAddrs = append(liveAddrs, addr(i))
+		}
+	}
+	ring := r.ringOver(liveAddrs)
+	asn := ring.Assign(r.setNames(), r.sc.Replication, r.sc.PlacementSlack)
+	for _, spec := range r.sc.Sets {
+		ownerOf := map[string]bool{}
+		for _, o := range asn[spec.Name] {
+			ownerOf[o] = true
+		}
+		for i, n := range r.nodes {
+			if n == nil {
+				continue
+			}
+			_, hosted := storeGet(n, spec.Name)
+			switch {
+			case hosted && !ownerOf[addr(i)]:
+				r.failf("node %d hosts set %q but the ring assigns it elsewhere (%v)", i, spec.Name, asn[spec.Name])
+			case !hosted && ownerOf[addr(i)]:
+				r.failf("node %d is an owner of set %q but does not host it", i, spec.Name)
+			}
+		}
+	}
+	rf := r.sc.Replication
+	if rf > len(liveAddrs) {
+		rf = len(liveAddrs)
+	}
+	budget := ring.Capacity(len(r.sc.Sets), rf, r.sc.PlacementSlack)
+	maxLoad := 0
+	for i, n := range r.nodes {
+		if n == nil {
+			continue
+		}
+		if c := len(n.Store().Names()); c > budget {
+			r.failf("node %d hosts %d sets, bounded-loads budget %d", i, c, budget)
+		} else if c > maxLoad {
+			maxLoad = c
+		}
+	}
+	r.tracef("placement: ok (%d live nodes, max load %d of budget %d)", len(liveAddrs), maxLoad, budget)
 }
 
 // canaryRound is the pooled-buffer ownership check: poison a batch of
@@ -795,7 +1229,7 @@ func (r *run) canaryRound() {
 	// a scripted schedule left down, or an unhealed partition would
 	// all be mislabeled as canary failures.
 	r.net.ClearFaults()
-	before, ok := r.fingerprintLine()
+	before, ok := r.stateLine()
 	if !ok {
 		r.failf("canary: mesh diverged before the canary round")
 		return
@@ -811,7 +1245,7 @@ func (r *run) canaryRound() {
 		r.quiesce()
 	}
 	release()
-	after, ok := r.fingerprintLine()
+	after, ok := r.stateLine()
 	if !ok || after != before {
 		r.failf("canary: fingerprints changed under pooled-buffer poison: %s -> %s", before, after)
 		return

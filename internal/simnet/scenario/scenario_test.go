@@ -14,6 +14,9 @@ import (
 func TestBuiltinScenariosConverge(t *testing.T) {
 	for _, sc := range Builtin() {
 		t.Run(sc.Name, func(t *testing.T) {
+			if raceEnabled && sc.Nodes >= 100 {
+				t.Skip("mesh-100 is covered uninstrumented (TestMesh100Replay and the CI replay step)")
+			}
 			t.Parallel() // independent networks; inner driving stays sequential
 			res, err := Run(sc, 42)
 			if err != nil {

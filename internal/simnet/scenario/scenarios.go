@@ -1,6 +1,9 @@
 package scenario
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // Builtin returns the shipped scenario catalog, in a stable order.
 // Each is a whole-stack robustness claim: the mesh converges every
@@ -100,7 +103,61 @@ func Builtin() []Scenario {
 			LatencyMin:  40 * time.Microsecond,
 			LatencyMax:  120 * time.Microsecond,
 		},
+		{
+			Name:          "gossip-mesh-10",
+			Desc:          "10-node sharded mesh (gossip membership + ring placement, R=3): a 2-way partition splits the member view mid-churn — each side suspects, reassigns, and re-replicates within itself — then heals; a graceful leave moves its shards to new owners. Every shard must end on exactly its ring-assigned owners, fingerprint-equal, within the bounded-loads budget.",
+			Nodes:         10,
+			Sets:          gossipSets(6, 16, 3, 256),
+			Rounds:        60,
+			ChurnRounds:   3,
+			Gossip:        true,
+			Replication:   3,
+			SuspectRounds: 2,
+			Faults: []Fault{
+				{Round: 4, Kind: "partition", Groups: [][]int{{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}}},
+				{Round: 7, Kind: "heal"},
+				{Round: 10, Kind: "leave", From: 9},
+			},
+			Streak: 2,
+		},
+		{
+			Name:          "mesh-100",
+			Desc:          "100-node sharded mesh, 24 shards at R=3 — per-node bounded-loads budget of ONE shard. Churn, then a 50/50 partition (both halves suspect the other dead and re-own every shard locally), a heal (resurrection probes re-merge the views, temp owners hand off after confirming the real owners hold everything), a graceful leave, and a rejoin of the same address (incarnation bump overrides its own left entry). Converges deterministically to exactly-R ownership with no shard over budget and no point lost.",
+			Nodes:         100,
+			Sets:          gossipSets(24, 12, 4, 256),
+			Rounds:        80,
+			ChurnRounds:   3,
+			Gossip:        true,
+			Replication:   3,
+			GossipFanout:  3,
+			SuspectRounds: 3,
+			Faults: []Fault{
+				{Round: 4, Kind: "partition", Groups: [][]int{
+					{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19,
+						20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33, 34, 35, 36, 37, 38, 39,
+						40, 41, 42, 43, 44, 45, 46, 47, 48, 49},
+				}},
+				{Round: 8, Kind: "heal"},
+				{Round: 12, Kind: "leave", From: 7},
+				{Round: 16, Kind: "join", From: 7},
+			},
+			Streak: 2,
+		},
 	}
+}
+
+// gossipSets generates n uniform shard specs for the sharded scenarios.
+func gossipSets(n, base, perNode, capacity int) []SetSpec {
+	out := make([]SetSpec, n)
+	for i := range out {
+		out[i] = SetSpec{
+			Name:     fmt.Sprintf("shard-%02d", i),
+			Base:     base,
+			PerNode:  perNode,
+			Capacity: capacity,
+		}
+	}
+	return out
 }
 
 // Lookup resolves a scenario by name.
