@@ -135,6 +135,10 @@ type config struct {
 	workers     int
 	maxSessions int
 	timeout     time.Duration
+	// quarantine is the health ledger's base quarantine span in
+	// anti-entropy rounds (cluster modes); 0 disables eligibility
+	// filtering while still tracking per-peer scores and RTTs.
+	quarantine int
 	// mux pools one RSYN v3 carrier connection per peer (cluster modes)
 	// and serves v3 carrier hellos; false emulates a pre-v3 daemon.
 	mux bool
@@ -321,6 +325,7 @@ func main() {
 	mux := flag.Bool("mux", true, "pool one RSYN v3 carrier per peer (cluster modes) and serve v3 carriers; -mux=false emulates a pre-v3 daemon")
 	maxSessions := flag.Int("max-sessions", 64, "concurrent session cap (server)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-session deadline")
+	quarantine := flag.Int("quarantine", 16, "peer quarantine span in rounds (cluster modes); 0 observes health without skipping peers")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
@@ -339,7 +344,7 @@ func main() {
 		d: *d, n: *n, k: *k, noise: *noise, r1: *r1, r2: *r2,
 		diff: *diff, seed: *seed, mutate: *mutate,
 		workers: *workers, maxSessions: *maxSessions, timeout: *timeout,
-		mux: *mux,
+		mux: *mux, quarantine: *quarantine,
 	}
 	if cfg.r2 == 0 {
 		cfg.r2 = float64(cfg.d)
@@ -697,7 +702,9 @@ func runCluster(cfg config, f *fixture, addr, peersCSV, joinCSV, advertise, sets
 			SessionTimeout: cfg.timeout,
 			Logf:           logger.Printf,
 		},
-		SessionTimeout: cfg.timeout,
+		SessionTimeout:    cfg.timeout,
+		QuarantineRounds:  cfg.quarantine,
+		DisableQuarantine: cfg.quarantine == 0,
 	}
 	gossiping := joinCSV != ""
 	if gossiping {
@@ -817,6 +824,7 @@ func runCluster(cfg config, f *fixture, addr, peersCSV, joinCSV, advertise, sets
 	}
 	total, _ := node.Server().Stats()
 	logger.Printf("net: %s", node.NetStats())
+	logger.Printf("health: %s", node.HealthSummary())
 	logger.Printf("final: %d sessions ok, %d failed; %s; store %s",
 		node.Server().Served(), node.Server().Failed(), total, st.Stats())
 }

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/simnet/scenario"
 )
@@ -38,7 +39,8 @@ func main() {
 
 	if *list {
 		for _, sc := range scenario.Builtin() {
-			fmt.Printf("%-20s %d nodes, %d sets, <=%d rounds\n    %s\n", sc.Name, sc.Nodes, len(sc.Sets), sc.Rounds, sc.Desc)
+			fmt.Printf("%-20s %3d nodes %2d sets <=%2d rounds  %s\n",
+				sc.Name, sc.Nodes, len(sc.Sets), sc.Rounds, oneLine(sc.Desc, 100))
 		}
 		return
 	}
@@ -79,4 +81,20 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// oneLine truncates a description at the last sentence or word boundary
+// that fits in max runes, so -list stays one line per scenario.
+func oneLine(s string, max int) string {
+	if len(s) <= max {
+		return s
+	}
+	cut := s[:max]
+	if i := strings.LastIndex(cut, ". "); i > max/2 {
+		return cut[:i+1]
+	}
+	if i := strings.LastIndexByte(cut, ' '); i > 0 {
+		cut = cut[:i]
+	}
+	return cut + "…"
 }

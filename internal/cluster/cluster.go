@@ -100,6 +100,20 @@ type Config struct {
 	// sequentially in set order before any session starts, so the
 	// probe schedule for a given seed is Pipeline-independent.
 	Pipeline int
+	// QuarantineRounds is the peer health ledger's base quarantine
+	// span, in reconciliation rounds (default 16; see health.go). A
+	// quarantined peer is skipped by peer selection until the span
+	// expires, then probed half-open.
+	QuarantineRounds int
+	// DisableQuarantine keeps the health ledger observing (scores,
+	// RTTs, counters) but never filters quarantined peers out of peer
+	// selection.
+	DisableQuarantine bool
+	// WrapResolver, when set, wraps the node's store resolver before it
+	// is installed on the embedded server. Fault-injection harnesses
+	// use it to substitute byzantine responder factories; production
+	// nodes leave it nil.
+	WrapResolver func(netproto.Resolver) netproto.Resolver
 	// Transport supplies the node's listeners and outbound connections
 	// (nil = the real network). A simnet host here moves the whole node
 	// — serving and anti-entropy dialing — onto the virtual network.
@@ -177,6 +191,10 @@ type SetMetrics struct {
 	// PointsSent / PointsReceived total the repair payload traffic.
 	PointsSent     uint64
 	PointsReceived uint64
+	// CorruptRejected counts repair batches refused by
+	// verify-before-merge (each also records a corruption verdict
+	// against the source peer in the health ledger).
+	CorruptRejected uint64
 	// LastEstimate is the most recent probe divergence estimate against
 	// the reconciled peer (-1 before any).
 	LastEstimate int
@@ -208,6 +226,11 @@ type Node struct {
 	// catalog / catalogNames mirror Config.Catalog for placement mode.
 	catalog      map[string]live.Config
 	catalogNames []string
+
+	// health is the peer ledger behind quarantine-aware peer selection
+	// and per-peer adaptive deadlines (health.go). Always non-nil; its
+	// mutex is a leaf lock, safe under n.mu.
+	health *ledger
 
 	mu      sync.Mutex
 	peers   []string
@@ -265,7 +288,11 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Replication <= 0 {
 		cfg.Replication = 3
 	}
-	cfg.Session.Resolver = netproto.StoreResolver(cfg.Store)
+	res := netproto.StoreResolver(cfg.Store)
+	if cfg.WrapResolver != nil {
+		res = cfg.WrapResolver(res)
+	}
+	cfg.Session.Resolver = res
 	// One mux knob for the whole node: disabling it reverts both
 	// directions (outbound pool and inbound carrier acceptance) to v2.
 	cfg.Session.DisableMux = cfg.Session.DisableMux || cfg.DisableMux
@@ -286,6 +313,7 @@ func New(cfg Config) (*Node, error) {
 			SessionTimeout: cfg.SessionTimeout,
 			Transport:      cfg.Transport,
 		},
+		health:     newLedger(cfg.QuarantineRounds, cfg.DisableQuarantine),
 		peers:      append([]string(nil), cfg.Peers...),
 		src:        rng.New(cfg.Seed),
 		metrics:    make(map[string]*SetMetrics),
@@ -436,6 +464,9 @@ func (n *Node) Converged(streak uint64) bool {
 // (0 when the whole mesh round was no-ops) and the first error
 // encountered (the round still visits every set).
 func (n *Node) ReconcileOnce() (repaired int, err error) {
+	// Quarantine spans are measured in rounds; advance them first so a
+	// span armed R rounds ago goes half-open exactly at round R.
+	n.health.tick()
 	// Selection phase, strictly sequential in set order: round
 	// accounting, backoff, and — crucially — every peer-selection RNG
 	// draw happen here, before any network traffic, so the probe
@@ -563,6 +594,7 @@ func (n *Node) reconcileSet(name string, ls *live.Set, m *SetMetrics, peers []st
 	)
 	for _, addr := range peers {
 		probe := netproto.NewProbeInitiator(ls)
+		start := time.Now()
 		perr := n.do(addr, name, probe)
 		n.mu.Lock()
 		m.Probes++
@@ -570,6 +602,7 @@ func (n *Node) reconcileSet(name string, ls *live.Set, m *SetMetrics, peers []st
 			m.ProbeFailures++
 			failures++
 			n.mu.Unlock()
+			n.health.reportFailure(addr)
 			n.cfg.Logf("cluster: set %q probe %s: %v", name, addr, perr)
 			if err == nil {
 				err = perr
@@ -577,6 +610,7 @@ func (n *Node) reconcileSet(name string, ls *live.Set, m *SetMetrics, peers []st
 			continue
 		}
 		n.mu.Unlock()
+		n.health.reportSuccess(addr, time.Since(start))
 		if probe.Matched {
 			continue
 		}
@@ -687,9 +721,24 @@ func (n *Node) reconcile(name string, ls *live.Set, m *SetMetrics, addr string, 
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	if err := n.do(addr, name, init); err != nil {
+		// A verify-before-merge rejection is not a transport failure:
+		// the peer answered promptly with points that do not hash to
+		// the requested IDs. Nothing was merged; the ledger records a
+		// corruption verdict (the strongest strike) against the peer.
+		var cerr *netproto.CorruptPayloadError
+		if errors.As(err, &cerr) {
+			n.health.reportCorruption(addr)
+			n.mu.Lock()
+			m.CorruptRejected++
+			n.mu.Unlock()
+		} else {
+			n.health.reportFailure(addr)
+		}
 		return err
 	}
+	n.health.reportSuccess(addr, time.Since(start))
 	n.mu.Lock()
 	m.Repairs++
 	m.PointsSent += uint64(init.Sent)
@@ -703,12 +752,19 @@ func (n *Node) reconcile(name string, ls *live.Set, m *SetMetrics, addr string, 
 // connection when mux is disabled (the pool itself also falls back per
 // peer when the remote end predates v3).
 func (n *Node) do(addr, set string, h netproto.Handler) error {
+	// The deadline is per-peer: 8× the peer's EWMA session RTT
+	// (floored, and never looser than the configured SessionTimeout),
+	// so one slow peer times out on its own history instead of holding
+	// the global two-minute budget (health.go).
+	to := n.health.deadline(addr, n.cfg.SessionTimeout)
 	if n.pool != nil {
-		_, err := n.pool.Do(addr, set, h)
+		_, err := n.pool.DoTimeout(addr, set, h, to)
 		return err
 	}
 	n.plainDials.Add(1)
-	_, err := n.dialerFor(addr, set).Do(h)
+	d := n.dialerFor(addr, set)
+	d.SessionTimeout = to
+	_, err := d.Do(h)
 	return err
 }
 
@@ -798,6 +854,11 @@ func (n *Node) cacheFor(set, addr string) *netproto.EMDCache {
 // schedule for a given seed is stable across pool shapes. Caller holds
 // n.mu.
 func (n *Node) pickFromLocked(pool []string, d int) []string {
+	// Quarantined peers are filtered out first (health.go); eligible
+	// returns the pool untouched when nothing is quarantined, so the
+	// healthy-path draw schedule is byte-identical to a ledger-free
+	// node.
+	pool = n.health.eligible(pool)
 	if len(pool) == 0 {
 		return nil
 	}
@@ -819,9 +880,15 @@ func (n *Node) pickFromLocked(pool []string, d int) []string {
 	return out
 }
 
-// String formats a metrics snapshot for log lines.
+// String formats a metrics snapshot for log lines. The corrupt counter
+// only appears when nonzero, so healthy-mesh log and trace lines are
+// unchanged from ledger-free builds.
 func (m SetMetrics) String() string {
-	return fmt.Sprintf("rounds=%d noops=%d repairs=%d (fail=%d) delta/full=%d/%d pts=%d↑/%d↓ streak=%d",
+	s := fmt.Sprintf("rounds=%d noops=%d repairs=%d (fail=%d) delta/full=%d/%d pts=%d↑/%d↓ streak=%d",
 		m.Rounds, m.Noops, m.Repairs, m.RepairFailures, m.Deltas, m.Fulls,
 		m.PointsSent, m.PointsReceived, m.Streak)
+	if m.CorruptRejected > 0 {
+		s += fmt.Sprintf(" corrupt=%d", m.CorruptRejected)
+	}
+	return s
 }

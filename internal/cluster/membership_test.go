@@ -250,9 +250,11 @@ func TestGossipPlacementLifecycle(t *testing.T) {
 // TestSetPeersRacesReconciler hammers the membership seam gossip drives
 // constantly: SetPeers flipping between full, shrunk, grown (with an
 // unreachable ghost), and empty lists while reconciliation rounds run
-// concurrently. It must not panic or deadlock, and once the list
-// settles to the live members, later rounds must stop touching the
-// departed address entirely.
+// concurrently — plus a health reader snapshotting the peer ledger the
+// same rounds are writing (probe outcomes, quarantine transitions). It
+// must not panic or deadlock, and once the list settles to the live
+// members, later rounds must stop touching the departed address
+// entirely.
 func TestSetPeersRacesReconciler(t *testing.T) {
 	nodes, _ := startMesh(t, 3)
 	n := nodes[0]
@@ -281,6 +283,24 @@ func TestSetPeersRacesReconciler(t *testing.T) {
 			default:
 				n.SetPeers(full)
 			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, h := range n.PeerHealths() {
+				if h.Failures+h.Successes+h.Corruptions == 0 && h.State != PeerHealthy {
+					t.Errorf("peer with no outcomes in state %v", h.State)
+					return
+				}
+			}
+			_ = n.HealthSummary()
 		}
 	}()
 	var raceErr error

@@ -257,6 +257,55 @@ func (h *ProbeResponder) Run(conn transport.Conn) error {
 // repairMaxRetries bounds the IBLT doubling rounds.
 const repairMaxRetries = 6
 
+// CorruptPayloadError reports a repair point payload that failed
+// verify-before-merge: the peer shipped points that do not hash to the
+// IDs the IBLT decode asked for (or more points than were asked for at
+// all). The whole batch is rejected — nothing is merged, no epoch is
+// burned — and the cluster layer records a corruption verdict against
+// the source peer in its health ledger.
+type CorruptPayloadError struct {
+	// Mismatched is how many received points failed the ID check (or,
+	// for an oversized batch, the surplus count).
+	Mismatched int
+	// Total is the size of the rejected batch.
+	Total int
+}
+
+// Error implements error.
+func (e *CorruptPayloadError) Error() string {
+	return fmt.Sprintf("netproto: corrupt repair payload: %d of %d points do not hash to a requested ID", e.Mismatched, e.Total)
+}
+
+// verifyRepairPayload is the verify-before-merge rule: every received
+// point's ID fingerprint is re-derived locally (live.PointID with the
+// set's sync seed) and must be one of the IDs this side asked for. An
+// honest responder can only ship points for the requested IDs — a
+// shorter list is legitimate churn, but a point hashing elsewhere, or a
+// batch larger than the request, proves the payload was not produced by
+// hashing the peer's real points and must not reach MergeAbsent.
+func verifyRepairPayload(seed uint64, wanted []uint64, pts metric.PointSet) *CorruptPayloadError {
+	if len(pts) == 0 {
+		return nil
+	}
+	if len(pts) > len(wanted) {
+		return &CorruptPayloadError{Mismatched: len(pts) - len(wanted), Total: len(pts)}
+	}
+	want := make(map[uint64]struct{}, len(wanted))
+	for _, id := range wanted {
+		want[id] = struct{}{}
+	}
+	bad := 0
+	for _, pt := range pts {
+		if _, ok := want[live.PointID(seed, pt)]; !ok {
+			bad++
+		}
+	}
+	if bad > 0 {
+		return &CorruptPayloadError{Mismatched: bad, Total: len(pts)}
+	}
+	return nil
+}
+
 // repairMaxDiff bounds the difference size a repair session will size
 // an IBLT for, whether the bound arrives as a peer-supplied hint or
 // grows by doubling. Without it a single hostile uvarint (or a runaway
@@ -359,6 +408,10 @@ type RepairInitiator struct {
 	Received int
 	// Applied is how many received points were actually new.
 	Applied int
+	// Rejected is how many received points were refused by
+	// verify-before-merge (all of Received, when nonzero: a corrupt
+	// batch is rejected whole).
+	Rejected int
 }
 
 // NewRepairInitiator binds the initiating side to its live set; the set
@@ -448,6 +501,10 @@ func (h *RepairInitiator) Run(conn transport.Conn) error {
 		return err
 	}
 	h.Received = len(theirPts)
+	if cerr := verifyRepairPayload(sc.Seed, peerOnly, theirPts); cerr != nil {
+		h.Rejected = len(theirPts)
+		return cerr
+	}
 	applied, err := h.set.MergeAbsent(theirPts)
 	if err != nil {
 		return fmt.Errorf("netproto: repair merge: %w", err)
@@ -459,6 +516,12 @@ func (h *RepairInitiator) Run(conn transport.Conn) error {
 // RepairResponder answers repair sessions for a live set.
 type RepairResponder struct {
 	set *live.Set
+
+	// corrupt, when set, rewrites the outgoing point payload just
+	// before it is encoded. It exists for fault injection only (a
+	// byzantine responder in simulation); production responders leave
+	// it nil.
+	corrupt func(metric.PointSet) metric.PointSet
 
 	// Sent / Received / Applied mirror the initiator's counters.
 	Sent     int
@@ -473,6 +536,28 @@ func NewRepairResponderFactory(ls *live.Set) (func() Handler, error) {
 		return nil, fmt.Errorf("netproto: repair needs a live set with Sync state")
 	}
 	return func() Handler { return &RepairResponder{set: ls} }, nil
+}
+
+// NewCorruptingRepairResponderFactory returns a repair responder whose
+// outgoing point payloads are deterministically corrupted: every point
+// has its first coordinate incremented, so it no longer hashes to the
+// ID the initiator asked for. This models a byzantine peer (bit-flipping
+// disk, hostile build) for simulation scenarios; verify-before-merge on
+// the initiator must reject every batch it serves. Not for production.
+func NewCorruptingRepairResponderFactory(ls *live.Set) (func() Handler, error) {
+	if _, ok := ls.SyncConfig(); !ok {
+		return nil, fmt.Errorf("netproto: repair needs a live set with Sync state")
+	}
+	corrupt := func(pts metric.PointSet) metric.PointSet {
+		// PointsForIDs returns clones, so in-place mutation is safe.
+		for _, pt := range pts {
+			if len(pt) > 0 {
+				pt[0]++
+			}
+		}
+		return pts
+	}
+	return func() Handler { return &RepairResponder{set: ls, corrupt: corrupt} }, nil
 }
 
 // Proto implements Handler.
@@ -544,6 +629,13 @@ func (h *RepairResponder) Run(conn transport.Conn) error {
 	if err != nil {
 		return err
 	}
+	// The IBLT we shipped can decode at most diffBound IDs, so an
+	// honest initiator can never ask for more; a longer list is a
+	// hostile allocation probe and is refused before PointsForIDs
+	// clones a single point.
+	if len(wanted) > diffBound {
+		return fmt.Errorf("netproto: repair wanted-ID count %d exceeds negotiated bound %d", len(wanted), diffBound)
+	}
 	theirPts, err := readPointList(d2)
 	if err != nil {
 		return err
@@ -553,6 +645,9 @@ func (h *RepairResponder) Run(conn transport.Conn) error {
 	// may have dropped some; the initiator's merge is a union, so a
 	// shorter list is safe.
 	pts, _ := h.set.PointsForIDs(wanted)
+	if h.corrupt != nil {
+		pts = h.corrupt(pts)
+	}
 	e := transport.NewEncoder()
 	writePointList(e, pts)
 	if err := conn.Send(e); err != nil {

@@ -179,6 +179,74 @@ func FuzzDecodeStrata(f *testing.F) {
 	})
 }
 
+// fuzzVerifyFixture is the honest repair payload FuzzRepairVerify
+// mutates from: three points and their IDs under fuzzStrataSeed.
+func fuzzVerifyFixture() (metric.PointSet, []uint64) {
+	pts := metric.PointSet{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	ids := make([]uint64, len(pts))
+	for i, pt := range pts {
+		ids[i] = live.PointID(fuzzStrataSeed, pt)
+	}
+	return pts, ids
+}
+
+// FuzzRepairVerify hardens the verify-before-merge rule: arbitrary
+// (ids, points) payloads — fed through the same frame readers the
+// repair session uses — must never panic the verifier, and its verdict
+// must be internally consistent: an accepted batch fits the request and
+// every point hashes to a requested ID under the fuzzed seed; a
+// rejected batch reports a mismatch count within [1, len(points)]. The
+// verdict must also be deterministic across calls.
+func FuzzRepairVerify(f *testing.F) {
+	pts, ids := fuzzVerifyFixture()
+	corrupt := pts.Clone()
+	corrupt[1][0]++
+	f.Add(fuzzRepairAckBytes(ids, pts), uint64(fuzzStrataSeed))
+	f.Add(fuzzRepairAckBytes(ids, corrupt), uint64(fuzzStrataSeed))
+	f.Add(fuzzRepairAckBytes(ids[:1], pts), uint64(fuzzStrataSeed)) // oversized batch
+	f.Add(fuzzRepairAckBytes(ids, pts), uint64(fuzzStrataSeed+1))   // wrong seed
+	f.Add(fuzzRepairAckBytes(nil, nil), uint64(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
+		d := transport.NewDecoder(data)
+		ids, err := readIDList(d)
+		if err != nil {
+			return
+		}
+		pts, err := readPointList(d)
+		if err != nil {
+			return
+		}
+		verdict := verifyRepairPayload(seed, ids, pts)
+		if verdict == nil {
+			if len(pts) > len(ids) && len(pts) > 0 {
+				t.Fatalf("accepted %d points against %d requested IDs", len(pts), len(ids))
+			}
+			want := make(map[uint64]bool, len(ids))
+			for _, id := range ids {
+				want[id] = true
+			}
+			for i, pt := range pts {
+				if !want[live.PointID(seed, pt)] {
+					t.Fatalf("accepted point %d that hashes to no requested ID", i)
+				}
+			}
+		} else {
+			if len(pts) == 0 {
+				t.Fatal("rejected an empty batch")
+			}
+			if verdict.Total != len(pts) || verdict.Mismatched < 1 || verdict.Mismatched > verdict.Total {
+				t.Fatalf("inconsistent verdict %+v for %d points", verdict, len(pts))
+			}
+		}
+		again := verifyRepairPayload(seed, ids, pts)
+		if (verdict == nil) != (again == nil) ||
+			(verdict != nil && *verdict != *again) {
+			t.Fatalf("verdict not deterministic: %+v vs %+v", verdict, again)
+		}
+	})
+}
+
 // TestGenerateClusterFuzzCorpus regenerates the checked-in seed corpus
 // under testdata/fuzz (run with GEN_FUZZ_CORPUS=1; skipped otherwise).
 // Checked in so CI's brief -fuzz runs start from meaningful inputs
@@ -207,6 +275,23 @@ func TestGenerateClusterFuzzCorpus(t *testing.T) {
 	write("FuzzRepairFrames", "point-count-bomb", []byte{0x00, 0xff, 0xff, 0xff, 0xff, 0x7f})
 	write("FuzzRepairFrames", "dimension-bomb", []byte{0x00, 0x01, 0xff, 0xff, 0xff, 0x7f})
 	write("FuzzRepairFrames", "truncated", fuzzRepairAckBytes([]uint64{7}, metric.PointSet{{9}})[:3])
+	writeSeeded := func(target, name string, data []byte, seed uint64) {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\nuint64(%d)\n", data, seed)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vpts, vids := fuzzVerifyFixture()
+	vcorrupt := vpts.Clone()
+	vcorrupt[1][0]++
+	writeSeeded("FuzzRepairVerify", "honest", fuzzRepairAckBytes(vids, vpts), fuzzStrataSeed)
+	writeSeeded("FuzzRepairVerify", "corrupt-point", fuzzRepairAckBytes(vids, vcorrupt), fuzzStrataSeed)
+	writeSeeded("FuzzRepairVerify", "oversized", fuzzRepairAckBytes(vids[:1], vpts), fuzzStrataSeed)
+	writeSeeded("FuzzRepairVerify", "wrong-seed", fuzzRepairAckBytes(vids, vpts), fuzzStrataSeed+1)
 	ls, err := live.NewSet(live.Config{Sync: &live.SyncConfig{Seed: fuzzStrataSeed}},
 		metric.PointSet{{1}, {2}, {3}, {4}})
 	if err != nil {

@@ -1,6 +1,7 @@
 package netproto
 
 import (
+	"errors"
 	"sort"
 	"testing"
 
@@ -182,6 +183,93 @@ func TestRepairIdenticalSetsIsNoop(t *testing.T) {
 	// MergeAbsent of nothing must not burn an epoch.
 	if a.Epoch() != epochA || b.Epoch() != epochB {
 		t.Fatalf("no-op repair bumped epochs: %d→%d, %d→%d", epochA, a.Epoch(), epochB, b.Epoch())
+	}
+}
+
+func TestVerifyRepairPayload(t *testing.T) {
+	const seed = 9
+	pts := metric.PointSet{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	ids := make([]uint64, len(pts))
+	for i, pt := range pts {
+		ids[i] = live.PointID(seed, pt)
+	}
+
+	if err := verifyRepairPayload(seed, nil, nil); err != nil {
+		t.Fatalf("empty payload rejected: %v", err)
+	}
+	if err := verifyRepairPayload(seed, ids, pts); err != nil {
+		t.Fatalf("honest payload rejected: %v", err)
+	}
+	// A shorter list than requested is legitimate churn.
+	if err := verifyRepairPayload(seed, ids, pts[:1]); err != nil {
+		t.Fatalf("subset payload rejected: %v", err)
+	}
+	// One corrupted coordinate: the point no longer hashes to any
+	// requested ID.
+	bad := pts.Clone()
+	bad[1][0]++
+	err := verifyRepairPayload(seed, ids, bad)
+	if err == nil {
+		t.Fatal("corrupted point accepted")
+	}
+	if err.Mismatched != 1 || err.Total != 3 {
+		t.Fatalf("verdict = %+v, want 1 of 3 mismatched", err)
+	}
+	// More points than requested is corruption even if each hashes to a
+	// wanted ID.
+	if err := verifyRepairPayload(seed, ids[:1], pts); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+	// The wrong derivation seed rejects everything: the IDs cannot match.
+	if err := verifyRepairPayload(seed+1, ids, pts); err == nil {
+		t.Fatal("payload under the wrong seed accepted")
+	}
+}
+
+// TestRepairRejectsCorruptPayload is the end-to-end verify-before-merge
+// check: a responder serving corrupted point payloads must be detected
+// by the initiator, which returns *CorruptPayloadError, applies
+// nothing, and burns no epoch.
+func TestRepairRejectsCorruptPayload(t *testing.T) {
+	space := metric.HammingCube(64)
+	shared := clusterPoints(space, 40, 1)
+	a := newSyncSet(t, space, append(shared.Clone(), clusterPoints(space, 7, 2)...), 9)
+	b := newSyncSet(t, space, append(shared.Clone(), clusterPoints(space, 5, 3)...), 9)
+	fpA, epochA := a.IDFingerprint(), a.Epoch()
+
+	init, err := NewRepairInitiator(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewCorruptingRepairResponderFactory(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := duplex()
+	defer c1.Close()
+	defer c2.Close()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := RunResponder(c2, f())
+		errc <- err
+	}()
+	_, err = RunInitiator(c1, init)
+	<-errc // responder completed before the initiator's verdict; outcome irrelevant
+	var cerr *CorruptPayloadError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("initiator error = %v, want *CorruptPayloadError", err)
+	}
+	if cerr.Mismatched != 5 || cerr.Total != 5 {
+		t.Fatalf("verdict = %+v, want all 5 points mismatched", cerr)
+	}
+	if init.Applied != 0 || init.Rejected != 5 {
+		t.Fatalf("applied/rejected = %d/%d, want 0/5", init.Applied, init.Rejected)
+	}
+	if a.IDFingerprint() != fpA {
+		t.Fatal("rejected batch still changed the local set")
+	}
+	if a.Epoch() != epochA {
+		t.Fatalf("rejected batch burned an epoch: %d -> %d", epochA, a.Epoch())
 	}
 }
 

@@ -127,15 +127,23 @@ func (p *MuxPool) transport() Transport {
 // dial when it does not. Results are read from h afterwards, exactly as
 // with Dialer.Do.
 func (p *MuxPool) Do(addr, set string, h netproto.Handler) (transport.Stats, error) {
+	return p.DoTimeout(addr, set, h, 0)
+}
+
+// DoTimeout is Do with a per-session deadline override: timeout > 0
+// replaces the pool's SessionTimeout for this one session (the cluster
+// layer derives per-peer adaptive deadlines from EWMA RTTs). Zero means
+// the pool default.
+func (p *MuxPool) DoTimeout(addr, set string, h netproto.Handler, timeout time.Duration) (transport.Stats, error) {
 	p.sessions.Add(1)
 	m, plain, err := p.carrier(addr)
 	if err != nil {
 		return transport.Stats{}, err
 	}
 	if plain {
-		return p.plainDo(addr, set, h)
+		return p.plainDo(addr, set, h, timeout)
 	}
-	return p.runStream(m, set, h)
+	return p.runStream(m, set, h, timeout)
 }
 
 // Warm establishes the carrier for addr if none is live, so later
@@ -228,14 +236,17 @@ func (p *MuxPool) dialCarrier(addr string) (*muxConn, error) {
 // hello and the handler's first protocol frames go out immediately; the
 // accept is verified on the session's first read (netproto's pipelined
 // initiation), collapsing the opening exchange into one round trip.
-func (p *MuxPool) runStream(m *muxConn, set string, h netproto.Handler) (transport.Stats, error) {
+func (p *MuxPool) runStream(m *muxConn, set string, h netproto.Handler, timeout time.Duration) (transport.Stats, error) {
 	st, err := m.OpenStream()
 	if err != nil {
 		return transport.Stats{}, err
 	}
 	defer st.Close()
-	if t := p.sessionTimeout(); t > 0 {
-		st.setTimeout(t)
+	if timeout == 0 {
+		timeout = p.sessionTimeout()
+	}
+	if timeout > 0 {
+		st.setTimeout(timeout)
 	}
 	w := netproto.NewWire(st)
 	defer w.Release()
@@ -257,14 +268,17 @@ func (p *MuxPool) runStream(m *muxConn, set string, h netproto.Handler) (transpo
 
 // plainDo runs one session over its own connection, exactly as the
 // pre-mux client would (the wire bytes are identical to Dialer.Do).
-func (p *MuxPool) plainDo(addr, set string, h netproto.Handler) (transport.Stats, error) {
+func (p *MuxPool) plainDo(addr, set string, h netproto.Handler, timeout time.Duration) (transport.Stats, error) {
 	p.dials.Add(1)
+	if timeout == 0 {
+		timeout = p.SessionTimeout
+	}
 	d := Dialer{
 		Network:        p.Network,
 		Addr:           addr,
 		Set:            set,
 		DialTimeout:    p.DialTimeout,
-		SessionTimeout: p.SessionTimeout,
+		SessionTimeout: timeout,
 		Transport:      p.Transport,
 	}
 	return d.Do(h)

@@ -31,6 +31,7 @@ import (
 	"repro/internal/gossip"
 	"repro/internal/live"
 	"repro/internal/metric"
+	"repro/internal/netproto"
 	"repro/internal/placement"
 	"repro/internal/rng"
 	"repro/internal/session"
@@ -72,13 +73,14 @@ type SetSpec struct {
 // departed slot, bootstrapping its member table from node 0 alone.
 type Fault struct {
 	Round int
-	Kind  string // "partition" | "heal" | "latency" | "bandwidth" | "drop" | "down" | "up" | "kill" | "restart" | "leave" | "join"
+	Kind  string // "partition" | "heal" | "latency" | "bandwidth" | "drop" | "flip" | "down" | "up" | "kill" | "restart" | "leave" | "join"
 
 	Groups   [][]int       // partition: node-index groups (unlisted nodes form a remainder group)
 	From, To int           // link faults
 	Min, Max time.Duration // latency window
 	BPS      int64         // bandwidth cap
-	Offset   int64         // drop-at-offset for the link's next connection
+	Offset   int64         // drop-at-offset / flip-at-offset for the link's next connection
+	Count    int           // flip: corruption window length in bytes
 }
 
 // Flaky schedules programmatic link flaps: every round below Rounds,
@@ -165,6 +167,19 @@ type Scenario struct {
 	// (cluster.Config.Choices; default 2). Exposed so the choices-sweep
 	// benchmark can run the same scenario at d=1..4.
 	Choices int
+	// Byzantine lists node indices that act as corrupting peers: the
+	// node serves probes honestly but its repair responder corrupts
+	// every outgoing point payload (verify-before-merge on honest
+	// initiators must reject every batch), and it never initiates
+	// anti-entropy itself — it lurks, poisoning whoever pulls from it.
+	// The harness then also requires, on top of convergence: zero
+	// corrupt points accepted (the ground-truth check would catch any),
+	// at least one corrupt-batch rejection recorded, and every
+	// byzantine peer quarantined in every honest node's health ledger
+	// at end of run. Requires at least 2 honest nodes; incompatible
+	// with Gossip (a byzantine member table is a different threat
+	// model, and a later PR).
+	Byzantine []int
 }
 
 // Result is one run's outcome: the deterministic trace, the round
@@ -237,6 +252,11 @@ type run struct {
 	// each node's membership handle for trace counters.
 	departed map[int]bool
 	gossips  []*gossip.Gossip
+
+	// byz marks byzantine node indices (Scenario.Byzantine as a set):
+	// excluded from driving, churn, fingerprint comparison, ground
+	// truth, and the canary round — they serve sessions, nothing else.
+	byz map[int]bool
 
 	traceMu sync.Mutex // tracef is called from network-event goroutines too
 	res     *Result
@@ -313,6 +333,24 @@ func Run(sc Scenario, seed uint64) (*Result, error) {
 			}
 		}
 	}
+	if len(sc.Byzantine) > 0 {
+		if sc.Gossip {
+			return nil, fmt.Errorf("scenario %q: Byzantine nodes are not supported with Gossip", sc.Name)
+		}
+		seen := make(map[int]bool, len(sc.Byzantine))
+		for _, b := range sc.Byzantine {
+			if b < 0 || b >= sc.Nodes {
+				return nil, fmt.Errorf("scenario %q: byzantine index %d out of range", sc.Name, b)
+			}
+			if seen[b] {
+				return nil, fmt.Errorf("scenario %q: byzantine index %d listed twice", sc.Name, b)
+			}
+			seen[b] = true
+		}
+		if sc.Nodes-len(sc.Byzantine) < 2 {
+			return nil, fmt.Errorf("scenario %q: need at least 2 honest nodes", sc.Name)
+		}
+	}
 	if sc.Streak <= 0 {
 		sc.Streak = 1
 	}
@@ -330,6 +368,13 @@ func Run(sc Scenario, seed uint64) (*Result, error) {
 	}
 	r.net.OnEvent = func(e simnet.Event) { r.tracef("  net: %s", e) }
 	r.tracef("# scenario %s seed %d: %d nodes, %d sets, <=%d rounds", sc.Name, seed, sc.Nodes, len(sc.Sets), sc.Rounds)
+	if len(sc.Byzantine) > 0 {
+		r.byz = make(map[int]bool, len(sc.Byzantine))
+		for _, b := range sc.Byzantine {
+			r.byz[b] = true
+		}
+		r.tracef("byzantine: %v serve corrupted repair payloads and never initiate", sc.Byzantine)
+	}
 	if sc.Gossip {
 		r.departed = make(map[int]bool)
 		r.gossips = make([]*gossip.Gossip, sc.Nodes)
@@ -359,6 +404,7 @@ func Run(sc Scenario, seed uint64) (*Result, error) {
 	r.drive()
 	r.checkRecovered()
 	r.checkGroundTruth()
+	r.checkByzantine()
 	r.canaryRound()
 	r.drain()
 	// Snapshot-on-drain, after every node stopped mutating: the next
@@ -459,7 +505,13 @@ func (r *run) buildMesh() error {
 			if _, err := st.Create(spec.Name, setCfg(spec), append(base.Clone(), extras...)); err != nil {
 				return fmt.Errorf("scenario %q: %w", r.sc.Name, err)
 			}
-			r.expected[spec.Name] = append(r.expected[spec.Name], extras...)
+			// A byzantine node's private extras never reach the honest
+			// mesh: it never initiates, and every payload it serves is
+			// corrupted and rejected. The honest ground truth excludes
+			// them.
+			if !r.byz[i] {
+				r.expected[spec.Name] = append(r.expected[spec.Name], extras...)
+			}
 			if i == 0 {
 				r.expected[spec.Name] = append(r.expected[spec.Name], base...)
 			}
@@ -547,6 +599,25 @@ func (r *run) startNode(i int, st *store.Store, seeds []string) error {
 		Pipeline:       r.sc.Pipeline,
 		Transport:      r.net.Host(host(i)),
 	}
+	if r.byz[i] {
+		// The byzantine node answers probes and gossip honestly but its
+		// repair responder ships corrupted point payloads: every point's
+		// first coordinate is bumped, so nothing it serves hashes to the
+		// IDs the honest initiator asked for.
+		cfg.WrapResolver = func(res netproto.Resolver) netproto.Resolver {
+			return func(set string, proto netproto.Proto, peerRole netproto.Role) (func() netproto.Handler, bool) {
+				f, exists := res(set, proto, peerRole)
+				if f != nil && proto == netproto.ProtoRepair && peerRole == netproto.RoleAlice {
+					if ls, ok := st.Get(set); ok {
+						if cf, err := netproto.NewCorruptingRepairResponderFactory(ls); err == nil {
+							return cf, exists
+						}
+					}
+				}
+				return f, exists
+			}
+		}
+	}
 	if r.sc.Gossip {
 		g, err := gossip.New(gossip.Config{
 			Self:          addr(i),
@@ -625,6 +696,9 @@ func (r *run) applyFaults(round int) {
 		case "drop":
 			r.tracef("fault: drop %s--%s at offset %d", host(f.From), host(f.To), f.Offset)
 			r.net.DropAfter(host(f.From), host(f.To), f.Offset)
+		case "flip":
+			r.tracef("fault: flip %s--%s at offset %d+%d", host(f.From), host(f.To), f.Offset, f.Count)
+			r.net.FlipAfter(host(f.From), host(f.To), f.Offset, f.Count)
 		case "down":
 			r.tracef("fault: down %s--%s", host(f.From), host(f.To))
 			r.net.SetDown(host(f.From), host(f.To), true)
@@ -790,8 +864,8 @@ func (r *run) joinNode(i int) {
 func (r *run) churn(round int) {
 	churned := 0
 	for i, n := range r.nodes {
-		if n == nil {
-			continue // killed nodes churn nothing
+		if n == nil || r.byz[i] {
+			continue // killed nodes churn nothing; byzantine nodes lurk
 		}
 		for si, spec := range r.sc.Sets {
 			ls, ok := storeGet(n, spec.Name)
@@ -848,9 +922,9 @@ func (r *run) fingerprintLine() (string, bool) {
 	for si, spec := range r.sc.Sets {
 		var fp uint64
 		match, first := true, true
-		for _, n := range r.nodes {
-			if n == nil {
-				continue // killed nodes sit out the comparison
+		for i, n := range r.nodes {
+			if n == nil || r.byz[i] {
+				continue // killed and byzantine nodes sit out the comparison
 			}
 			ls, ok := storeGet(n, spec.Name)
 			if !ok {
@@ -1009,6 +1083,12 @@ func (r *run) drive() {
 				r.tracef("node %d: down", i)
 				continue
 			}
+			if r.byz[i] {
+				// A byzantine node never initiates: it lurks, serving
+				// corrupted repair payloads to whoever pulls from it.
+				r.tracef("node %d: byzantine (lurking)", i)
+				continue
+			}
 			repaired, err := n.ReconcileOnce()
 			// Barrier: a repair responder applies its merge after the
 			// initiator's session returned, so the next node's round (and
@@ -1023,6 +1103,16 @@ func (r *run) drive() {
 		}
 		line, converged := r.stateLine()
 		r.tracef("state: %s", line)
+		if len(r.byz) > 0 {
+			// Conviction progress: how many honest ledgers hold every
+			// byzantine peer quarantined, and the mesh-wide count of
+			// rejected corrupt batches. States and counters only — EWMA
+			// scores and RTTs are wall-clock-tainted and must stay out
+			// of the trace.
+			r.tracef("health: byz-quarantined %d/%d honest ledgers, corrupt-rejections %d",
+				r.byzConvictedCount(), r.honestCount(), r.corruptRejections())
+			converged = converged && r.byzConvicted()
+		}
 		dialed := r.netBase.Dials
 		for _, n := range r.nodes {
 			if n != nil {
@@ -1137,8 +1227,10 @@ func (r *run) checkGroundTruth() {
 		}
 		fp, distinct := ref.IDFingerprint(), ref.Distinct()
 		for i, n := range r.nodes {
-			if n == nil {
-				continue // already failed in checkRecovered
+			if n == nil || r.byz[i] {
+				// Down nodes already failed in checkRecovered; byzantine
+				// nodes are permanently divergent by design.
+				continue
 			}
 			ls, ok := storeGet(n, spec.Name)
 			if !ok {
@@ -1159,6 +1251,89 @@ func (r *run) checkGroundTruth() {
 	r.tracef("ground truth: %d sets checked against planted unions", len(r.sc.Sets))
 	if r.sc.Gossip {
 		r.checkPlacement()
+	}
+}
+
+// honestCount is the number of live, non-byzantine nodes.
+func (r *run) honestCount() int {
+	c := 0
+	for i, n := range r.nodes {
+		if n != nil && !r.byz[i] {
+			c++
+		}
+	}
+	return c
+}
+
+// byzConvictedCount counts honest nodes whose health ledger holds
+// every byzantine peer quarantined.
+func (r *run) byzConvictedCount() int {
+	c := 0
+	for i, n := range r.nodes {
+		if n == nil || r.byz[i] {
+			continue
+		}
+		hs := n.PeerHealths()
+		all := true
+		for _, b := range r.sc.Byzantine {
+			if hs[addr(b)].State != cluster.PeerQuarantined {
+				all = false
+				break
+			}
+		}
+		if all {
+			c++
+		}
+	}
+	return c
+}
+
+// byzConvicted reports whether every honest ledger has convicted every
+// byzantine peer — the extra convergence condition for byzantine runs.
+func (r *run) byzConvicted() bool { return r.byzConvictedCount() == r.honestCount() }
+
+// corruptRejections sums verify-before-merge rejections across every
+// honest node's every set.
+func (r *run) corruptRejections() uint64 {
+	var total uint64
+	for i, n := range r.nodes {
+		if n == nil || r.byz[i] {
+			continue
+		}
+		for _, m := range n.Metrics() {
+			total += m.CorruptRejected
+		}
+	}
+	return total
+}
+
+// checkByzantine is the robustness acceptance invariant: corrupt
+// repair payloads were actually served and rejected (the scenario
+// exercised the verify path, it didn't just route around the byzantine
+// peer), and every honest node's ledger ends with every byzantine peer
+// quarantined.
+func (r *run) checkByzantine() {
+	if len(r.byz) == 0 {
+		return
+	}
+	rejected := r.corruptRejections()
+	if rejected == 0 {
+		r.failf("byzantine run ended with zero corrupt-batch rejections: verify path never exercised")
+	}
+	for i, n := range r.nodes {
+		if n == nil || r.byz[i] {
+			continue
+		}
+		hs := n.PeerHealths()
+		for _, b := range r.sc.Byzantine {
+			if st := hs[addr(b)].State; st != cluster.PeerQuarantined {
+				r.failf("node %d ledger holds byzantine %s in state %v, want quarantined", i, host(b), st)
+			}
+		}
+	}
+	if rejected > 0 && r.byzConvicted() {
+		r.tracef("byzantine: ok (%d corrupt batches rejected; %d peers quarantined on all %d honest ledgers)",
+			rejected, len(r.byz), r.honestCount())
 	}
 }
 
@@ -1236,7 +1411,7 @@ func (r *run) canaryRound() {
 	}
 	release := PoisonPool(16, 4096)
 	for i, n := range r.nodes {
-		if n == nil {
+		if n == nil || r.byz[i] {
 			continue
 		}
 		if _, err := n.ReconcileOnce(); err != nil {

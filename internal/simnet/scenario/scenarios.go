@@ -121,6 +121,23 @@ func Builtin() []Scenario {
 			Streak: 2,
 		},
 		{
+			Name:      "poisoned-peer",
+			Desc:      "4-node mesh with one byzantine member (node 3) that serves corrupted repair payloads and never initiates; a flip fault also garbles carrier negotiation on an honest link at round 0. Honest nodes must verify-before-merge (zero corrupt points accepted), converge to the honest ground truth anyway, and every honest health ledger must end with the byzantine peer quarantined.",
+			Nodes:     4,
+			Byzantine: []int{3},
+			Choices:   3,
+			Sets: []SetSpec{
+				{Name: "", Base: 20, PerNode: 5, Capacity: 256},
+				{Name: "alpha", Base: 16, PerNode: 4, EMD: true, Capacity: 256},
+			},
+			Rounds:      30,
+			ChurnRounds: 3,
+			Faults: []Fault{
+				{Round: 0, Kind: "flip", From: 1, To: 2, Offset: 8, Count: 4},
+			},
+			Streak: 2,
+		},
+		{
 			Name:          "mesh-100",
 			Desc:          "100-node sharded mesh, 24 shards at R=3 — per-node bounded-loads budget of ONE shard. Churn, then a 50/50 partition (both halves suspect the other dead and re-own every shard locally), a heal (resurrection probes re-merge the views, temp owners hand off after confirming the real owners hold everything), a graceful leave, and a rejoin of the same address (incarnation bump overrides its own left entry). Converges deterministically to exactly-R ownership with no shard over budget and no point lost.",
 			Nodes:         100,

@@ -71,7 +71,7 @@ func keyOf(h1, h2 string) linkKey {
 // Event is one connection-level occurrence, delivered to OnEvent in a
 // deterministic order (see Network.OnEvent).
 type Event struct {
-	// Kind is "dial", "refused", or "cut".
+	// Kind is "dial", "refused", "cut", or "flip".
 	Kind string
 	// From and To are the host names (dialer first for dial events).
 	From, To string
@@ -94,6 +94,8 @@ type link struct {
 	bps            int64 // bytes/second, 0 = unlimited
 	down           bool
 	dropAt         int64 // armed cut offset for the NEXT conn; -1 = none
+	flipAt         int64 // armed corruption offset for the NEXT conn; -1 = none
+	flipLen        int   // corruption window length in bytes
 	connSeq        uint64
 	pairs          []*pair // every conn ever opened on the link, dial order
 }
@@ -147,7 +149,7 @@ func (n *Network) Host(name string) *Host { return &Host{n: n, name: name} }
 func (n *Network) linkLocked(k linkKey) *link {
 	l := n.links[k]
 	if l == nil {
-		l = &link{dropAt: -1}
+		l = &link{dropAt: -1, flipAt: -1}
 		n.links[k] = l
 	}
 	return l
@@ -190,6 +192,22 @@ func (n *Network) DropAfter(a, b string, offset int64) {
 	n.linkLocked(keyOf(a, b)).dropAt = offset
 }
 
+// FlipAfter arms a one-shot corruption fault on the a—b link (the
+// sibling of DropAfter): on the next connection opened between the
+// hosts, the count bytes starting at cumulative offset (both directions
+// combined) are delivered bitwise-inverted instead of severed. The
+// connection stays up — corruption is silent at the transport layer;
+// only an integrity check above (frame checksums, verify-before-merge)
+// can notice. A "flip" event is emitted per delivered chunk the window
+// touches, before any byte of that chunk is delivered.
+func (n *Network) FlipAfter(a, b string, offset int64, count int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l := n.linkLocked(keyOf(a, b))
+	l.flipAt = offset
+	l.flipLen = count
+}
+
 // ClearFaults returns the network to a clean reachable state: every
 // link-level armed DropAfter is disarmed, every downed link comes
 // back up, and any partition heals. Latency and bandwidth shaping stay
@@ -205,6 +223,7 @@ func (n *Network) ClearFaults() {
 	defer n.mu.Unlock()
 	for _, l := range n.links {
 		l.dropAt = -1
+		l.flipAt = -1
 		l.down = false
 	}
 	n.group = make(map[string]int)
@@ -364,13 +383,16 @@ func (h *Host) DialTimeout(network, addr string, timeout time.Duration) (net.Con
 		key:      key,
 		id:       lk.connSeq,
 		dropAt:   lk.dropAt,
+		flipAt:   lk.flipAt,
+		flipLen:  lk.flipLen,
 		latMin:   lk.latMin,
 		latMax:   lk.latMax,
 		bps:      lk.bps,
 		openEnds: 2,
 		latSrc:   rng.New(n.seed ^ hashLink(key) ^ (lk.connSeq * 0x9e3779b97f4a7c15)),
 	}
-	lk.dropAt = -1 // one-shot: the armed fault belongs to this conn
+	lk.dropAt = -1 // one-shot: the armed faults belong to this conn
+	lk.flipAt = -1
 	r1, r2 := net.Pipe()
 	local := Addr(fmt.Sprintf("%s:c%d", h.name, p.id))
 	cl := &Conn{p: p, raw: r1, local: local, remote: Addr(addr)}
@@ -503,6 +525,8 @@ type pair struct {
 	bytes    int64
 	writes   []int
 	dropAt   int64 // cut when bytes crosses this; -1 = none
+	flipAt   int64 // invert [flipAt, flipAt+flipLen) on delivery; -1 = none
+	flipLen  int
 	isCut    bool
 	cutErr   error
 	openEnds int // endpoints not yet closed; 0 = dead, exempt from link faults
@@ -589,6 +613,7 @@ func (c *Conn) Write(b []byte) (int, error) {
 		p.mu.Unlock()
 		return 0, err
 	}
+	chunkStart := p.bytes
 	allowed := len(b)
 	willCut := false
 	if p.dropAt >= 0 {
@@ -599,6 +624,28 @@ func (c *Conn) Write(b []byte) (int, error) {
 				rem = 0
 			}
 			allowed = int(rem)
+		}
+	}
+	// Overlap of this chunk with an armed corruption window: the
+	// affected range is inverted at delivery (on a copy — the caller's
+	// buffer is never mutated). The window disarms once its end has
+	// been crossed; until then it keeps flipping every chunk it
+	// touches.
+	flipLo, flipHi := 0, 0
+	if p.flipAt >= 0 && allowed > 0 {
+		lo := p.flipAt - chunkStart
+		hi := p.flipAt + int64(p.flipLen) - chunkStart
+		if lo < int64(allowed) && hi > 0 {
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > int64(allowed) {
+				hi = int64(allowed)
+			}
+			flipLo, flipHi = int(lo), int(hi)
+		}
+		if p.flipAt+int64(p.flipLen) <= chunkStart+int64(allowed) {
+			p.flipAt = -1
 		}
 	}
 	// Reserve the chunk's bytes NOW, atomically with the fault check.
@@ -629,6 +676,17 @@ func (c *Conn) Write(b []byte) (int, error) {
 		p.n.mu.Unlock()
 		p.mu.Lock()
 	}
+	if flipHi > flipLo {
+		// Like the cut event: on record before any byte of the
+		// corrupted chunk is delivered, so the trace orders the fault
+		// ahead of everything downstream of it.
+		lo, hi := chunkStart+int64(flipLo), chunkStart+int64(flipHi)
+		p.mu.Unlock()
+		p.n.mu.Lock()
+		p.n.emitLocked(Event{Kind: "flip", From: p.key.a, To: p.key.b, Detail: fmt.Sprintf("@%dB+%d", lo, hi-lo)})
+		p.n.mu.Unlock()
+		p.mu.Lock()
+	}
 	var delay time.Duration
 	if p.latMax > 0 {
 		delay = p.latMin
@@ -646,7 +704,16 @@ func (c *Conn) Write(b []byte) (int, error) {
 	var n int
 	var err error
 	if allowed > 0 {
-		n, err = c.raw.Write(b[:allowed])
+		buf := b[:allowed]
+		if flipHi > flipLo {
+			cp := make([]byte, allowed)
+			copy(cp, buf)
+			for i := flipLo; i < flipHi; i++ {
+				cp[i] ^= 0xff
+			}
+			buf = cp
+		}
+		n, err = c.raw.Write(buf)
 	}
 	if willCut && err == nil {
 		// Close both ends only after the boundary bytes were consumed.

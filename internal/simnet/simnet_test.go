@@ -176,6 +176,138 @@ func TestDropAtOffset(t *testing.T) {
 	}
 }
 
+// TestFlipAtOffset verifies the corruption fault: the connection stays
+// up, the receiver sees exactly the armed byte range bitwise-inverted,
+// the writer's buffer is untouched, a "flip" event is emitted, and the
+// fault is one-shot.
+func TestFlipAtOffset(t *testing.T) {
+	n := New(1)
+	var mu sync.Mutex
+	var events []string
+	n.OnEvent = func(e Event) {
+		mu.Lock()
+		events = append(events, e.String())
+		mu.Unlock()
+	}
+	l, err := n.Host("srv").Listen("sim", "srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	serveEcho(t, l)
+	n.FlipAfter("cli", "srv", 8, 4)
+	c, err := n.Host("cli").DialTimeout("sim", "srv:1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := []byte("0123456789abcdef")
+	sent := append([]byte(nil), msg...)
+	done := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, len(msg))
+		if _, err := io.ReadFull(c, buf); err != nil {
+			t.Errorf("read back: %v", err)
+		}
+		done <- buf
+	}()
+	wrote, err := c.Write(msg)
+	if err != nil || wrote != len(msg) {
+		t.Fatalf("write: n=%d err=%v, want clean full write", wrote, err)
+	}
+	if string(msg) != string(sent) {
+		t.Fatalf("writer's buffer mutated: %q", msg)
+	}
+	got := <-done
+	want := append([]byte(nil), msg...)
+	for i := 8; i < 12; i++ {
+		want[i] ^= 0xff
+	}
+	if string(got) != string(want) {
+		t.Fatalf("peer received %q, want bytes [8,12) inverted: %q", got, want)
+	}
+	// One-shot: the next write on the same connection is clean.
+	reply := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 5)
+		io.ReadFull(c, buf) //nolint:errcheck
+		reply <- buf
+	}()
+	if _, err := c.Write([]byte("clean")); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-reply; string(got) != "clean" {
+		t.Fatalf("post-flip write delivered %q, want clean", got)
+	}
+	mu.Lock()
+	joined := strings.Join(events, "\n")
+	mu.Unlock()
+	if !strings.Contains(joined, "flip cli->srv (@8B+4)") {
+		t.Fatalf("events missing flip record:\n%s", joined)
+	}
+
+	// ClearFaults disarms a pending flip before any connection uses it.
+	n.FlipAfter("cli", "srv", 0, 1)
+	n.ClearFaults()
+	serveEcho(t, l)
+	c2, err := n.Host("cli").DialTimeout("sim", "srv:1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	got2 := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 2)
+		io.ReadFull(c2, buf) //nolint:errcheck
+		got2 <- buf
+	}()
+	if _, err := c2.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if b := <-got2; string(b) != "ok" {
+		t.Fatalf("after ClearFaults delivered %q, want ok", b)
+	}
+}
+
+// TestFlipSpansChunks verifies a flip range that straddles two writes:
+// each delivery inverts its overlap and the fault disarms only once the
+// whole range has passed.
+func TestFlipSpansChunks(t *testing.T) {
+	n := New(1)
+	l, err := n.Host("srv").Listen("sim", "srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	serveEcho(t, l)
+	n.FlipAfter("cli", "srv", 3, 4) // bytes [3,7) across two 5-byte writes
+	c, err := n.Host("cli").DialTimeout("sim", "srv:1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 10)
+		io.ReadFull(c, buf) //nolint:errcheck
+		done <- buf
+	}()
+	if _, err := c.Write([]byte("abcde")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("fghij")); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	want := []byte("abcdefghij")
+	for i := 3; i < 7; i++ {
+		want[i] ^= 0xff
+	}
+	if string(got) != string(want) {
+		t.Fatalf("peer received %q, want [3,7) inverted: %q", got, want)
+	}
+}
+
 func TestSetDownRefusesAndRecovers(t *testing.T) {
 	n := New(1)
 	l, err := n.Host("b").Listen("sim", "b:1")
