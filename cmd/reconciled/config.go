@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Config-file support: every flag can instead come from a file, so a
+// deployment ships one reviewed config instead of a 20-flag command
+// line. Two formats, detected by the first non-space byte:
+//
+//   - a JSON object of flag-name → scalar:  {"listen": ":7441", "n": 256}
+//   - a YAML subset of "flag-name: value" lines (comments with #,
+//     values optionally quoted) — enough for flat key/value configs
+//     without pulling in a YAML dependency:
+//
+//     # reconciled.yaml
+//     listen: :7441
+//     sets: alpha,beta
+//     data-dir: /var/lib/reconciled
+//
+// Precedence is strict: a flag passed explicitly on the command line
+// always beats the file; the file beats built-in defaults. Keys must
+// name real flags (typos fail startup rather than silently doing
+// nothing), and "config" itself cannot appear in a file.
+
+// applyConfigFile loads path and applies its values to every flag in
+// fs that was not set on the command line. Call after fs.Parse.
+func applyConfigFile(path string, fs *flag.FlagSet) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	values, err := parseConfig(raw)
+	if err != nil {
+		return fmt.Errorf("config %s: %w", path, err)
+	}
+	explicit := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	for key, value := range values {
+		if key == "config" {
+			return fmt.Errorf("config %s: a config file cannot set %q", path, key)
+		}
+		if fs.Lookup(key) == nil {
+			return fmt.Errorf("config %s: unknown flag %q", path, key)
+		}
+		if explicit[key] {
+			continue // command line wins
+		}
+		if err := fs.Set(key, value); err != nil {
+			return fmt.Errorf("config %s: flag %q: %w", path, key, err)
+		}
+	}
+	return nil
+}
+
+// parseConfig dispatches on the document's first non-space byte.
+func parseConfig(raw []byte) (map[string]string, error) {
+	trimmed := strings.TrimSpace(string(raw))
+	if strings.HasPrefix(trimmed, "{") {
+		return parseJSONConfig(raw)
+	}
+	return parseYAMLConfig(trimmed)
+}
+
+func parseJSONConfig(raw []byte) (map[string]string, error) {
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(doc))
+	for key, v := range doc {
+		switch val := v.(type) {
+		case string:
+			out[key] = val
+		case bool:
+			out[key] = strconv.FormatBool(val)
+		case float64:
+			if val == float64(int64(val)) {
+				out[key] = strconv.FormatInt(int64(val), 10)
+			} else {
+				out[key] = strconv.FormatFloat(val, 'g', -1, 64)
+			}
+		default:
+			return nil, fmt.Errorf("key %q: value must be a string, number or bool", key)
+		}
+	}
+	return out, nil
+}
+
+func parseYAMLConfig(doc string) (map[string]string, error) {
+	out := make(map[string]string)
+	for i, line := range strings.Split(doc, "\n") {
+		s := strings.TrimSpace(line)
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		key, value, ok := strings.Cut(s, ":")
+		if !ok {
+			return nil, fmt.Errorf("line %d: want \"flag: value\", got %q", i+1, s)
+		}
+		key = strings.TrimSpace(key)
+		value = strings.TrimSpace(value)
+		if key == "" {
+			return nil, fmt.Errorf("line %d: empty key", i+1)
+		}
+		// Strip a trailing comment, except inside a quoted value.
+		if !strings.HasPrefix(value, `"`) && !strings.HasPrefix(value, `'`) {
+			if j := strings.Index(value, " #"); j >= 0 {
+				value = strings.TrimSpace(value[:j])
+			}
+		}
+		value = unquote(value)
+		if value == "" {
+			return nil, fmt.Errorf("line %d: key %q has no value (nested structure is not supported)", i+1, key)
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate key %q", i+1, key)
+		}
+		out[key] = value
+	}
+	return out, nil
+}
+
+// unquote strips one level of matched single or double quotes.
+func unquote(v string) string {
+	if len(v) >= 2 {
+		if (v[0] == '"' && v[len(v)-1] == '"') || (v[0] == '\'' && v[len(v)-1] == '\'') {
+			return v[1 : len(v)-1]
+		}
+	}
+	return v
+}

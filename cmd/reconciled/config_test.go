@@ -1,0 +1,127 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// testFlagSet mirrors the daemon flag shapes the loader must coerce:
+// string, int, bool, float, duration, uint64.
+func testFlagSet() (*flag.FlagSet, map[string]any) {
+	fs := flag.NewFlagSet("reconciled", flag.ContinueOnError)
+	vals := map[string]any{
+		"listen":   fs.String("listen", "", ""),
+		"n":        fs.Int("n", 64, ""),
+		"mux":      fs.Bool("mux", true, ""),
+		"noise":    fs.Float64("noise", 2, ""),
+		"interval": fs.Duration("interval", time.Second, ""),
+		"seed":     fs.Uint64("seed", 1, ""),
+		"data-dir": fs.String("data-dir", "", ""),
+	}
+	fs.String("config", "", "")
+	return fs, vals
+}
+
+func writeConfig(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "conf")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestConfigFileYAML(t *testing.T) {
+	fs, vals := testFlagSet()
+	if err := fs.Parse([]string{"-n", "999"}); err != nil {
+		t.Fatal(err)
+	}
+	path := writeConfig(t, `
+# deployment config
+listen: 127.0.0.1:7441
+n: 256            # ignored: -n was passed explicitly
+mux: false
+noise: 3.5
+interval: 250ms
+seed: 42
+data-dir: "/var/lib/reconciled"
+`)
+	if err := applyConfigFile(path, fs); err != nil {
+		t.Fatal(err)
+	}
+	if got := *vals["listen"].(*string); got != "127.0.0.1:7441" {
+		t.Errorf("listen = %q", got)
+	}
+	if got := *vals["n"].(*int); got != 999 {
+		t.Errorf("n = %d, want the explicit 999 to beat the file's 256", got)
+	}
+	if *vals["mux"].(*bool) {
+		t.Error("mux not overridden to false")
+	}
+	if got := *vals["noise"].(*float64); got != 3.5 {
+		t.Errorf("noise = %v", got)
+	}
+	if got := *vals["interval"].(*time.Duration); got != 250*time.Millisecond {
+		t.Errorf("interval = %v", got)
+	}
+	if got := *vals["seed"].(*uint64); got != 42 {
+		t.Errorf("seed = %d", got)
+	}
+	if got := *vals["data-dir"].(*string); got != "/var/lib/reconciled" {
+		t.Errorf("data-dir = %q (quotes should strip)", got)
+	}
+}
+
+func TestConfigFileJSON(t *testing.T) {
+	fs, vals := testFlagSet()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	path := writeConfig(t, `{"listen": ":7441", "n": 128, "mux": false, "noise": 1.25}`)
+	if err := applyConfigFile(path, fs); err != nil {
+		t.Fatal(err)
+	}
+	if got := *vals["listen"].(*string); got != ":7441" {
+		t.Errorf("listen = %q", got)
+	}
+	if got := *vals["n"].(*int); got != 128 {
+		t.Errorf("n = %d", got)
+	}
+	if *vals["mux"].(*bool) {
+		t.Error("mux not overridden")
+	}
+	if got := *vals["noise"].(*float64); got != 1.25 {
+		t.Errorf("noise = %v", got)
+	}
+}
+
+func TestConfigFileErrors(t *testing.T) {
+	cases := []struct{ name, body string }{
+		{"unknown flag", "bogus: 1\n"},
+		{"config self-reference", "config: other.yaml\n"},
+		{"bad value for typed flag", "n: not-a-number\n"},
+		{"structure line", "cluster:\n  peers: a\n"},
+		{"duplicate key", "n: 1\nn: 2\n"},
+		{"malformed JSON", `{"listen": }`},
+		{"non-scalar JSON", `{"listen": [1,2]}`},
+	}
+	for _, tc := range cases {
+		fs, _ := testFlagSet()
+		if err := fs.Parse(nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := applyConfigFile(writeConfig(t, tc.body), fs); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	fs, _ := testFlagSet()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := applyConfigFile(filepath.Join(t.TempDir(), "absent"), fs); err == nil {
+		t.Error("missing file: no error")
+	}
+}

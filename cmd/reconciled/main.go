@@ -76,9 +76,21 @@
 //	reconciled -listen :7441 -advertise h1:7441 -join h2:7442,h3:7443
 //	reconciled -listen :7442 -advertise h2:7442 -join h1:7441 -replication 2
 //
-// On SIGINT/SIGTERM every serving mode stops accepting, drains
-// in-flight sessions for up to -drain, force-closes stragglers, and
-// prints final stats before exiting.
+// With -admin the daemon serves its operator surface on a dedicated
+// localhost HTTP listener: set create/drop/list with live
+// reconciliation stats, cluster membership/placement/health views, a
+// graceful-drain trigger, a Prometheus /metrics endpoint, and pprof —
+// see internal/admin and the README's Operations section. -config
+// loads any flag from a file (JSON object or flat YAML lines);
+// explicit flags win over file values.
+//
+//	reconciled -listen :7441 -cluster h2:7441 -admin localhost:7470
+//	reconciled -config /etc/reconciled.yaml -listen :7441
+//
+// On SIGINT/SIGTERM — or a POST to the admin API's /api/v1/drain —
+// every serving mode stops accepting, drains in-flight sessions for up
+// to -drain, force-closes stragglers, shuts the operator listeners
+// down, and prints final stats before exiting.
 //
 // Workload flags (-d, -n, -k, -noise, -r1, -r2, -diff, -seed, and
 // whether -mutate is zero) must match between server and client;
@@ -86,13 +98,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"hash/fnv"
 	"log"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the -pprof server
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -101,6 +113,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admin"
 	"repro/internal/cluster"
 	"repro/internal/emd"
 	"repro/internal/gap"
@@ -327,18 +340,41 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-session deadline")
 	quarantine := flag.Int("quarantine", 16, "peer quarantine span in rounds (cluster modes); 0 observes health without skipping peers")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	adminAddr := flag.String("admin", "", "serve the admin API and /metrics on this address (e.g. localhost:7470)")
+	configPath := flag.String("config", "", "config file (YAML key: value lines or a JSON object); explicit flags win")
 	flag.Parse()
 
+	if *configPath != "" {
+		// File values fill in whatever the command line left at its
+		// default; explicitly passed flags always win.
+		if err := applyConfigFile(*configPath, flag.CommandLine); err != nil {
+			fail("%v", err)
+		}
+	}
+
+	var pprofSrv *http.Server
 	if *pprofAddr != "" {
 		// Production profiling endpoint: confirms the hot-path numbers
 		// (allocs, CPU) on a live daemon instead of only in benchmarks.
+		// The handlers live on a dedicated mux — not the process-global
+		// http.DefaultServeMux — and the server is shut down with the
+		// rest of the daemon instead of holding its listener until the
+		// process dies.
+		mux := http.NewServeMux()
+		admin.RegisterPprof(mux)
+		pprofSrv = &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
 		go func() {
 			log.Printf("pprof: http://%s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := pprofSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("pprof server: %v", err)
 			}
 		}()
 	}
+	ops := opsServers{adminAddr: *adminAddr, pprof: pprofSrv}
 
 	cfg := config{
 		d: *d, n: *n, k: *k, noise: *noise, r1: *r1, r2: *r2,
@@ -358,9 +394,9 @@ func main() {
 	case *clusterDemo > 0:
 		runClusterDemo(cfg, f, *clusterDemo, *setNames, *drain, *dataDir, *fsyncPolicy)
 	case *listen != "" && (*clusterPeers != "" || *join != ""):
-		runCluster(cfg, f, *listen, *clusterPeers, *join, *advertise, *setNames, *interval, *drain, *dataDir, *fsyncPolicy, *replication)
+		runCluster(cfg, f, *listen, *clusterPeers, *join, *advertise, *setNames, *interval, *drain, *dataDir, *fsyncPolicy, *replication, ops)
 	case *listen != "":
-		runServer(cfg, f, *listen, *drain)
+		runServer(cfg, f, *listen, *drain, ops)
 	case *connect != "":
 		network, host := splitAddr(*connect)
 		if err := runClient(cfg, f, network, host, *proto, true); err != nil {
@@ -371,6 +407,31 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "reconciled: need -listen, -connect, -demo or -cluster-demo (see -help)")
 		os.Exit(2)
+	}
+}
+
+// opsServers carries the operator-facing HTTP pieces the serving modes
+// wire up: where to bind the admin control plane, and the standalone
+// pprof server (already running) that graceful shutdown must stop.
+type opsServers struct {
+	adminAddr string
+	pprof     *http.Server
+}
+
+// stop shuts the operator servers down within the drain deadline, so a
+// clean exit leaves no listener behind.
+func (o opsServers) stop(adm *admin.Server, drain time.Duration, logf func(string, ...any)) {
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if adm != nil {
+		if err := adm.Shutdown(ctx); err != nil {
+			logf("admin shutdown: %v", err)
+		}
+	}
+	if o.pprof != nil {
+		if err := o.pprof.Shutdown(ctx); err != nil {
+			logf("pprof shutdown: %v", err)
+		}
 	}
 }
 
@@ -444,17 +505,33 @@ func shutdown(srv *session.Server, drain time.Duration, logger *log.Logger) {
 		logger.Printf("shutdown: %v", err)
 	}
 	total, _ := srv.Stats()
-	logger.Printf("final: %d sessions ok, %d failed; %s (%.2f MB)",
-		srv.Served(), srv.Failed(), total, float64(total.TotalBytes())/1e6)
+	logger.Printf("final: %d sessions ok, %d failed; %s (%.2f MB); max payload %d bits",
+		srv.Served(), srv.Failed(), total, float64(total.TotalBytes())/1e6, total.MaxPayload())
 }
 
-func runServer(cfg config, f *fixture, addr string, drain time.Duration) {
+func runServer(cfg config, f *fixture, addr string, drain time.Duration, ops opsServers) {
 	logger := log.New(os.Stderr, "reconciled: ", log.LstdFlags|log.Lmicroseconds)
 	srv, st := newServer(cfg, f, logger.Printf)
 	network, host := splitAddr(addr)
 	l, err := net.Listen(network, host)
 	if err != nil {
 		fail("listen: %v", err)
+	}
+	drainCh := make(chan struct{})
+	var adm *admin.Server
+	if ops.adminAddr != "" {
+		// v1 server mode hosts no multi-tenant store, so the set
+		// endpoints answer 503; session stats and /metrics still work.
+		adm = admin.New(admin.Config{
+			Session: srv,
+			Drain:   func() { close(drainCh) },
+			Logf:    logger.Printf,
+		})
+		aaddr, err := adm.Start(ops.adminAddr)
+		if err != nil {
+			fail("%v", err)
+		}
+		logger.Printf("admin API on http://%s/ (Prometheus on /metrics)", aaddr)
 	}
 	if st != nil {
 		logger.Printf("serving live-emd, gap, sync, setsets on %s %s (max %d sessions, %d mutations/s)",
@@ -483,7 +560,11 @@ func runServer(cfg config, f *fixture, addr string, drain time.Duration) {
 	case sig := <-signalChan():
 		logger.Printf("received %v", sig)
 		shutdown(srv, drain, logger)
+	case <-drainCh:
+		logger.Printf("drain requested via admin API")
+		shutdown(srv, drain, logger)
 	}
+	ops.stop(adm, drain, logger.Printf)
 }
 
 // hashAddr derives a node-unique seed from its advertised address, so
@@ -676,7 +757,7 @@ func parseSets(csv string) []string {
 	return names
 }
 
-func runCluster(cfg config, f *fixture, addr, peersCSV, joinCSV, advertise, setsCSV string, interval, drain time.Duration, dataDir, fsyncPolicy string, replication int) {
+func runCluster(cfg config, f *fixture, addr, peersCSV, joinCSV, advertise, setsCSV string, interval, drain time.Duration, dataDir, fsyncPolicy string, replication int, ops opsServers) {
 	logger := log.New(os.Stderr, "reconciled: ", log.LstdFlags|log.Lmicroseconds)
 	peers := parseSets(peersCSV)
 	names := parseSets(setsCSV)
@@ -754,6 +835,39 @@ func runCluster(cfg config, f *fixture, addr, peersCSV, joinCSV, advertise, sets
 		logger.Printf("cluster member on %s %s: %d peers, sets %v + default, round every %v; %s",
 			network, l.Addr(), len(peers), names, interval, st.Stats())
 	}
+	drainCh := make(chan struct{})
+	var adm *admin.Server
+	if ops.adminAddr != "" {
+		self := advertise
+		if self == "" {
+			self = addr
+		}
+		adm = admin.New(admin.Config{
+			Store:   st,
+			Node:    node,
+			Durable: dur,
+			// Admin-created sets get the catalog's shared Sync parameters
+			// (identical digest on every member that creates them) plus
+			// this member's deterministic divergent seed content, exactly
+			// like a flag-declared set's fresh start.
+			SetConfig: func(name string, seedPoints int) (live.Config, metric.PointSet, error) {
+				c := live.Config{Sync: &live.SyncConfig{Seed: f.syncParams.Seed}}
+				var pts metric.PointSet
+				if seedPoints > 0 {
+					pts = clusterPoints(metric.HammingCube(cfg.d), seedPoints,
+						cfg.seed^hashAddr(self)^hashAddr(name))
+				}
+				return c, pts, nil
+			},
+			Drain: func() { close(drainCh) },
+			Logf:  logger.Printf,
+		})
+		aaddr, err := adm.Start(ops.adminAddr)
+		if err != nil {
+			fail("%v", err)
+		}
+		logger.Printf("admin API on http://%s/ (Prometheus on /metrics)", aaddr)
+	}
 	if cfg.mutate > 0 {
 		go func() {
 			tick := time.NewTicker(time.Second / time.Duration(cfg.mutate))
@@ -786,8 +900,12 @@ func runCluster(cfg config, f *fixture, addr, peersCSV, joinCSV, advertise, sets
 			}
 		}()
 	}
-	sig := <-signalChan()
-	logger.Printf("received %v", sig)
+	select {
+	case sig := <-signalChan():
+		logger.Printf("received %v", sig)
+	case <-drainCh:
+		logger.Printf("drain requested via admin API")
+	}
 	if gossiping {
 		// Graceful departure: final push to co-owners, Left announcement
 		// to every active member, then close — shards move immediately
@@ -825,8 +943,9 @@ func runCluster(cfg config, f *fixture, addr, peersCSV, joinCSV, advertise, sets
 	total, _ := node.Server().Stats()
 	logger.Printf("net: %s", node.NetStats())
 	logger.Printf("health: %s", node.HealthSummary())
-	logger.Printf("final: %d sessions ok, %d failed; %s; store %s",
-		node.Server().Served(), node.Server().Failed(), total, st.Stats())
+	logger.Printf("final: %d sessions ok, %d failed; %s; max payload %d bits; store %s",
+		node.Server().Served(), node.Server().Failed(), total, total.MaxPayload(), st.Stats())
+	ops.stop(adm, drain, logger.Printf)
 }
 
 // runClusterDemo is the in-process mesh: count nodes with divergent

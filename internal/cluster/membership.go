@@ -3,6 +3,7 @@ package cluster
 import (
 	"time"
 
+	"repro/internal/gossip"
 	"repro/internal/placement"
 )
 
@@ -176,6 +177,44 @@ func (n *Node) dropHandedOff(name string) {
 	n.placeStats.Dropped++
 	n.mu.Unlock()
 	n.cfg.Logf("cluster: placement handed off %q", name)
+}
+
+// Members returns a snapshot of the gossiped member table, or nil when
+// the node is not in gossip mode — the admin API's membership view.
+func (n *Node) Members() []gossip.Member {
+	if n.cfg.Membership == nil {
+		return nil
+	}
+	return n.cfg.Membership.Snapshot()
+}
+
+// SetPlacement is one catalog set's placement state on this node: its
+// current co-owner group (self excluded) and whether the local copy is
+// awaiting handoff confirmation before dropping.
+type SetPlacement struct {
+	Owners        []string
+	Relinquishing bool
+}
+
+// PlacementView returns the ring-managed sets' placement state, keyed
+// by set name. Empty (not nil-vs-empty significant) outside placement
+// mode or before the first placement application.
+func (n *Node) PlacementView() map[string]SetPlacement {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]SetPlacement, len(n.owners))
+	for name, owners := range n.owners {
+		out[name] = SetPlacement{
+			Owners:        append([]string(nil), owners...),
+			Relinquishing: n.relinquish[name],
+		}
+	}
+	for name := range n.relinquish {
+		if _, ok := out[name]; !ok {
+			out[name] = SetPlacement{Relinquishing: true}
+		}
+	}
+	return out
 }
 
 // PlacementStats counts ring-driven roster changes on this node.

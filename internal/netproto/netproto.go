@@ -53,14 +53,26 @@ var wireMemPool = sync.Pool{New: func() any { return new(wireMem) }}
 // afterwards. Release returns the wire's buffers to a shared pool once
 // the session is done; Stats stay readable.
 type Wire struct {
-	rw        io.ReadWriter
-	mu        sync.Mutex // guards mem against a concurrent Release
-	mem       *wireMem
-	dec       transport.Decoder
-	sent      atomic.Int64 // payload bits sent
-	recvd     atomic.Int64
-	msgsSent  atomic.Int64
-	msgsRecvd atomic.Int64
+	rw         io.ReadWriter
+	mu         sync.Mutex // guards mem against a concurrent Release
+	mem        *wireMem
+	dec        transport.Decoder
+	sent       atomic.Int64 // payload bits sent
+	recvd      atomic.Int64
+	msgsSent   atomic.Int64
+	msgsRecvd  atomic.Int64
+	maxPayload atomic.Int64 // largest single frame either direction, bits
+}
+
+// observeMax raises m to bits if bits is larger, tolerating concurrent
+// raises from the opposite direction's goroutine.
+func observeMax(m *atomic.Int64, bits int64) {
+	for {
+		cur := m.Load()
+		if bits <= cur || m.CompareAndSwap(cur, bits) {
+			return
+		}
+	}
 }
 
 // NewWire wraps a byte stream.
@@ -111,6 +123,7 @@ func (w *Wire) Send(e *transport.Encoder) error {
 	}
 	w.sent.Add(bits)
 	w.msgsSent.Add(1)
+	observeMax(&w.maxPayload, bits)
 	return nil
 }
 
@@ -136,6 +149,7 @@ func (w *Wire) Recv() (*transport.Decoder, error) {
 	}
 	w.recvd.Add(int64(n) * 8)
 	w.msgsRecvd.Add(1)
+	observeMax(&w.maxPayload, int64(n)*8)
 	w.dec.Reset(data)
 	return &w.dec, nil
 }
@@ -146,11 +160,13 @@ func (w *Wire) Recv() (*transport.Decoder, error) {
 // an in-flight session.
 func (w *Wire) Stats() transport.Stats {
 	sent, recvd := w.msgsSent.Load(), w.msgsRecvd.Load()
-	return transport.Stats{
+	st := transport.Stats{
 		Rounds:   int(sent + recvd),
 		BitsAtoB: w.sent.Load(),
 		BitsBtoA: w.recvd.Load(),
 		MsgsAtoB: int(sent),
 		MsgsBtoA: int(recvd),
 	}
+	st.ObservePayload(w.maxPayload.Load())
+	return st
 }

@@ -49,6 +49,45 @@ func TestWireFrameRoundTrip(t *testing.T) {
 	}
 }
 
+func TestWireMaxPayloadTracking(t *testing.T) {
+	a, b := duplex()
+	defer a.Close()
+	defer b.Close()
+	wa, wb := NewWire(a), NewWire(b)
+	if got := wa.Stats().MaxPayload(); got != 0 {
+		t.Fatalf("fresh wire MaxPayload = %d, want 0", got)
+	}
+	// Frames of 2, 40, then 8 bytes: the maximum must stick at the
+	// largest single frame on both endpoints, not follow the last one.
+	for _, n := range []int{2, 40, 8} {
+		errc := make(chan error, 1)
+		go func() {
+			e := transport.NewEncoder()
+			e.WriteBytes(make([]byte, n))
+			errc <- wa.Send(e)
+		}()
+		if _, err := wb.Recv(); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 40 payload bytes plus the encoder's length prefix; assert the
+	// sender and receiver agree and both exceed the largest payload.
+	sent, recvd := wa.Stats().MaxPayload(), wb.Stats().MaxPayload()
+	if sent != recvd {
+		t.Errorf("sender MaxPayload %d != receiver %d", sent, recvd)
+	}
+	if sent < 40*8 {
+		t.Errorf("MaxPayload = %d bits, want >= %d (largest frame)", sent, 40*8)
+	}
+	last := wa.Stats()
+	if got := last.Add(transport.Stats{}).MaxPayload(); got != sent {
+		t.Errorf("Add lost MaxPayload: %d != %d", got, sent)
+	}
+}
+
 func TestHeaderDigestMismatch(t *testing.T) {
 	a, b := duplex()
 	defer a.Close()

@@ -40,6 +40,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/live"
 	"repro/internal/metric"
@@ -115,7 +116,25 @@ type Store struct {
 	mu   sync.Mutex
 	sets map[string]*setFiles
 	done bool
+	// lastRecovery holds the most recent Recover pass's stats (zero
+	// before any), for the operator metrics surface.
+	lastRecovery RecoveryStats
+
+	// Lifetime work counters (Metrics).
+	records     atomic.Uint64
+	recordBytes atomic.Uint64
+	snapshots   atomic.Uint64
 }
+
+// stagingSuffix and tombstoneSuffix mark set directories mid-create
+// and mid-drop. Both names fail setDirDecode, so recovery never reads
+// them as live sets, and Open sweeps any that a killed process left
+// behind — a crash at any point inside a create or drop leaves either
+// the old complete state or no state, never a partial directory.
+const (
+	stagingSuffix   = ".creating"
+	tombstoneSuffix = ".dropping"
+)
 
 // Open prepares the data directory (creating it if needed) and returns
 // a store with no sets attached; call Recover to load persisted sets.
@@ -129,6 +148,25 @@ func Open(dir string, opt Options) (*Store, error) {
 	sets := filepath.Join(dir, "sets")
 	if err := os.MkdirAll(sets, 0o755); err != nil {
 		return nil, fmt.Errorf("durable: %w", err)
+	}
+	// Sweep creates and drops a previous life was killed in the middle
+	// of: a .creating directory never became a set (its creation error
+	// surfaced, or the process died before the set existed), and a
+	// .dropping tombstone was already retired by the rename — both are
+	// garbage, and neither may survive to confuse a later create.
+	if ents, err := os.ReadDir(sets); err == nil {
+		swept := false
+		for _, ent := range ents {
+			name := ent.Name()
+			if strings.HasSuffix(name, stagingSuffix) || strings.HasSuffix(name, tombstoneSuffix) {
+				os.RemoveAll(filepath.Join(sets, name))
+				opt.Logf("durable: swept %s (interrupted create/drop)", name)
+				swept = true
+			}
+		}
+		if swept {
+			syncDir(sets)
+		}
 	}
 	return &Store{dir: sets, opt: opt, sets: make(map[string]*setFiles)}, nil
 }
@@ -194,6 +232,8 @@ func (sf *setFiles) LogOps(epoch uint64, ops []live.Op) error {
 	if err != nil {
 		return fmt.Errorf("durable: set %q: append: %w", sf.name, err)
 	}
+	sf.st.records.Add(1)
+	sf.st.recordBytes.Add(uint64(len(sf.scratch)))
 	if sf.st.opt.Fsync == FsyncAlways {
 		if err := sf.file.Sync(); err != nil {
 			return fmt.Errorf("durable: set %q: sync: %w", sf.name, err)
@@ -280,6 +320,7 @@ func (sf *setFiles) compactLocked(epoch uint64) error {
 	if err := writeFileDurable(sf.snapPath(epoch), frame); err != nil {
 		return err
 	}
+	sf.st.snapshots.Add(1)
 	// O_TRUNC: a crash after a previous snapshot at this same epoch may
 	// have left a stale wal-<epoch>.log; its records are ≤ epoch and
 	// already covered by the snapshot just written.
@@ -414,7 +455,12 @@ func syncDir(dir string) {
 
 // OnCreate implements store.Persister: persist the configuration,
 // snapshot the initial points at epoch 1 (live.NewSet starts there),
-// open the journal, and hand back the set's write-ahead logger.
+// open the journal, and hand back the set's write-ahead logger. The
+// whole creation is staged under a .creating name and renamed into
+// place only once the first generation is sealed, so a mid-create
+// failure — an unwritable disk, a rejected live config upstream, or a
+// process kill — rolls back to nothing: no orphaned WAL or snapshot
+// files, no open journal handle, and the name immediately reusable.
 func (d *Store) OnCreate(name string, cfg live.Config, initial metric.PointSet) (live.Logger, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -428,7 +474,17 @@ func (d *Store) OnCreate(name string, cfg live.Config, initial metric.PointSet) 
 	if _, err := os.Stat(dir); err == nil {
 		return nil, fmt.Errorf("durable: set %q: directory %s already exists (unrecovered state?)", name, dir)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	stage := dir + stagingSuffix
+	os.RemoveAll(stage) // leftovers of an earlier failed create of this name
+	if err := os.MkdirAll(stage, 0o755); err != nil {
+		return nil, err
+	}
+	sf := &setFiles{st: d, name: name, dir: stage, byKey: make(map[string]*mirrorEntry)}
+	rollback := func(err error) (live.Logger, error) {
+		sf.mu.Lock()
+		sf.closeLocked(false)
+		sf.mu.Unlock()
+		os.RemoveAll(stage)
 		return nil, err
 	}
 	e := transport.NewEncoder()
@@ -436,11 +492,9 @@ func (d *Store) OnCreate(name string, cfg live.Config, initial metric.PointSet) 
 	payload, _ := e.Pack()
 	frame := appendFrame(nil, payload)
 	transport.Recycle(e, payload)
-	if err := writeFileDurable(filepath.Join(dir, "config.bin"), frame); err != nil {
-		os.RemoveAll(dir)
-		return nil, err
+	if err := writeFileDurable(filepath.Join(stage, "config.bin"), frame); err != nil {
+		return rollback(err)
 	}
-	sf := &setFiles{st: d, name: name, dir: dir, byKey: make(map[string]*mirrorEntry)}
 	var ops []live.Op
 	for _, pt := range initial {
 		ops = append(ops, live.Op{Point: pt})
@@ -448,16 +502,25 @@ func (d *Store) OnCreate(name string, cfg live.Config, initial metric.PointSet) 
 	sf.applyMirror(ops)
 	sf.epoch = 1
 	if err := sf.compactLocked(1); err != nil {
-		os.RemoveAll(dir)
-		return nil, err
+		return rollback(err)
 	}
+	if err := os.Rename(stage, dir); err != nil {
+		return rollback(err)
+	}
+	// The open journal fd survives the directory rename; only future
+	// path derivations (snapshots, generation listings) need the final
+	// location.
+	sf.dir = dir
 	syncDir(d.dir)
 	d.sets[name] = sf
 	return sf, nil
 }
 
 // OnDrop implements store.Persister: close the journal and delete the
-// set's directory.
+// set's directory — atomically retired first by renaming it to a
+// .dropping tombstone, so a kill mid-removal leaves a name recovery
+// ignores and the next Open sweeps, never a partial set directory that
+// would brick or resurrect on boot.
 func (d *Store) OnDrop(name string) {
 	d.mu.Lock()
 	sf := d.sets[name]
@@ -468,8 +531,42 @@ func (d *Store) OnDrop(name string) {
 		sf.closeLocked(false)
 		sf.mu.Unlock()
 	}
-	os.RemoveAll(filepath.Join(d.dir, setDirName(name)))
+	dir := filepath.Join(d.dir, setDirName(name))
+	tomb := dir + tombstoneSuffix
+	os.RemoveAll(tomb) // a stale tombstone never blocks the rename
+	if err := os.Rename(dir, tomb); err == nil {
+		os.RemoveAll(tomb)
+	}
 	syncDir(d.dir)
+}
+
+// Metrics counts the durability layer's lifetime work — the WAL and
+// snapshot counters the operator surface (admin /metrics) exports.
+type Metrics struct {
+	// Records and RecordBytes total journal appends: committed
+	// mutation frames and their on-disk size (length prefixes and
+	// checksums included).
+	Records     uint64
+	RecordBytes uint64
+	// Snapshots counts snapshot files written: creation seals, cadence
+	// compactions, recovery re-seals, and drain.
+	Snapshots uint64
+	// Recovery is the most recent Recover pass's stats (zero before
+	// any).
+	Recovery RecoveryStats
+}
+
+// Metrics snapshots the store's counters.
+func (d *Store) Metrics() Metrics {
+	d.mu.Lock()
+	rec := d.lastRecovery
+	d.mu.Unlock()
+	return Metrics{
+		Records:     d.records.Load(),
+		RecordBytes: d.recordBytes.Load(),
+		Snapshots:   d.snapshots.Load(),
+		Recovery:    rec,
+	}
 }
 
 // RecoveryStats summarizes one Recover pass.
@@ -513,6 +610,9 @@ func (d *Store) Recover(st *store.Store) (RecoveryStats, error) {
 		}
 		stats.Sets++
 	}
+	d.mu.Lock()
+	d.lastRecovery = stats
+	d.mu.Unlock()
 	return stats, nil
 }
 

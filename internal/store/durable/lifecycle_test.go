@@ -1,0 +1,193 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/live"
+	"repro/internal/rng"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// setDirs lists the entries under the durable sets directory, so tests
+// can assert exactly which on-disk state a lifecycle left behind.
+func setDirs(t *testing.T, d *Store) []string {
+	t.Helper()
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		t.Fatalf("read sets dir: %v", err)
+	}
+	var names []string
+	for _, ent := range ents {
+		names = append(names, ent.Name())
+	}
+	return names
+}
+
+// TestCreateRollbackLeavesNoState drives a mid-create failure through
+// the full store.Create path: the persister seals config, snapshot and
+// journal first, then live.NewSet rejects the configuration — the
+// rollback must close the journal and leave the data directory exactly
+// as it was, with the name immediately reusable.
+func TestCreateRollbackLeavesNoState(t *testing.T) {
+	d := openTestStore(t, t.TempDir(), 4)
+	st := store.New()
+	st.SetPersister(d)
+
+	// live.Config{} enables no protocol structure: OnCreate persists it
+	// happily (the codec round-trips any config), then live.NewSet
+	// fails and store.Create rolls back through OnDrop.
+	if _, err := st.Create("victim", live.Config{}, nil); err == nil {
+		t.Fatal("Create with an empty live.Config should fail")
+	}
+	if got := setDirs(t, d); len(got) != 0 {
+		t.Fatalf("failed create left state behind: %v", got)
+	}
+
+	// The name is reusable, and the recreated set persists normally.
+	pts := workload.RandomSet(testSpace(), 16, rng.New(3))
+	ls, err := st.Create("victim", testConfig(256), pts)
+	if err != nil {
+		t.Fatalf("recreate after rollback: %v", err)
+	}
+	if n := churn(t, ls, 11, 20); n == 0 {
+		t.Fatal("churn applied nothing")
+	}
+	want := ls.IDFingerprint()
+
+	d.Crash()
+	re := openTestStore(t, filepath.Dir(d.dir), 4)
+	rst := store.New()
+	if _, err := re.Recover(rst); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	got, ok := rst.Get("victim")
+	if !ok || got.IDFingerprint() != want {
+		t.Fatalf("recovered fingerprint mismatch (present=%v)", ok)
+	}
+}
+
+// TestOpenSweepsInterruptedLifecycles plants the debris a process kill
+// can leave mid-create (.creating staging dir) and mid-drop (.dropping
+// tombstone); Open must sweep both, and recovery must see neither.
+func TestOpenSweepsInterruptedLifecycles(t *testing.T) {
+	root := t.TempDir()
+	sets := filepath.Join(root, "sets")
+	for _, debris := range []string{
+		setDirName("half") + stagingSuffix,
+		setDirName("gone") + tombstoneSuffix,
+	} {
+		dir := filepath.Join(sets, debris)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "wal-00000000000000000001.log"), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := openTestStore(t, root, 4)
+	if got := setDirs(t, d); len(got) != 0 {
+		t.Fatalf("Open did not sweep interrupted lifecycles: %v", got)
+	}
+	st := store.New()
+	stats, err := d.Recover(st)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if stats.Sets != 0 || st.Len() != 0 {
+		t.Fatalf("recovery resurrected swept debris: %+v, %d sets", stats, st.Len())
+	}
+	// The swept names are fully reusable.
+	if _, err := st.Create("half", testConfig(256), nil); err != nil {
+		t.Fatalf("create over swept staging: %v", err)
+	}
+}
+
+// TestDropRecreateSurvivesKillRestart is the admin-mutation durability
+// contract: drop a set, recreate it under the same name with different
+// content, kill the process, and the restart must recover exactly the
+// recreated generation — no orphaned WAL or snapshot files from the
+// dropped life.
+func TestDropRecreateSurvivesKillRestart(t *testing.T) {
+	root := t.TempDir()
+	d := openTestStore(t, root, 4)
+	st := store.New()
+	st.SetPersister(d)
+
+	first := workload.RandomSet(testSpace(), 24, rng.New(1))
+	if _, err := st.Create("shard", testConfig(256), first); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if !st.Drop("shard") {
+		t.Fatal("drop reported absent set")
+	}
+	second := workload.RandomSet(testSpace(), 8, rng.New(2))
+	ls, err := st.Create("shard", testConfig(256), second)
+	if err != nil {
+		t.Fatalf("recreate: %v", err)
+	}
+	churn(t, ls, 7, 25)
+	want := ls.IDFingerprint()
+	wantEpoch := ls.Epoch()
+
+	d.Crash()
+	re := openTestStore(t, root, 4)
+	for _, name := range setDirs(t, re) {
+		if strings.HasSuffix(name, stagingSuffix) || strings.HasSuffix(name, tombstoneSuffix) {
+			t.Fatalf("orphaned lifecycle dir after kill: %s", name)
+		}
+	}
+	rst := store.New()
+	stats, err := re.Recover(rst)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if stats.Sets != 1 {
+		t.Fatalf("recovered %d sets, want exactly the recreated one", stats.Sets)
+	}
+	got, ok := rst.Get("shard")
+	if !ok {
+		t.Fatal("recreated set missing after restart")
+	}
+	if got.IDFingerprint() != want || got.Epoch() != wantEpoch {
+		t.Fatalf("recovered generation mismatch: fp %x/%x epoch %d/%d",
+			got.IDFingerprint(), want, got.Epoch(), wantEpoch)
+	}
+}
+
+// TestMetricsCounters sanity-checks the operator counters: appends and
+// snapshots count up, and recovery stats are retained.
+func TestMetricsCounters(t *testing.T) {
+	root := t.TempDir()
+	d := openTestStore(t, root, 4)
+	st := store.New()
+	st.SetPersister(d)
+	ls, err := st.Create("m", testConfig(256), workload.RandomSet(testSpace(), 8, rng.New(9)))
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	churn(t, ls, 5, 10)
+	m := d.Metrics()
+	if m.Records == 0 || m.RecordBytes == 0 {
+		t.Fatalf("no WAL appends counted: %+v", m)
+	}
+	if m.Snapshots < 2 { // creation seal + at least one cadence compaction
+		t.Fatalf("snapshots = %d, want >= 2", m.Snapshots)
+	}
+	d.Crash()
+
+	re := openTestStore(t, root, 4)
+	if _, err := re.Recover(store.New()); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	rm := re.Metrics()
+	if rm.Recovery.Sets != 1 {
+		t.Fatalf("recovery stats not retained: %+v", rm.Recovery)
+	}
+	if rm.Snapshots == 0 {
+		t.Fatal("recovery re-seal did not count a snapshot")
+	}
+}

@@ -18,6 +18,23 @@ func (s Stats) Add(o Stats) Stats {
 	return s
 }
 
+// ObservePayload records one message of the given size in payload bits,
+// keeping the running maximum. Channel.Send calls it internally; wire
+// adapters in other packages that count traffic themselves use it to
+// feed the same tally.
+func (s *Stats) ObservePayload(bits int64) {
+	if bits > s.maxPayload {
+		s.maxPayload = bits
+	}
+}
+
+// MaxPayload returns the largest single message carried, in payload
+// bits (0 before any message). Channels track it per Send; Add folds
+// tallies together by maximum, so an aggregate's MaxPayload is the
+// largest single message any contributing session carried — the figure
+// that bounds peak frame-buffer memory per connection.
+func (s Stats) MaxPayload() int64 { return s.maxPayload }
+
 // Collector accumulates Stats from concurrently completing sessions. The
 // zero value is ready to use; all methods are safe for concurrent use.
 type Collector struct {

@@ -82,9 +82,7 @@ func (c *Channel) Send(dir Direction, enc *Encoder) {
 		c.stats.BitsBtoA += bits
 		c.stats.MsgsBtoA++
 	}
-	if bits > c.stats.maxPayload {
-		c.stats.maxPayload = bits
-	}
+	c.stats.ObservePayload(bits)
 	c.pending = append(c.pending, message{dir: dir, data: data, bits: bits})
 }
 
